@@ -1,0 +1,413 @@
+package repro
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/atpg"
+	"repro/internal/bistgen"
+	"repro/internal/can"
+	"repro/internal/casestudy"
+	"repro/internal/core"
+	"repro/internal/diagnosis"
+	"repro/internal/dtc"
+	"repro/internal/faultsim"
+	"repro/internal/moea"
+	"repro/internal/netlist"
+	"repro/internal/reseed"
+	"repro/internal/schedule"
+	"repro/internal/simulate"
+	"repro/internal/stumps"
+)
+
+// --- E1: Table I — BIST profile characterization -----------------------
+
+// BenchmarkTableI_ProfileCharacterization measures the full mixed-mode
+// characterization flow (LFSR fault simulation + PODEM top-off) that
+// regenerates the shape of the paper's Table I on a synthetic CUT.
+func BenchmarkTableI_ProfileCharacterization(b *testing.B) {
+	cfg := stumps.Config{Chains: 8, ChainLen: 10, Seed: 17, WindowPatterns: 32, RestoreCycles: 200, TestClockHz: 40e6}
+	cut := netlist.ScanCUT(5, cfg.Chains, cfg.ChainLen, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		gen, err := bistgen.New(cut, bistgen.Options{Scan: cfg, MaxBacktracks: 150})
+		if err != nil {
+			b.Fatal(err)
+		}
+		profiles, err := gen.Characterize([]int{64, 256}, bistgen.DefaultTargets())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(profiles) != 8 {
+			b.Fatalf("profiles = %d", len(profiles))
+		}
+	}
+}
+
+// --- E2: Fig. 5 — the design space exploration --------------------------
+
+// BenchmarkFig5_DSE runs the three-objective exploration on the full
+// case study (15 ECUs × 36 profiles) and reports evaluation throughput;
+// the paper evaluated 100,000 implementations in ~29 minutes.
+func BenchmarkFig5_DSE(b *testing.B) {
+	spec, err := casestudy.Build(casestudy.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	dec, err := core.NewGreedyDecoder(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ex := core.NewExplorer(spec, dec)
+	b.ResetTimer()
+	evals := 0
+	for i := 0; i < b.N; i++ {
+		res, err := ex.Run(moea.Options{PopSize: 64, Generations: 15, Seed: int64(i + 1)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		evals += res.Evaluations
+	}
+	b.ReportMetric(float64(evals)/b.Elapsed().Seconds(), "evals/s")
+}
+
+// --- E3: Fig. 6 — gateway vs distributed memory split -------------------
+
+func BenchmarkFig6_MemorySplit(b *testing.B) {
+	spec, err := casestudy.Build(casestudy.Options{ProfilesPerECU: 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	dec, err := core.NewGreedyDecoder(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := core.NewExplorer(spec, dec).Run(moea.Options{PopSize: 32, Generations: 10, Seed: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, s := range res.Solutions {
+			core.MemorySplitOf(s)
+		}
+	}
+}
+
+// --- E4: headline — evaluation throughput -------------------------------
+
+// BenchmarkEvalThroughput measures one decode + objective evaluation on
+// the full case study. The paper's rate is ~57 evals/s (100k in 29 min)
+// on 2013 hardware.
+func BenchmarkEvalThroughput(b *testing.B) {
+	spec, err := casestudy.Build(casestudy.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	dec, err := core.NewGreedyDecoder(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ex := core.NewExplorer(spec, dec)
+	rng := rand.New(rand.NewSource(1))
+	genotypes := make([][]float64, 64)
+	for i := range genotypes {
+		g := make([]float64, dec.GenotypeLen())
+		for j := range g {
+			g[j] = rng.Float64()
+		}
+		genotypes[i] = g
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ex.Evaluate(genotypes[i%len(genotypes)])
+	}
+}
+
+// --- E5: Eq. (1) and non-intrusive mirroring -----------------------------
+
+func BenchmarkEq1_TransferTime(b *testing.B) {
+	frames := []can.Frame{
+		{ID: "c1", Priority: 1, Payload: 8, PeriodMS: 10},
+		{ID: "c2", Priority: 2, Payload: 8, PeriodMS: 20},
+		{ID: "c3", Priority: 3, Payload: 8, PeriodMS: 100},
+	}
+	profiles := casestudy.TableI()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, p := range profiles {
+			can.TransferTimeMS(p.DataBytes, frames)
+		}
+	}
+}
+
+// BenchmarkMirrorVerification measures the response-time analysis that
+// certifies mirroring as non-intrusive (Fig. 4 claim).
+func BenchmarkMirrorVerification(b *testing.B) {
+	bus := can.Bus{BitRate: 500_000}
+	var own, others []can.Frame
+	for i := 0; i < 4; i++ {
+		own = append(own, can.Frame{ID: string(rune('a' + i)), Priority: 1 + 2*i, Payload: 8, PeriodMS: 20})
+	}
+	for i := 0; i < 12; i++ {
+		others = append(others, can.Frame{ID: string(rune('m' + i)), Priority: 2 + 2*i, Payload: 8, PeriodMS: 50})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := can.VerifyNonIntrusive(bus, own, others)
+		if err != nil || !rep.OK() {
+			b.Fatalf("rep=%+v err=%v", rep, err)
+		}
+	}
+}
+
+// --- E6: functional vs structural coverage ------------------------------
+
+func BenchmarkFunctionalVsStructural(b *testing.B) {
+	cfg := stumps.Config{Chains: 8, ChainLen: 10, Seed: 42, WindowPatterns: 16}
+	cut := netlist.ScanCUT(100, cfg.Chains, cfg.ChainLen, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cmp, err := diagnosis.CompareFunctionalVsStructural(cut, cfg, 256, 256, 7)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if cmp.StructuralCoverage <= cmp.FunctionalCoverage {
+			b.Fatal("structural must win")
+		}
+	}
+}
+
+// --- A1: ablation — storage placement -----------------------------------
+
+func BenchmarkAblationStorage(b *testing.B) {
+	spec, err := casestudy.Build(casestudy.Options{ProfilesPerECU: 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, bc := range []struct {
+		name   string
+		choice int
+	}{{"free", 0}, {"local-only", 1}, {"gateway-only", -1}} {
+		b.Run(bc.name, func(b *testing.B) {
+			dec, err := core.NewGreedyDecoder(spec)
+			if err != nil {
+				b.Fatal(err)
+			}
+			dec.StorageChoice = bc.choice
+			ex := core.NewExplorer(spec, dec)
+			for i := 0; i < b.N; i++ {
+				if _, err := ex.Run(moea.Options{PopSize: 32, Generations: 8, Seed: int64(i + 1)}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- A2: ablation — SAT-decoding vs greedy decoding ----------------------
+
+func BenchmarkAblationDecoder(b *testing.B) {
+	spec, err := casestudy.Small(3, 4, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	greedy, err := core.NewGreedyDecoder(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sat, err := core.NewSATDecoder(spec, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, bc := range []struct {
+		name string
+		dec  core.Decoder
+	}{{"greedy", greedy}, {"sat", sat}} {
+		b.Run(bc.name, func(b *testing.B) {
+			rng := rand.New(rand.NewSource(2))
+			g := make([]float64, bc.dec.GenotypeLen())
+			for i := 0; i < b.N; i++ {
+				for j := range g {
+					g[j] = rng.Float64()
+				}
+				if _, err := bc.dec.Decode(g); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- substrate micro-benchmarks ------------------------------------------
+
+// BenchmarkFaultSimulation measures 64-pattern parallel fault
+// simulation throughput on the profile-generation CUT.
+func BenchmarkFaultSimulation(b *testing.B) {
+	cut := netlist.ScanCUT(5, 8, 10, 4)
+	faults := netlist.CollapsedFaults(cut)
+	cfg := stumps.Config{Chains: 8, ChainLen: 10, Seed: 17}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fs := faultsim.NewFaultSim(cut, faults)
+		prpg, err := stumps.NewPRPG(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := fs.RunCoverage(prpg, 256); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBISTSession measures a full STUMPS session with intermediate
+// signatures.
+func BenchmarkBISTSession(b *testing.B) {
+	cfg := stumps.Config{Chains: 8, ChainLen: 10, Seed: 17, WindowPatterns: 32}
+	cut := netlist.ScanCUT(5, cfg.Chains, cfg.ChainLen, 4)
+	s, err := stumps.NewSession(cut, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Signatures(256, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- extended substrates -------------------------------------------------
+
+// BenchmarkReseedEncode measures GF(2) seed solving for sparse top-off
+// cubes (the encoded deterministic test data of the STUMPS flow).
+func BenchmarkReseedEncode(b *testing.B) {
+	enc, err := reseed.NewEncoder(128, 16, 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	cubes := make([]atpg.Cube, 16)
+	for k := range cubes {
+		c := make(atpg.Cube, 256)
+		for i := range c {
+			c[i] = atpg.X
+		}
+		for j := 0; j < 40; j++ {
+			c[rng.Intn(256)] = atpg.FromBool(rng.Intn(2) == 1)
+		}
+		cubes[k] = c
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := enc.EncodeSet(cubes)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(out.Seeds) == 0 {
+			b.Fatal("nothing encoded")
+		}
+	}
+}
+
+// BenchmarkBusSimulation measures the discrete-event CAN arbitration
+// trace used for the Fig. 4 schedule-equivalence experiment (E8).
+func BenchmarkBusSimulation(b *testing.B) {
+	bus := can.Bus{BitRate: 500_000}
+	var frames []can.Frame
+	for i := 0; i < 20; i++ {
+		frames = append(frames, can.Frame{
+			ID: fmt.Sprintf("f%d", i), Priority: i + 1, Payload: 8,
+			PeriodMS: []float64{10, 20, 50, 100}[i%4],
+		})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		trace, err := simulate.SimulateBus(bus, frames, 1000)
+		if err != nil || len(trace) == 0 {
+			b.Fatalf("trace %d err %v", len(trace), err)
+		}
+	}
+}
+
+// BenchmarkWorkshopRepairStudy measures the E7 DTC-vs-BIST comparison.
+func BenchmarkWorkshopRepairStudy(b *testing.B) {
+	spec, err := casestudy.Build(casestudy.Options{ProfilesPerECU: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	dec, err := core.NewGreedyDecoder(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := make([]float64, dec.GenotypeLen())
+	for i := range g {
+		g[i] = 0.9
+	}
+	x, err := dec.Decode(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f := dtc.FunctionalRepairStudy(x, 0.47)
+		bi := dtc.BISTRepairStudy(x, 0.47)
+		if bi.FirstTryRate <= f.FirstTryRate {
+			b.Fatal("BIST lost the repair study")
+		}
+	}
+}
+
+// BenchmarkPeriodicSchedule measures the E9 parking-event planner.
+func BenchmarkPeriodicSchedule(b *testing.B) {
+	spec, err := casestudy.Small(3, 4, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dec, err := core.NewGreedyDecoder(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dec.StorageChoice = -1
+	g := make([]float64, dec.GenotypeLen())
+	for i := range g {
+		g[i] = 0.9
+	}
+	x, err := dec.Decode(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		plan := schedule.PeriodicTest(x, 2000)
+		if len(plan.PerECU) == 0 {
+			b.Fatal("empty plan")
+		}
+	}
+}
+
+// BenchmarkSATDecodeCaseStudy measures one SAT-decoding pass on the
+// case study's constraint system (4 profiles per ECU) — the paper's
+// own evaluation path.
+func BenchmarkSATDecodeCaseStudy(b *testing.B) {
+	spec, err := casestudy.Build(casestudy.Options{ProfilesPerECU: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	dec, err := core.NewSATDecoder(spec, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	g := make([]float64, dec.GenotypeLen())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range g {
+			g[j] = rng.Float64()
+		}
+		if _, err := dec.Decode(g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,100 @@
+// Command bistprof regenerates the paper's Table I: it characterizes
+// mixed-mode BIST profiles (pseudo-random phase + PODEM deterministic
+// top-off) on a synthetic full-scan CUT, optionally scaling the
+// measured costs to the dimensions of the paper's Infineon processor.
+//
+// Usage:
+//
+//	bistprof [-chains 10] [-chainlen 12] [-gates-per-ff 4] [-seed 5]
+//	         [-levels 64,256,1024,4096] [-scale] [-paper]
+//
+// -paper skips measurement and prints the embedded Table I instead.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/bistgen"
+	"repro/internal/casestudy"
+	"repro/internal/netlist"
+	"repro/internal/report"
+	"repro/internal/stumps"
+)
+
+func main() {
+	var (
+		chains     = flag.Int("chains", 10, "scan chains")
+		chainLen   = flag.Int("chainlen", 12, "cells per chain")
+		gatesPerFF = flag.Int("gates-per-ff", 4, "random logic gates per scan cell")
+		seed       = flag.Int64("seed", 5, "circuit generation seed")
+		levels     = flag.String("levels", "64,256,1024,4096", "comma-separated PRP levels")
+		scale      = flag.Bool("scale", false, "scale measured profiles to the paper's CUT dimensions")
+		paper      = flag.Bool("paper", false, "print the embedded paper Table I and exit")
+		reseedW    = flag.Int("reseed", 0, "size deterministic data with an LFSR-reseeding encoder of this seed width (0 = heuristic)")
+		transition = flag.Bool("transition", false, "additionally measure broadside transition-fault coverage")
+	)
+	flag.Parse()
+
+	if *paper {
+		report.WriteTableI(os.Stdout, casestudy.TableI())
+		return
+	}
+
+	prpLevels, err := parseLevels(*levels)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := stumps.Config{
+		Chains: *chains, ChainLen: *chainLen, Seed: 17,
+		WindowPatterns: 32, RestoreCycles: 200, TestClockHz: 40e6,
+	}
+	cut := netlist.ScanCUT(*seed, *chains, *chainLen, *gatesPerFF)
+	stats := cut.Stats()
+	fmt.Printf("synthetic CUT: %d gates, %d scan cells (%d chains x %d), %d collapsed faults\n\n",
+		stats.Gates, cut.NumInputs(), *chains, *chainLen, stats.Faults)
+
+	gen, err := bistgen.New(cut, bistgen.Options{Scan: cfg, MaxBacktracks: 150, ReseedWidth: *reseedW, MeasureTransition: *transition})
+	if err != nil {
+		fatal(err)
+	}
+	profiles, err := gen.Characterize(prpLevels, bistgen.DefaultTargets())
+	if err != nil {
+		fatal(err)
+	}
+	if *scale {
+		from := bistgen.CUTDims{ScanCells: cut.NumInputs(), ChainLen: *chainLen, Faults: stats.Faults}
+		for i := range profiles {
+			profiles[i] = bistgen.ScaleToCUT(profiles[i], from, bistgen.PaperCUT)
+		}
+		fmt.Printf("profiles scaled to the paper CUT (%d faults, chain length %d):\n\n",
+			bistgen.PaperCUT.Faults, bistgen.PaperCUT.ChainLen)
+	}
+	report.WriteTableI(os.Stdout, profiles)
+	if *transition {
+		fmt.Println()
+		for _, p := range profiles {
+			fmt.Printf("profile %2d: stuck-at %.2f%%  transition %.2f%%\n", p.Number, p.Coverage*100, p.TransitionCov*100)
+		}
+	}
+}
+
+func parseLevels(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad PRP level %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bistprof:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,211 @@
+// Command eedse runs the paper's design space exploration on the
+// Section IV case study and prints the Fig. 5 Pareto front, the Fig. 6
+// memory split, and the headline summary.
+//
+// Usage:
+//
+//	eedse [-evals 100000] [-pop 128] [-seed 1] [-profiles 36]
+//	      [-decoder greedy|sat] [-threshold 20] [-fig5] [-fig6] [-summary]
+//
+// Without -fig5/-fig6/-summary all three reports are printed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/casestudy"
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/moea"
+	"repro/internal/report"
+)
+
+func main() {
+	var (
+		evals     = flag.Int("evals", 20000, "number of implementations to evaluate (paper: 100000)")
+		pop       = flag.Int("pop", 128, "MOEA population size")
+		seed      = flag.Int64("seed", 1, "optimization seed")
+		profiles  = flag.Int("profiles", 36, "BIST profiles per ECU (1..36)")
+		decoder   = flag.String("decoder", "greedy", "genotype decoder: greedy or sat")
+		threshold = flag.Float64("threshold", 20, "Fig. 5 shut-off marker threshold in seconds")
+		fig5      = flag.Bool("fig5", false, "print the Fig. 5 scatter")
+		fig6      = flag.Bool("fig6", false, "print the Fig. 6 memory split")
+		summary   = flag.Bool("summary", false, "print the headline summary")
+		small     = flag.Bool("small", false, "use the reduced 3-ECU subnet instead of the full case study")
+		specPath  = flag.String("spec", "", "load the specification from this JSON file instead of the built-in case study")
+		dumpSpec  = flag.String("dump-spec", "", "write the built specification as JSON to this file and exit")
+		storage   = flag.String("storage", "free", "pattern storage ablation: free, local, gateway")
+		optimizer = flag.String("optimizer", "nsga2", "optimizer: nsga2 or random (ablation)")
+		sbst      = flag.String("sbst", "off", "SBST alternative: off, add (BIST+SBST) or only")
+		fd        = flag.Int("fd", 0, "future-architecture variant: CAN FD buses with this container payload (e.g. 64; 0 = classic CAN)")
+		workers   = flag.Int("workers", 1, "parallel evaluation goroutines")
+		csvPath   = flag.String("csv", "", "write the Pareto front as CSV to this file")
+		epsilon   = flag.String("epsilon", "", "comma-separated \u03b5-archive box sizes per objective (cost,-quality,shutoff_ms)")
+	)
+	flag.Parse()
+	if !*fig5 && !*fig6 && !*summary {
+		*fig5, *fig6, *summary = true, true, true
+	}
+
+	var spec *model.Specification
+	var err error
+	if *specPath != "" {
+		f, ferr := os.Open(*specPath)
+		if ferr != nil {
+			fatal(ferr)
+		}
+		spec, err = model.ReadJSON(f)
+		f.Close()
+	} else {
+		spec, err = buildSpec(*small, *profiles, *sbst, *fd)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	if *dumpSpec != "" {
+		f, ferr := os.Create(*dumpSpec)
+		if ferr != nil {
+			fatal(ferr)
+		}
+		if err := spec.WriteJSON(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote specification to %s\n", *dumpSpec)
+		return
+	}
+	var dec core.Decoder
+	switch *decoder {
+	case "greedy":
+		gd, gerr := core.NewGreedyDecoder(spec)
+		if gerr == nil {
+			switch *storage {
+			case "free":
+			case "local":
+				gd.StorageChoice = 1
+			case "gateway":
+				gd.StorageChoice = -1
+			default:
+				gerr = fmt.Errorf("unknown storage mode %q", *storage)
+			}
+		}
+		dec, err = gd, gerr
+	case "sat":
+		if *storage != "free" {
+			fatal(fmt.Errorf("-storage ablation requires the greedy decoder"))
+		}
+		dec, err = core.NewSATDecoder(spec, 0)
+	default:
+		err = fmt.Errorf("unknown decoder %q", *decoder)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	gens := *evals / *pop
+	if gens < 1 {
+		gens = 1
+	}
+	name := specName(*small)
+	if *specPath != "" {
+		name = *specPath
+	}
+	fmt.Printf("exploring %s with %s decoder (%s, storage=%s, sbst=%s): pop=%d generations=%d (~%d evaluations)\n\n",
+		name, *decoder, *optimizer, *storage, *sbst, *pop, gens, *pop+*pop*gens)
+	ex := core.NewExplorer(spec, dec)
+	var res *core.Result
+	switch *optimizer {
+	case "nsga2":
+		var eps []float64
+		if *epsilon != "" {
+			eps, err = parseEpsilon(*epsilon)
+			if err != nil {
+				fatal(err)
+			}
+		}
+		res, err = ex.Run(moea.Options{PopSize: *pop, Generations: gens, Seed: *seed, Workers: *workers, ArchiveEpsilon: eps})
+	case "random":
+		res, err = ex.RunRandom(*pop+*pop*gens, *seed)
+	default:
+		err = fmt.Errorf("unknown optimizer %q", *optimizer)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := report.WriteCSV(f, res); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %d solutions to %s\n\n", len(res.Solutions), *csvPath)
+	}
+	if *summary {
+		report.WriteSummary(os.Stdout, res)
+		report.WriteFrontStats(os.Stdout, res)
+		fmt.Println()
+	}
+	if *fig5 {
+		report.WriteFig5(os.Stdout, res, *threshold*1000)
+		fmt.Println()
+	}
+	if *fig6 {
+		report.WriteFig6(os.Stdout, report.PickFig6(res, 7))
+	}
+}
+
+func buildSpec(small bool, profiles int, sbst string, fd int) (*model.Specification, error) {
+	if small {
+		if sbst != "off" || fd != 0 {
+			return nil, fmt.Errorf("-sbst/-fd require the full case study")
+		}
+		return casestudy.Small(3, profiles, 7)
+	}
+	opts := casestudy.Options{ProfilesPerECU: profiles, FDPayload: fd}
+	switch sbst {
+	case "off":
+	case "add":
+		opts.IncludeSBST = true
+	case "only":
+		opts.IncludeSBST = true
+		opts.ExcludeBIST = true
+	default:
+		return nil, fmt.Errorf("unknown sbst mode %q", sbst)
+	}
+	return casestudy.Build(opts)
+}
+
+func parseEpsilon(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil || v < 0 {
+			return nil, fmt.Errorf("bad epsilon %q", part)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "eedse:", err)
+	os.Exit(1)
+}
+
+func specName(small bool) string {
+	if small {
+		return "reduced 3-ECU subnet"
+	}
+	return "DATE'14 case study (15 ECUs, 3 CAN buses)"
+}

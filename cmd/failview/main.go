@@ -1,0 +1,136 @@
+// Command failview is the workshop/failure-analysis read-out tool: it
+// decodes a gateway fail-memory export (gateway.Export blob) and prints
+// the stored sessions, the ECUs to replace, and per-record details.
+//
+// Usage:
+//
+//	failview -in failmem.bin        # inspect an export
+//	failview -demo -out failmem.bin # generate a demo export and inspect it
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/diagnosis"
+	"repro/internal/faultsim"
+	"repro/internal/gateway"
+	"repro/internal/netlist"
+	"repro/internal/report"
+	"repro/internal/stumps"
+)
+
+func main() {
+	var (
+		in   = flag.String("in", "", "fail-memory export to inspect")
+		out  = flag.String("out", "", "with -demo: also write the generated export here")
+		demo = flag.Bool("demo", false, "generate a demo fleet export (one faulty ECU) instead of reading -in")
+	)
+	flag.Parse()
+
+	var blob []byte
+	switch {
+	case *demo:
+		b, err := buildDemo()
+		if err != nil {
+			fatal(err)
+		}
+		blob = b
+		if *out != "" {
+			if err := os.WriteFile(*out, blob, 0o644); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("wrote demo export (%d bytes) to %s\n\n", len(blob), *out)
+		}
+	case *in != "":
+		b, err := os.ReadFile(*in)
+		if err != nil {
+			fatal(err)
+		}
+		blob = b
+	default:
+		fmt.Fprintln(os.Stderr, "failview: need -in FILE or -demo")
+		os.Exit(2)
+	}
+
+	records, err := gateway.Import(blob)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("fail memory: %d session record(s)\n\n", len(records))
+	var rows [][]string
+	var reports []diagnosis.ECUReport
+	for _, r := range records {
+		verdict := "pass"
+		if !r.Fail.Pass() {
+			verdict = "FAIL"
+		}
+		rows = append(rows, []string{
+			r.ECU,
+			fmt.Sprintf("%d", r.Session),
+			fmt.Sprintf("%d", r.Fail.Windows),
+			fmt.Sprintf("%d", len(r.Fail.Entries)),
+			verdict,
+		})
+		reports = append(reports, diagnosis.ECUReport{ECU: r.ECU, Fail: r.Fail})
+	}
+	report.Table(os.Stdout, []string{"ecu", "session", "windows", "failing", "verdict"}, rows)
+
+	located := diagnosis.LocateFaultyECUs(reports)
+	if len(located) == 0 {
+		fmt.Println("\nworkshop verdict: no unit to replace")
+		return
+	}
+	fmt.Printf("\nworkshop verdict: replace %v\n", located)
+	for _, r := range records {
+		if r.Fail.Pass() {
+			continue
+		}
+		fmt.Printf("\n%s failing windows (for failure analysis):\n", r.ECU)
+		for _, e := range r.Fail.Entries {
+			fmt.Printf("  window %3d: got %08x, want %08x\n", e.Window, e.Got, e.Want)
+		}
+	}
+}
+
+// buildDemo runs a small fleet with one injected fault and exports the
+// gateway fail memory.
+func buildDemo() ([]byte, error) {
+	cfg := stumps.Config{Chains: 6, ChainLen: 8, Seed: 9, WindowPatterns: 16}
+	const nPatterns = 128
+	var collector gateway.Collector
+	for i := 0; i < 4; i++ {
+		cut := netlist.ScanCUT(int64(40+i), cfg.Chains, cfg.ChainLen, 4)
+		session, err := stumps.NewSession(cut, cfg)
+		if err != nil {
+			return nil, err
+		}
+		fd := stumps.FailData{Windows: nPatterns / cfg.WindowPatterns}
+		if i == 2 {
+			fs := faultsim.NewFaultSim(cut, netlist.CollapsedFaults(cut))
+			prpg, err := stumps.NewPRPG(cfg)
+			if err != nil {
+				return nil, err
+			}
+			if _, err := fs.RunCoverage(prpg, nPatterns); err != nil {
+				return nil, err
+			}
+			dets := fs.Detections()
+			if len(dets) == 0 {
+				return nil, fmt.Errorf("demo CUT has no detectable fault")
+			}
+			fd, err = session.RunDiagnostic(nPatterns, dets[0].Fault)
+			if err != nil {
+				return nil, err
+			}
+		}
+		collector.Ingest(fmt.Sprintf("ecu%02d", i+1), fd)
+	}
+	return collector.Export()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "failview:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,11 @@
+// Package repro reproduces "Non-Intrusive Integration of Advanced
+// Diagnosis Features in Automotive E/E-Architectures" (Abelein et al.,
+// DATE 2014): a design space exploration that integrates BIST-based
+// structural diagnosis into automotive E/E-architectures without
+// affecting functional applications or certified bus schedules.
+//
+// The library lives under internal/ (one package per subsystem, see
+// DESIGN.md), the executables under cmd/, runnable walk-throughs under
+// examples/, and the per-table/figure benchmark harness in
+// bench_test.go and experiments_test.go at the repository root.
+package repro

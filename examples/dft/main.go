@@ -1,0 +1,131 @@
+// DfT tour: the complete design-for-test substrate of the
+// reproduction, end to end on one circuit —
+//
+//  1. a sequential design is scan-inserted (SeqBuilder → full-scan core),
+//
+//  2. exported and re-imported through the ISCAS .bench format,
+//
+//  3. characterized into mixed-mode BIST profiles (LFSR fault
+//     simulation + PODEM top-off),
+//
+//  4. with the deterministic cubes compressed into LFSR reseeding
+//     seeds, and
+//
+//  5. a STUMPS session producing the fail data a faulty device would
+//     ship to the gateway.
+//
+//     go run ./examples/dft
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"strings"
+
+	"repro/internal/atpg"
+	"repro/internal/bistgen"
+	"repro/internal/faultsim"
+	"repro/internal/netlist"
+	"repro/internal/reseed"
+	"repro/internal/stumps"
+)
+
+func main() {
+	// 1. Sequential design → full-scan core.
+	seq := netlist.Counter(22) // 22 flops + enable = 23 cells
+	core, layout, err := seq.BuildFullScan(4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("scan insertion: %d cells in %d chains of %d (%d pad)\n",
+		core.NumInputs(), layout.Chains, layout.ChainLen, len(layout.PadCells))
+
+	// 2. Round-trip through the .bench exchange format.
+	var bench strings.Builder
+	if err := netlist.WriteBench(&bench, core); err != nil {
+		log.Fatal(err)
+	}
+	cut, err := netlist.ParseBench("counter22.scan", strings.NewReader(bench.String()))
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := cut.Stats()
+	fmt.Printf(".bench round-trip: %d gates, %d collapsed faults\n\n", st.Gates, st.Faults)
+
+	// 3. Mixed-mode BIST profiles.
+	cfg := stumps.Config{
+		Chains: layout.Chains, ChainLen: layout.ChainLen, Seed: 7,
+		WindowPatterns: 32, RestoreCycles: 100, TestClockHz: 40e6,
+	}
+	gen, err := bistgen.New(cut, bistgen.Options{Scan: cfg, MaxBacktracks: 200, MeasureTransition: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	profiles, err := gen.Characterize([]int{32, 256}, bistgen.DefaultTargets())
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, p := range profiles {
+		fmt.Printf("%v  (transition %.1f%%)\n", p, p.TransitionCov*100)
+	}
+
+	// 4. Deterministic cube → reseeding seed → verified expansion.
+	faults := layout.TestableFaults(cut, netlist.CollapsedFaults(cut))
+	podem := atpg.NewGenerator(cut, 200)
+	enc, err := reseed.NewEncoder(64, layout.Chains, layout.ChainLen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	encoded := 0
+	for _, f := range faults {
+		cube, status := podem.Generate(f)
+		if status != atpg.Detected {
+			continue
+		}
+		seed, err := enc.EncodeCube(cube)
+		if err != nil {
+			continue
+		}
+		if !enc.Verify(cube, seed) {
+			log.Fatalf("seed for %v does not reproduce its cube", f)
+		}
+		if encoded == 0 {
+			fmt.Printf("reseeding: fault %v, cube %s (%d care bits) -> %d-bit seed\n",
+				f, cube, cube.CareBits(), enc.D.Width)
+		}
+		encoded++
+		if encoded == 16 {
+			break
+		}
+	}
+	fmt.Printf("reseeding: %d cubes encoded at width %d\n\n", encoded, enc.D.Width)
+
+	// 5. STUMPS session with an injected fault: the fail data the ECU
+	//    would ship to the gateway during operational shut-off.
+	session, err := stumps.NewSession(cut, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fs := faultsim.NewFaultSim(cut, faults)
+	prpg, err := stumps.NewPRPG(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := fs.RunCoverage(prpg, 256); err != nil {
+		log.Fatal(err)
+	}
+	dets := fs.Detections()
+	if len(dets) == 0 {
+		log.Fatal("no detectable fault")
+	}
+	rng := rand.New(rand.NewSource(1))
+	injected := dets[rng.Intn(len(dets))].Fault
+	fd, err := session.RunDiagnostic(256, injected)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("session: injected %v -> %d of %d windows fail, %d bytes of fail data (session %.3f ms)\n",
+		injected, len(fd.Entries), fd.Windows, fd.SizeBytes(cfg.MISRWidth), session.SessionTimeMS(256))
+}

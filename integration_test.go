@@ -1,0 +1,174 @@
+package repro
+
+// Full-stack integration: a sequential design is scan-inserted, its
+// BIST profiles are measured with real fault simulation and ATPG, the
+// profiles become optional diagnostic tasks of an E/E-architecture
+// specification, and the design space exploration trades them off —
+// the complete pipeline of the paper's Fig. 2 with no canned data.
+
+import (
+	"testing"
+
+	"repro/internal/atpg"
+	"repro/internal/bistgen"
+	"repro/internal/casestudy"
+	"repro/internal/core"
+	"repro/internal/faultsim"
+	"repro/internal/moea"
+	"repro/internal/netlist"
+	"repro/internal/reseed"
+	"repro/internal/simulate"
+	"repro/internal/stumps"
+)
+
+func TestFullStackSequentialToDSE(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline")
+	}
+	// 1. Sequential design → full-scan core. A 30-bit counter plus its
+	//    enable pin lands on 31 cells; 4 chains of 8 with one pad cell.
+	c, layout, err := netlist.Counter(30).BuildFullScan(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumInputs() != layout.Chains*layout.ChainLen {
+		t.Fatalf("scan shape %d != %dx%d", c.NumInputs(), layout.Chains, layout.ChainLen)
+	}
+
+	// 2. Measure BIST profiles on the scan core (LFSR + PODEM +
+	//    reseeding encoder).
+	cfg := stumps.Config{
+		Chains: layout.Chains, ChainLen: layout.ChainLen, Seed: 11,
+		WindowPatterns: 32, RestoreCycles: 100, TestClockHz: 40e6,
+	}
+	gen, err := bistgen.New(c, bistgen.Options{Scan: cfg, MaxBacktracks: 200, ReseedWidth: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	profiles, err := gen.Characterize([]int{32, 128, 512}, bistgen.DefaultTargets())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(profiles) != 12 {
+		t.Fatalf("profiles = %d", len(profiles))
+	}
+	for _, p := range profiles {
+		if p.Coverage <= 0.5 {
+			t.Fatalf("profile %d coverage %.2f implausibly low", p.Number, p.Coverage)
+		}
+	}
+
+	// 3. Build a subnet whose ECUs offer the measured (not embedded)
+	//    profiles, scaled to automotive data magnitudes so the storage
+	//    tradeoff is non-trivial.
+	from := bistgen.CUTDims{ScanCells: c.NumInputs(), ChainLen: layout.ChainLen, Faults: gen.TotalFaults()}
+	scaled := make([]bistgen.Profile, len(profiles))
+	for i, p := range profiles {
+		scaled[i] = bistgen.ScaleToCUT(p, from, bistgen.PaperCUT)
+		scaled[i].Number = i + 1
+	}
+	spec, err := casestudy.Build(casestudy.Options{Profiles: scaled, ProfilesPerECU: len(scaled)})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// 4. Explore and sanity-check the outcome.
+	dec, err := core.NewGreedyDecoder(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := core.NewExplorer(spec, dec)
+	ex.Verify = true
+	res, err := ex.Run(moea.Options{PopSize: 48, Generations: 30, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Solutions) < 5 {
+		t.Fatalf("front = %d", len(res.Solutions))
+	}
+	maxQ := 0.0
+	for _, s := range res.Solutions {
+		if s.Objectives.TestQuality > maxQ {
+			maxQ = s.Objectives.TestQuality
+		}
+	}
+	if maxQ <= 0.4 {
+		t.Fatalf("max quality %.2f — measured profiles never selected", maxQ)
+	}
+
+	// 5. Cross-validate one solution's shut-off analytically vs the
+	//    discrete-event simulation.
+	for _, s := range res.Solutions {
+		if s.Objectives.TestQuality == 0 {
+			continue
+		}
+		rep, err := simulate.ShutOff(s.Impl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rep.Traces) == 0 {
+			continue
+		}
+		for _, tr := range rep.Traces {
+			if tr.TransferMS > 0 && (tr.CompleteMS < 0.4*tr.AnalyticMS || tr.CompleteMS > 2*tr.AnalyticMS+500) {
+				t.Fatalf("ECU %s: simulated %.1f ms far from analytic %.1f ms", tr.ECU, tr.CompleteMS, tr.AnalyticMS)
+			}
+		}
+		break
+	}
+}
+
+// TestReseedingRoundTripOnScanCore: encode a PODEM cube for the scan
+// core and confirm the decompressed pattern detects the targeted fault
+// — the encoded deterministic test data is genuinely executable.
+func TestReseedingRoundTripOnScanCore(t *testing.T) {
+	c, layout, err := netlist.Counter(20).BuildFullScan(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faults := layout.TestableFaults(c, netlist.CollapsedFaults(c))
+	if len(faults) == 0 {
+		t.Fatal("no testable faults")
+	}
+	enc, err := reseed.NewEncoder(96, layout.Chains, layout.ChainLen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := atpg.NewGenerator(c, 200)
+	encodedAny := false
+	limit := 10
+	if len(faults) < limit {
+		limit = len(faults)
+	}
+	for _, f := range faults[:limit] {
+		cube, status := gen.Generate(f)
+		if status != atpg.Detected {
+			continue
+		}
+		seed, err := enc.EncodeCube(cube)
+		if err != nil {
+			continue // too many care bits for this width
+		}
+		encodedAny = true
+		if !enc.Verify(cube, seed) {
+			t.Fatalf("seed for %v does not reproduce the cube", f)
+		}
+		// The decompressed pattern must actually detect the fault.
+		pattern := enc.D.Expand(seed)
+		fs := faultsim.NewFaultSim(c, []netlist.Fault{f})
+		batch, err := faultsim.BatchFromBools([][]bool{pattern})
+		if err != nil {
+			t.Fatal(err)
+		}
+		dets, err := fs.SimulateBatch(batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(dets) != 1 {
+			t.Fatalf("decompressed pattern misses fault %v", f)
+		}
+	}
+	if !encodedAny {
+		t.Fatal("no cube encodable at width 96")
+	}
+}

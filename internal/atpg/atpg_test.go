@@ -1,0 +1,288 @@
+package atpg
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/faultsim"
+	"repro/internal/netlist"
+)
+
+func TestValBasics(t *testing.T) {
+	if Zero.Not() != One || One.Not() != Zero || X.Not() != X {
+		t.Fatal("Not wrong")
+	}
+	if FromBool(true) != One || FromBool(false) != Zero {
+		t.Fatal("FromBool wrong")
+	}
+	if Zero.String() != "0" || One.String() != "1" || X.String() != "X" {
+		t.Fatal("String wrong")
+	}
+	if One.Bool() != true || Zero.Bool() != false {
+		t.Fatal("Bool wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Bool() on X did not panic")
+		}
+	}()
+	_ = X.Bool()
+}
+
+func TestEval3AgainstEval(t *testing.T) {
+	types := []netlist.GateType{netlist.Buf, netlist.Not, netlist.And, netlist.Nand, netlist.Or, netlist.Nor, netlist.Xor, netlist.Xnor}
+	f := func(raw []byte) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		for _, ty := range types {
+			n := len(raw)
+			if ty == netlist.Buf || ty == netlist.Not {
+				n = 1
+			}
+			if n > 4 {
+				n = 4
+			}
+			in := make([]Val, n)
+			anyX := false
+			for i := 0; i < n; i++ {
+				in[i] = Val(raw[i] % 3)
+				if in[i] == X {
+					anyX = true
+				}
+			}
+			got := eval3(ty, in)
+			if !anyX {
+				bin := make([]bool, n)
+				for i := range bin {
+					bin[i] = in[i] == One
+				}
+				if got == X || got.Bool() != ty.Eval(bin) {
+					return false
+				}
+				continue
+			}
+			// With X inputs, the result must be consistent with every
+			// completion: if eval3 says definite v, all completions give v.
+			if got == X {
+				continue
+			}
+			if !allCompletionsEqual(ty, in, got.Bool()) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func allCompletionsEqual(ty netlist.GateType, in []Val, want bool) bool {
+	xPos := []int{}
+	bin := make([]bool, len(in))
+	for i, v := range in {
+		if v == X {
+			xPos = append(xPos, i)
+		} else {
+			bin[i] = v == One
+		}
+	}
+	for m := 0; m < 1<<len(xPos); m++ {
+		for k, p := range xPos {
+			bin[p] = m>>uint(k)&1 == 1
+		}
+		if ty.Eval(bin) != want {
+			return false
+		}
+	}
+	return true
+}
+
+func TestCubeHelpers(t *testing.T) {
+	c := Cube{One, X, Zero, X}
+	if c.CareBits() != 2 {
+		t.Fatalf("CareBits = %d", c.CareBits())
+	}
+	if c.String() != "1X0X" {
+		t.Fatalf("String = %q", c.String())
+	}
+	filled := c.Fill(func() bool { return true })
+	want := []bool{true, true, false, true}
+	for i := range want {
+		if filled[i] != want[i] {
+			t.Fatalf("Fill = %v", filled)
+		}
+	}
+}
+
+// TestPODEMOnAnd2 checks the textbook case: testing a/sa0 on AND(a,b)
+// requires a=1, b=1.
+func TestPODEMOnAnd2(t *testing.T) {
+	b := netlist.NewBuilder("and2")
+	a := b.Input("a")
+	bb := b.Input("b")
+	g := b.Gate(netlist.And, "g", a, bb)
+	b.Output(g)
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := NewGenerator(c, 100)
+	cube, status := gen.Generate(netlist.Fault{Gate: a, Pin: netlist.StemPin, Stuck: false})
+	if status != Detected {
+		t.Fatalf("status = %v", status)
+	}
+	if cube[0] != One || cube[1] != One {
+		t.Fatalf("cube = %v, want 11", cube)
+	}
+}
+
+// TestPODEMFindsRedundancy: in y = OR(a, NOT a) the output is constant
+// 1, so y/sa1 is undetectable.
+func TestPODEMFindsRedundancy(t *testing.T) {
+	b := netlist.NewBuilder("red")
+	a := b.Input("a")
+	na := b.Gate(netlist.Not, "na", a)
+	y := b.Gate(netlist.Or, "y", a, na)
+	b.Output(y)
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := NewGenerator(c, 1000)
+	_, status := gen.Generate(netlist.Fault{Gate: y, Pin: netlist.StemPin, Stuck: true})
+	if status != Redundant {
+		t.Fatalf("status = %v, want redundant", status)
+	}
+	// y/sa0 must be detectable by any pattern.
+	cube, status := gen.Generate(netlist.Fault{Gate: y, Pin: netlist.StemPin, Stuck: false})
+	if status != Detected {
+		t.Fatalf("sa0 status = %v", status)
+	}
+	_ = cube
+}
+
+// TestPODEMCubesVerifiedBySimulation generates cubes for every
+// collapsed fault of several circuits and validates each cube with the
+// independent fault simulator.
+func TestPODEMCubesVerifiedBySimulation(t *testing.T) {
+	circuits := []*netlist.Circuit{
+		netlist.C17(),
+		netlist.RippleAdder(4),
+		netlist.Random(11, netlist.RandomOptions{Inputs: 10, Gates: 80, Outputs: 8}),
+	}
+	rng := rand.New(rand.NewSource(5))
+	for _, c := range circuits {
+		gen := NewGenerator(c, 200)
+		for _, f := range netlist.CollapsedFaults(c) {
+			cube, status := gen.Generate(f)
+			if status != Detected {
+				continue // redundant or aborted: nothing to verify
+			}
+			pattern := cube.Fill(func() bool { return rng.Intn(2) == 1 })
+			fs := faultsim.NewFaultSim(c, []netlist.Fault{f})
+			batch, err := faultsim.BatchFromBools([][]bool{pattern})
+			if err != nil {
+				t.Fatal(err)
+			}
+			dets, err := fs.SimulateBatch(batch)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(dets) != 1 {
+				t.Fatalf("%s: cube %v for fault %v not confirmed by simulation", c.Name, cube, f)
+			}
+		}
+	}
+}
+
+// TestPODEMFullCoverageC17: c17 is fully testable, so PODEM alone must
+// reach 100% coverage.
+func TestPODEMFullCoverageC17(t *testing.T) {
+	c := netlist.C17()
+	faults := netlist.CollapsedFaults(c)
+	ts, err := GenerateAll(c, faults, rand.New(rand.NewSource(1)), 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts.Redundant) != 0 || len(ts.Aborted) != 0 {
+		t.Fatalf("redundant %v aborted %v on fully testable c17", ts.Redundant, ts.Aborted)
+	}
+	if ts.Detected != len(faults) {
+		t.Fatalf("detected %d of %d", ts.Detected, len(faults))
+	}
+	if ts.Coverage(len(faults)) != 1 {
+		t.Fatalf("coverage = %v", ts.Coverage(len(faults)))
+	}
+	// Compaction: far fewer patterns than faults.
+	if len(ts.Patterns) >= len(faults) {
+		t.Fatalf("no cross-detection compaction: %d patterns for %d faults", len(ts.Patterns), len(faults))
+	}
+	if ts.CareBits <= 0 {
+		t.Fatal("no care bits recorded")
+	}
+}
+
+// TestGenerateAllAdder exercises the full flow on an arithmetic circuit
+// where XOR chains make backtrace harder.
+func TestGenerateAllAdder(t *testing.T) {
+	c := netlist.RippleAdder(6)
+	faults := netlist.CollapsedFaults(c)
+	ts, err := GenerateAll(c, faults, rand.New(rand.NewSource(2)), 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cov := ts.Coverage(len(faults))
+	if cov < 0.99 {
+		t.Fatalf("adder coverage = %v (aborted %d, redundant %d)", cov, len(ts.Aborted), len(ts.Redundant))
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	if Detected.String() != "detected" || Redundant.String() != "redundant" || Aborted.String() != "aborted" {
+		t.Fatal("Status.String wrong")
+	}
+}
+
+// TestCubeFillProperty: Fill preserves every care bit and replaces
+// exactly the X positions.
+func TestCubeFillProperty(t *testing.T) {
+	f := func(raw []byte, fillBits uint64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		if len(raw) > 64 {
+			raw = raw[:64]
+		}
+		cube := make(Cube, len(raw))
+		for i, b := range raw {
+			cube[i] = Val(b % 3)
+		}
+		k := 0
+		filled := cube.Fill(func() bool {
+			v := fillBits>>uint(k%64)&1 == 1
+			k++
+			return v
+		})
+		xSeen := 0
+		for i, v := range cube {
+			switch v {
+			case X:
+				if filled[i] != (fillBits>>uint(xSeen%64)&1 == 1) {
+					return false
+				}
+				xSeen++
+			default:
+				if filled[i] != v.Bool() {
+					return false
+				}
+			}
+		}
+		return k == xSeen && cube.CareBits() == len(cube)-xSeen
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,312 @@
+package atpg
+
+import (
+	"sort"
+
+	"repro/internal/netlist"
+)
+
+// Status classifies the outcome of a PODEM run for one fault.
+type Status int
+
+const (
+	// Detected means a test cube was found.
+	Detected Status = iota
+	// Redundant means the decision tree was exhausted: no test exists.
+	Redundant
+	// Aborted means the backtrack limit was hit before a verdict.
+	Aborted
+)
+
+// String returns the outcome mnemonic.
+func (s Status) String() string {
+	switch s {
+	case Detected:
+		return "detected"
+	case Redundant:
+		return "redundant"
+	default:
+		return "aborted"
+	}
+}
+
+// Generator runs PODEM on one circuit. It is not safe for concurrent
+// use; create one generator per goroutine.
+type Generator struct {
+	c             *netlist.Circuit
+	MaxBacktracks int
+
+	good    []Val
+	faulty  []Val
+	inPos   map[int]int // gate ID of input -> position in Inputs
+	scratch []Val
+	// scoap guides backtrace (controllability) and D-frontier choice
+	// (observability).
+	scoap *netlist.Testability
+}
+
+// NewGenerator returns a PODEM generator with the given backtrack
+// limit (a typical value is 100; higher finds more redundancies).
+func NewGenerator(c *netlist.Circuit, maxBacktracks int) *Generator {
+	if maxBacktracks <= 0 {
+		maxBacktracks = 100
+	}
+	inPos := make(map[int]int, c.NumInputs())
+	for i, id := range c.Inputs {
+		inPos[id] = i
+	}
+	return &Generator{
+		c:             c,
+		MaxBacktracks: maxBacktracks,
+		good:          make([]Val, c.NumGates()),
+		faulty:        make([]Val, c.NumGates()),
+		inPos:         inPos,
+		scratch:       make([]Val, 8),
+		scoap:         netlist.AnalyzeTestability(c),
+	}
+}
+
+// decision is one PI assignment on the PODEM decision stack.
+type decision struct {
+	pi      int // gate ID of the input
+	val     Val
+	flipped bool // both branches tried
+}
+
+// Generate attempts to derive a test cube for fault f. The returned
+// status says whether the cube is valid (Detected), the fault is proven
+// untestable (Redundant), or the search gave up (Aborted).
+func (g *Generator) Generate(f netlist.Fault) (Cube, Status) {
+	assign := make(map[int]Val) // PI gate ID -> value
+	var stack []decision
+	backtracks := 0
+
+	for {
+		g.simulate(f, assign)
+		if g.detectedAtOutput() {
+			cube := make(Cube, g.c.NumInputs())
+			for i := range cube {
+				cube[i] = X
+			}
+			for pi, v := range assign {
+				cube[g.inPos[pi]] = v
+			}
+			return cube, Detected
+		}
+		objGate, objVal, feasible := g.objective(f)
+		if feasible {
+			pi, v := g.backtrace(objGate, objVal)
+			if pi >= 0 {
+				assign[pi] = v
+				stack = append(stack, decision{pi: pi, val: v})
+				continue
+			}
+			// No X-path to any input: treat as conflict.
+		}
+		// Conflict: flip the most recent unflipped decision.
+		flipped := false
+		for len(stack) > 0 {
+			top := &stack[len(stack)-1]
+			if !top.flipped {
+				top.flipped = true
+				top.val = top.val.Not()
+				assign[top.pi] = top.val
+				flipped = true
+				backtracks++
+				break
+			}
+			delete(assign, top.pi)
+			stack = stack[:len(stack)-1]
+		}
+		if !flipped {
+			return nil, Redundant
+		}
+		if backtracks > g.MaxBacktracks {
+			return nil, Aborted
+		}
+	}
+}
+
+// simulate performs the composite good/faulty three-valued simulation
+// under the partial PI assignment, forcing the fault in the faulty
+// machine.
+func (g *Generator) simulate(f netlist.Fault, assign map[int]Val) {
+	stuck := FromBool(f.Stuck)
+	for _, id := range g.c.Inputs {
+		v, ok := assign[id]
+		if !ok {
+			v = X
+		}
+		g.good[id] = v
+		fv := v
+		if f.Pin == netlist.StemPin && id == f.Gate {
+			fv = stuck
+		}
+		g.faulty[id] = fv
+	}
+	for _, id := range g.c.Order() {
+		gate := &g.c.Gates[id]
+		n := len(gate.Fanin)
+		if n > len(g.scratch) {
+			g.scratch = make([]Val, n)
+		}
+		in := g.scratch[:n]
+		for i, src := range gate.Fanin {
+			in[i] = g.good[src]
+		}
+		g.good[id] = eval3(gate.Type, in)
+		for i, src := range gate.Fanin {
+			in[i] = g.faulty[src]
+			if f.Pin != netlist.StemPin && id == f.Gate && i == f.Pin {
+				in[i] = stuck
+			}
+		}
+		fv := eval3(gate.Type, in)
+		if f.Pin == netlist.StemPin && id == f.Gate {
+			fv = stuck
+		}
+		g.faulty[id] = fv
+	}
+}
+
+// detectedAtOutput reports whether any output carries a definite
+// good/faulty difference (a D or D').
+func (g *Generator) detectedAtOutput() bool {
+	for _, id := range g.c.Outputs {
+		gv, fv := g.good[id], g.faulty[id]
+		if gv != X && fv != X && gv != fv {
+			return true
+		}
+	}
+	return false
+}
+
+// objective returns the next (gate, value) goal: activate the fault if
+// it is not yet activated, otherwise advance the D-frontier. feasible is
+// false when no progress is possible on this branch.
+func (g *Generator) objective(f netlist.Fault) (gate int, val Val, feasible bool) {
+	site := f.Gate
+	if f.Pin != netlist.StemPin {
+		site = g.c.Gates[f.Gate].Fanin[f.Pin]
+	}
+	want := FromBool(!f.Stuck)
+	switch g.good[site] {
+	case X:
+		// Activate: drive the fault site to the opposite of the stuck
+		// value.
+		return site, want, true
+	case want:
+		// Activated; advance the D-frontier below.
+	default:
+		// Good value equals the stuck value: fault can never be
+		// activated on this branch.
+		return 0, X, false
+	}
+
+	// D-frontier: gates with X output whose fanin carries a definite
+	// good/faulty difference. Choose the most observable (SCOAP CO) for
+	// the shortest sensitization effort.
+	best := -1
+	for _, id := range g.frontier(f) {
+		if best == -1 || g.scoap.CO[id] < g.scoap.CO[best] {
+			best = id
+		}
+	}
+	if best == -1 {
+		return 0, X, false
+	}
+	gt := g.c.Gates[best].Type
+	cv, hasCV := gt.ControllingValue()
+	objV := One
+	if hasCV {
+		objV = FromBool(!cv)
+	}
+	for _, src := range g.c.Gates[best].Fanin {
+		if g.good[src] == X {
+			return src, objV, true
+		}
+	}
+	return 0, X, false
+}
+
+// frontier returns the D-frontier: gates whose composite output is not
+// yet determined (good or faulty still X) while at least one fanin
+// carries a definite good/faulty difference. For an input-pin (branch)
+// fault the difference lives on the branch wire rather than on any gate
+// stem, so the reader gate is checked against the forced pin directly.
+func (g *Generator) frontier(f netlist.Fault) []int {
+	var out []int
+	for _, id := range g.c.Order() {
+		if g.good[id] != X && g.faulty[id] != X {
+			continue
+		}
+		if f.Pin != netlist.StemPin && id == f.Gate {
+			driver := g.c.Gates[id].Fanin[f.Pin]
+			if g.good[driver] != X && g.good[driver] != FromBool(f.Stuck) {
+				out = append(out, id)
+				continue
+			}
+		}
+		for _, src := range g.c.Gates[id].Fanin {
+			if g.good[src] != X && g.faulty[src] != X && g.good[src] != g.faulty[src] {
+				out = append(out, id)
+				break
+			}
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// backtrace maps an objective (gate, value) back to an unassigned
+// primary input and the value to try there, following X-valued fanins
+// and accounting for inversions. Fanin choice uses the classic SCOAP
+// heuristic: when a single controlling input suffices, take the easiest
+// to control; when every input must carry the value, take the hardest
+// first so infeasible branches fail fast. It returns pi = -1 when no
+// X-path to an input exists.
+func (g *Generator) backtrace(gate int, val Val) (pi int, v Val) {
+	cur, cv := gate, val
+	for steps := 0; steps <= g.c.NumGates(); steps++ {
+		gt := &g.c.Gates[cur]
+		if gt.Type == netlist.Input {
+			return cur, cv
+		}
+		if gt.Type.Inverting() {
+			cv = cv.Not()
+		}
+		oneSuffices := false
+		if ctrl, has := gt.Type.ControllingValue(); has && cv != X {
+			oneSuffices = cv.Bool() == ctrl
+		}
+		next := -1
+		nextCost := 0
+		for _, src := range gt.Fanin {
+			if g.good[src] != X {
+				continue
+			}
+			cost := g.scoap.Controllability(src, cv == One)
+			if cv == X {
+				cost = minCost(g.scoap.CC0[src], g.scoap.CC1[src])
+			}
+			better := next == -1 ||
+				(oneSuffices && cost < nextCost) ||
+				(!oneSuffices && cost > nextCost)
+			if better {
+				next, nextCost = src, cost
+			}
+		}
+		if next == -1 {
+			return -1, X
+		}
+		cur = next
+	}
+	return -1, X
+}
+
+func minCost(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

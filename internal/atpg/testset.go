@@ -1,0 +1,88 @@
+package atpg
+
+import (
+	"math/rand"
+
+	"repro/internal/faultsim"
+	"repro/internal/netlist"
+)
+
+// TestSet is the outcome of deterministic top-off generation for a
+// fault list.
+type TestSet struct {
+	// Cubes are the generated test cubes, one per targeted fault that
+	// needed an explicit pattern.
+	Cubes []Cube
+	// Patterns are the X-filled, fully specified versions of Cubes.
+	Patterns [][]bool
+	// Detected counts faults removed from the list by the generated
+	// patterns, including fortuitous detection of non-targeted faults.
+	Detected int
+	// Redundant lists faults proven untestable.
+	Redundant []netlist.Fault
+	// Aborted lists faults the generator gave up on.
+	Aborted []netlist.Fault
+	// CareBits is the total number of specified bits over all cubes —
+	// the raw volume that test data encoding has to store.
+	CareBits int
+}
+
+// Coverage returns detected / total for the originally targeted list of
+// n faults.
+func (ts *TestSet) Coverage(n int) float64 {
+	if n == 0 {
+		return 1
+	}
+	return float64(ts.Detected) / float64(n)
+}
+
+// GenerateAll runs PODEM over the given fault list with cross-detection
+// fault dropping: after each generated cube is X-filled and fault-
+// simulated, every fault it detects is removed before the next target
+// is chosen. This mirrors the standard deterministic top-off flow of
+// mixed-mode BIST.
+//
+// The rng fills don't-care positions (deterministic for a fixed seed).
+func GenerateAll(c *netlist.Circuit, faults []netlist.Fault, rng *rand.Rand, maxBacktracks int) (*TestSet, error) {
+	gen := NewGenerator(c, maxBacktracks)
+	fs := faultsim.NewFaultSim(c, faults)
+	detected := make(map[netlist.Fault]bool, len(faults))
+	ts := &TestSet{}
+	for _, target := range faults {
+		if detected[target] {
+			continue
+		}
+		cube, status := gen.Generate(target)
+		switch status {
+		case Redundant:
+			ts.Redundant = append(ts.Redundant, target)
+			continue
+		case Aborted:
+			ts.Aborted = append(ts.Aborted, target)
+			continue
+		}
+		pattern := cube.Fill(func() bool { return rng.Intn(2) == 1 })
+		batch, err := faultsim.BatchFromBools([][]bool{pattern})
+		if err != nil {
+			return nil, err
+		}
+		dets, err := fs.SimulateBatch(batch)
+		if err != nil {
+			return nil, err
+		}
+		for _, d := range dets {
+			detected[d.Fault] = true
+		}
+		ts.Cubes = append(ts.Cubes, cube)
+		ts.Patterns = append(ts.Patterns, pattern)
+		ts.CareBits += cube.CareBits()
+		if !detected[target] {
+			// The filled pattern failed to detect its own target — PODEM
+			// and the fault simulator disagree, which would be a bug.
+			// Classify as aborted to guarantee progress rather than loop.
+			ts.Aborted = append(ts.Aborted, target)
+		}
+	}
+	ts.Detected = len(detected)
+	return ts, nil
+}

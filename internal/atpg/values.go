@@ -1,0 +1,160 @@
+// Package atpg implements deterministic test pattern generation for
+// single stuck-at faults using the PODEM algorithm (Goel, 1981) over a
+// three-valued composite good/faulty simulation. It provides the
+// deterministic top-off patterns of the paper's mixed-mode BIST
+// profiles: after N pseudo-random patterns, PODEM targets the remaining
+// undetected faults and the resulting test cubes determine the encoded
+// deterministic test data volume s(b^D).
+package atpg
+
+import "repro/internal/netlist"
+
+// Val is a three-valued logic value.
+type Val byte
+
+const (
+	// Zero is logic 0.
+	Zero Val = iota
+	// One is logic 1.
+	One
+	// X is unassigned / don't-care.
+	X
+)
+
+// String returns "0", "1" or "X".
+func (v Val) String() string {
+	switch v {
+	case Zero:
+		return "0"
+	case One:
+		return "1"
+	default:
+		return "X"
+	}
+}
+
+// FromBool converts a bool to a definite value.
+func FromBool(b bool) Val {
+	if b {
+		return One
+	}
+	return Zero
+}
+
+// Bool converts a definite value to bool; X panics.
+func (v Val) Bool() bool {
+	switch v {
+	case Zero:
+		return false
+	case One:
+		return true
+	}
+	panic("atpg: Bool() on X")
+}
+
+// Not complements a value; X stays X.
+func (v Val) Not() Val {
+	switch v {
+	case Zero:
+		return One
+	case One:
+		return Zero
+	}
+	return X
+}
+
+// eval3 computes the three-valued output of a gate.
+func eval3(t netlist.GateType, in []Val) Val {
+	switch t {
+	case netlist.Buf:
+		return in[0]
+	case netlist.Not:
+		return in[0].Not()
+	case netlist.And, netlist.Nand:
+		v := One
+		for _, a := range in {
+			if a == Zero {
+				v = Zero
+				break
+			}
+			if a == X {
+				v = X
+			}
+		}
+		if t == netlist.Nand {
+			return v.Not()
+		}
+		return v
+	case netlist.Or, netlist.Nor:
+		v := Zero
+		for _, a := range in {
+			if a == One {
+				v = One
+				break
+			}
+			if a == X {
+				v = X
+			}
+		}
+		if t == netlist.Nor {
+			return v.Not()
+		}
+		return v
+	case netlist.Xor, netlist.Xnor:
+		v := Zero
+		for _, a := range in {
+			if a == X {
+				return X
+			}
+			if a == One {
+				v = v.Not()
+			}
+		}
+		if t == netlist.Xnor {
+			return v.Not()
+		}
+		return v
+	default:
+		panic("atpg: eval3 on " + t.String())
+	}
+}
+
+// Cube is a test cube: one Val per circuit input, X marking don't-care
+// positions.
+type Cube []Val
+
+// CareBits returns the number of specified (non-X) positions — the
+// quantity that drives deterministic test data encoding volume.
+func (c Cube) CareBits() int {
+	n := 0
+	for _, v := range c {
+		if v != X {
+			n++
+		}
+	}
+	return n
+}
+
+// Fill returns a fully specified pattern, replacing every X by the
+// value produced by fill (called once per X position, in order).
+func (c Cube) Fill(fill func() bool) []bool {
+	out := make([]bool, len(c))
+	for i, v := range c {
+		switch v {
+		case X:
+			out[i] = fill()
+		default:
+			out[i] = v.Bool()
+		}
+	}
+	return out
+}
+
+// String renders the cube like "01X1X".
+func (c Cube) String() string {
+	b := make([]byte, len(c))
+	for i, v := range c {
+		b[i] = v.String()[0]
+	}
+	return string(b)
+}

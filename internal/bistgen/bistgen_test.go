@@ -1,0 +1,249 @@
+package bistgen
+
+import (
+	"testing"
+
+	"repro/internal/netlist"
+	"repro/internal/stumps"
+)
+
+func testGenerator(t *testing.T) *Generator {
+	t.Helper()
+	cfg := stumps.Config{Chains: 8, ChainLen: 10, Seed: 17, WindowPatterns: 32, RestoreCycles: 200, TestClockHz: 40e6}
+	c := netlist.ScanCUT(5, cfg.Chains, cfg.ChainLen, 4)
+	g, err := New(c, Options{Scan: cfg, MaxBacktracks: 150})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestNewValidatesScanShape(t *testing.T) {
+	if _, err := New(netlist.C17(), Options{Scan: stumps.Config{Chains: 8, ChainLen: 10}}); err == nil {
+		t.Fatal("mismatched circuit accepted")
+	}
+}
+
+func TestCharacterizeTableShape(t *testing.T) {
+	g := testGenerator(t)
+	levels := []int{64, 256, 1024}
+	targets := DefaultTargets()
+	profiles, err := g.Characterize(levels, targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(profiles) != len(levels)*len(targets) {
+		t.Fatalf("got %d profiles, want %d", len(profiles), len(levels)*len(targets))
+	}
+	for i, p := range profiles {
+		if p.Number != i+1 {
+			t.Fatalf("profile numbering broken at %d: %+v", i, p)
+		}
+		if p.Coverage < 0 || p.Coverage > 1 {
+			t.Fatalf("coverage out of range: %+v", p)
+		}
+		if p.RuntimeMS <= 0 || p.DataBytes <= 0 {
+			t.Fatalf("non-positive cost: %+v", p)
+		}
+	}
+
+	byLevel := func(level int) []Profile {
+		var out []Profile
+		for _, p := range profiles {
+			if p.PRPs == level {
+				out = append(out, p)
+			}
+		}
+		return out
+	}
+	for _, level := range levels {
+		ps := byLevel(level)
+		// Within a level: max variants reach at least the 98% variant's
+		// coverage, which reaches at least the 95% variant's.
+		if ps[0].Coverage < ps[2].Coverage || ps[2].Coverage < ps[3].Coverage {
+			t.Fatalf("coverage ordering violated at level %d: %+v", level, ps)
+		}
+		// Lower targets need at most as many deterministic patterns.
+		if ps[3].DetPatterns > ps[2].DetPatterns || ps[2].DetPatterns > ps[0].DetPatterns {
+			t.Fatalf("det pattern ordering violated at level %d: %+v", level, ps)
+		}
+	}
+
+	// Across levels (Table I shape): more PRPs leave fewer faults for
+	// ATPG, so the max-coverage deterministic pattern count must not
+	// grow; runtime must grow with the pattern count.
+	for i := 1; i < len(levels); i++ {
+		prev, cur := byLevel(levels[i-1]), byLevel(levels[i])
+		if cur[0].DetPatterns > prev[0].DetPatterns {
+			t.Fatalf("det patterns grew with PRPs: %d->%d", prev[0].DetPatterns, cur[0].DetPatterns)
+		}
+		if cur[0].RuntimeMS <= prev[0].RuntimeMS {
+			t.Fatalf("runtime did not grow with PRPs: %v -> %v", prev[0].RuntimeMS, cur[0].RuntimeMS)
+		}
+	}
+
+	// The two max variants differ only in X-fill; both must reach the
+	// same coverage ballpark (within 1%) like Table I rows 1 vs 2.
+	for _, level := range levels {
+		ps := byLevel(level)
+		if d := ps[0].Coverage - ps[1].Coverage; d > 0.01 || d < -0.01 {
+			t.Fatalf("max variants diverge at level %d: %v vs %v", level, ps[0].Coverage, ps[1].Coverage)
+		}
+	}
+}
+
+func TestCharacterizeDeterministic(t *testing.T) {
+	a := testGenerator(t)
+	b := testGenerator(t)
+	pa, err := a.Characterize([]int{128}, DefaultTargets())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := b.Characterize([]int{128}, DefaultTargets())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range pa {
+		if pa[i] != pb[i] {
+			t.Fatalf("profile %d differs between identical runs:\n%+v\n%+v", i, pa[i], pb[i])
+		}
+	}
+}
+
+func TestCharacterizeRejectsEmpty(t *testing.T) {
+	g := testGenerator(t)
+	if _, err := g.Characterize(nil, DefaultTargets()); err == nil {
+		t.Fatal("empty levels accepted")
+	}
+	if _, err := g.Characterize([]int{100}, nil); err == nil {
+		t.Fatal("empty targets accepted")
+	}
+}
+
+func TestEncodedCubeBytes(t *testing.T) {
+	// Dense cube: bitmap wins. 800 cells, 700 care bits:
+	// raw = 1+100 = 101, sparse = 2+1400.
+	if got := encodedCubeBytes(800, 700); got != 101 {
+		t.Fatalf("dense = %d, want 101", got)
+	}
+	// Sparse cube: 800 cells, 5 care bits: sparse = 12 < raw 101.
+	if got := encodedCubeBytes(800, 5); got != 12 {
+		t.Fatalf("sparse = %d, want 12", got)
+	}
+}
+
+func TestScaleToCUT(t *testing.T) {
+	p := Profile{PRPs: 500, Coverage: 0.99, RuntimeMS: 10, DataBytes: 1000, DetPatterns: 10, CareBits: 400}
+	from := CUTDims{ScanCells: 80, ChainLen: 10, Faults: 1000}
+	scaled := ScaleToCUT(p, from, PaperCUT)
+	if scaled.Coverage != p.Coverage || scaled.PRPs != p.PRPs {
+		t.Fatal("scaling must not change coverage or PRPs")
+	}
+	if scaled.DataBytes <= p.DataBytes {
+		t.Fatalf("scaling to the paper CUT must grow data: %d", scaled.DataBytes)
+	}
+	wantRuntime := 10 * float64(78) / 11
+	if d := scaled.RuntimeMS - wantRuntime; d > 1e-9 || d < -1e-9 {
+		t.Fatalf("runtime = %v, want %v", scaled.RuntimeMS, wantRuntime)
+	}
+	// Degenerate `from` dims: identity.
+	if got := ScaleToCUT(p, CUTDims{}, PaperCUT); got != p {
+		t.Fatal("degenerate dims must be identity")
+	}
+}
+
+func TestProfileString(t *testing.T) {
+	p := Profile{Number: 3, PRPs: 500, Coverage: 0.9817, RuntimeMS: 2.81, DataBytes: 994156, Target: "98%"}
+	s := p.String()
+	if s == "" || len(s) < 20 {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+// TestCharacterizeWithReseeding sizes the deterministic data with the
+// real LFSR-reseeding encoder and checks it undercuts raw storage while
+// keeping the Table I shape.
+func TestCharacterizeWithReseeding(t *testing.T) {
+	cfg := stumps.Config{Chains: 8, ChainLen: 10, Seed: 17, WindowPatterns: 32, RestoreCycles: 200, TestClockHz: 40e6}
+	c := netlist.ScanCUT(5, cfg.Chains, cfg.ChainLen, 4)
+	heur, err := New(c, Options{Scan: cfg, MaxBacktracks: 150})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := New(c, Options{Scan: cfg, MaxBacktracks: 150, ReseedWidth: 96})
+	if err != nil {
+		t.Fatal(err)
+	}
+	levels := []int{64, 512}
+	ph, err := heur.Characterize(levels, DefaultTargets())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := rs.Characterize(levels, DefaultTargets())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ph {
+		// Same coverage/runtime/pattern counts; only data sizing differs.
+		if ph[i].Coverage != pr[i].Coverage || ph[i].DetPatterns != pr[i].DetPatterns {
+			t.Fatalf("profile %d diverged beyond data size:\n%+v\n%+v", i, ph[i], pr[i])
+		}
+		if pr[i].DataBytes <= 0 {
+			t.Fatalf("profile %d: non-positive data", i)
+		}
+	}
+	// Shape preserved under reseeding: within each level the 95%% profile
+	// stores no more than max.
+	for l := 0; l < len(levels); l++ {
+		if pr[l*4+3].DataBytes > pr[l*4].DataBytes {
+			t.Fatalf("level %d: reseeded 95%% (%d B) above max (%d B)", l, pr[l*4+3].DataBytes, pr[l*4].DataBytes)
+		}
+	}
+}
+
+func TestNewRejectsBadReseedWidth(t *testing.T) {
+	cfg := stumps.Config{Chains: 4, ChainLen: 4, Seed: 1}
+	c := netlist.ScanCUT(1, 4, 4, 2)
+	if _, err := New(c, Options{Scan: cfg, ReseedWidth: 1}); err == nil {
+		t.Fatal("reseed width 1 accepted")
+	}
+}
+
+// TestMeasureTransitionCoverage: the optional transition-fault metric
+// grows with the PRP count and stays below stuck-at coverage.
+func TestMeasureTransitionCoverage(t *testing.T) {
+	cfg := stumps.Config{Chains: 8, ChainLen: 10, Seed: 17, WindowPatterns: 32, TestClockHz: 40e6}
+	c := netlist.ScanCUT(5, cfg.Chains, cfg.ChainLen, 4)
+	g, err := New(c, Options{Scan: cfg, MaxBacktracks: 100, MeasureTransition: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	profiles, err := g.Characterize([]int{64, 512}, DefaultTargets())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range profiles {
+		if p.TransitionCov <= 0 || p.TransitionCov >= 1 {
+			t.Fatalf("profile %d transition coverage = %v", p.Number, p.TransitionCov)
+		}
+		if p.TransitionCov >= p.Coverage {
+			t.Fatalf("profile %d: transition %v not below stuck-at %v", p.Number, p.TransitionCov, p.Coverage)
+		}
+	}
+	if profiles[4].TransitionCov <= profiles[0].TransitionCov {
+		t.Fatalf("transition coverage did not grow with PRPs: %v -> %v",
+			profiles[0].TransitionCov, profiles[4].TransitionCov)
+	}
+	// Without the option the field stays zero.
+	g2, err := New(c, Options{Scan: cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := g2.Characterize([]int{64}, DefaultTargets())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2[0].TransitionCov != 0 {
+		t.Fatalf("unsolicited transition coverage %v", p2[0].TransitionCov)
+	}
+}

@@ -1,0 +1,282 @@
+package bistgen
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/atpg"
+	"repro/internal/faultsim"
+	"repro/internal/netlist"
+	"repro/internal/reseed"
+	"repro/internal/stumps"
+)
+
+// Options configure profile characterization.
+type Options struct {
+	// Scan is the STUMPS configuration (chains, chain length, clock,
+	// seed, window size, restore cycles).
+	Scan stumps.Config
+	// MaxBacktracks bounds PODEM effort per fault (default 100).
+	MaxBacktracks int
+	// ReseedWidth, when positive, sizes the deterministic data with a
+	// real LFSR-reseeding encoder of that seed width (package reseed)
+	// instead of the best-of raw/sparse cube heuristic. Cubes the seed
+	// cannot express are costed as raw patterns.
+	ReseedWidth int
+	// MeasureTransition additionally fault-simulates the pseudo-random
+	// phase against the broadside transition fault universe and records
+	// per-level coverage in Profile.TransitionCov.
+	MeasureTransition bool
+}
+
+// Generator characterizes BIST profiles for one circuit.
+type Generator struct {
+	circuit *netlist.Circuit
+	opt     Options
+	session *stumps.Session
+	faults  []netlist.Fault
+	reseedE *reseed.Encoder
+}
+
+// New validates the scan configuration against the circuit and returns
+// a profile generator over the collapsed fault list.
+func New(c *netlist.Circuit, opt Options) (*Generator, error) {
+	s, err := stumps.NewSession(c, opt.Scan)
+	if err != nil {
+		return nil, err
+	}
+	if opt.MaxBacktracks <= 0 {
+		opt.MaxBacktracks = 100
+	}
+	g := &Generator{
+		circuit: c,
+		opt:     opt,
+		session: s,
+		faults:  netlist.CollapsedFaults(c),
+	}
+	if opt.ReseedWidth > 0 {
+		enc, err := reseed.NewEncoder(opt.ReseedWidth, opt.Scan.Chains, opt.Scan.ChainLen)
+		if err != nil {
+			return nil, err
+		}
+		g.reseedE = enc
+	}
+	return g, nil
+}
+
+// TotalFaults returns the collapsed fault population of the CUT.
+func (g *Generator) TotalFaults() int { return len(g.faults) }
+
+// cubeStep records the cumulative state after adding one top-off cube.
+type cubeStep struct {
+	cube        atpg.Cube
+	careBits    int // care bits of this cube
+	cumDetected int // total faults detected including random phase
+}
+
+// topoff runs PODEM with cross-detection dropping over the remaining
+// faults and records the cumulative detection count after each cube.
+func (g *Generator) topoff(remaining []netlist.Fault, alreadyDetected int, fillSeed int64) ([]cubeStep, error) {
+	gen := atpg.NewGenerator(g.circuit, g.opt.MaxBacktracks)
+	fs := faultsim.NewFaultSim(g.circuit, remaining)
+	rng := rand.New(rand.NewSource(fillSeed))
+	detected := make(map[netlist.Fault]bool, len(remaining))
+	var steps []cubeStep
+	cum := alreadyDetected
+	for _, target := range remaining {
+		if detected[target] {
+			continue
+		}
+		cube, status := gen.Generate(target)
+		if status != atpg.Detected {
+			continue
+		}
+		pattern := cube.Fill(func() bool { return rng.Intn(2) == 1 })
+		batch, err := faultsim.BatchFromBools([][]bool{pattern})
+		if err != nil {
+			return nil, err
+		}
+		dets, err := fs.SimulateBatch(batch)
+		if err != nil {
+			return nil, err
+		}
+		for _, d := range dets {
+			detected[d.Fault] = true
+		}
+		cum += len(dets)
+		steps = append(steps, cubeStep{cube: cube, careBits: cube.CareBits(), cumDetected: cum})
+	}
+	return steps, nil
+}
+
+// Characterize measures one profile per (PRP level, target) pair and
+// returns them numbered in Table I order: the profiles of the first PRP
+// level first, each level ordered by the targets slice.
+//
+// The pseudo-random phase is fault-simulated once up to the largest PRP
+// level; per-level remainders are reconstructed from first-detection
+// indices, exactly as if each level were run separately (the LFSR
+// sequence of a smaller level is a prefix of the larger one).
+func (g *Generator) Characterize(prpLevels []int, targets []TargetSpec) ([]Profile, error) {
+	if len(prpLevels) == 0 || len(targets) == 0 {
+		return nil, fmt.Errorf("bistgen: need at least one PRP level and target")
+	}
+	levels := append([]int(nil), prpLevels...)
+	sort.Ints(levels)
+	maxLevel := levels[len(levels)-1]
+
+	// Phase 1: one pseudo-random fault simulation run to the deepest
+	// level, recording first-detection pattern indices.
+	fs := faultsim.NewFaultSim(g.circuit, g.faults)
+	prpg, err := stumps.NewPRPG(g.opt.Scan)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := fs.RunCoverage(prpg, maxLevel); err != nil {
+		return nil, err
+	}
+	detIdx := make(map[netlist.Fault]int, len(g.faults))
+	for _, d := range fs.Detections() {
+		detIdx[d.Fault] = d.Pattern
+	}
+
+	// Optional transition coverage of the same pattern sequence,
+	// reconstructed per level from first-detection capture indices.
+	transDetIdx := make(map[faultsim.TransitionFault]int)
+	transTotal := 0
+	if g.opt.MeasureTransition {
+		tfaults := faultsim.AllTransitionFaults(g.circuit)
+		transTotal = len(tfaults)
+		tsim := faultsim.NewTransitionSim(g.circuit, tfaults)
+		tprpg, err := stumps.NewPRPG(g.opt.Scan)
+		if err != nil {
+			return nil, err
+		}
+		seen := 0
+		for seen < maxLevel {
+			n := maxLevel - seen
+			if n > 64 {
+				n = 64
+			}
+			if _, err := tsim.SimulateBatch(tprpg.NextBatch(n)); err != nil {
+				return nil, err
+			}
+			seen += n
+		}
+		for _, d := range tsim.Detections() {
+			transDetIdx[d.Fault] = d.Pattern
+		}
+	}
+
+	total := len(g.faults)
+	var profiles []Profile
+	num := 1
+	for _, level := range prpLevels {
+		// Remaining faults after `level` random patterns, in stable order.
+		var remaining []netlist.Fault
+		randDetected := 0
+		for _, f := range g.faults {
+			if idx, ok := detIdx[f]; ok && idx < level {
+				randDetected++
+			} else {
+				remaining = append(remaining, f)
+			}
+		}
+		// Phase 2: deterministic top-off, one run per distinct fill seed.
+		stepsBySeed := make(map[int64][]cubeStep)
+		for _, t := range targets {
+			if _, done := stepsBySeed[t.FillSeed]; !done {
+				steps, err := g.topoff(remaining, randDetected, t.FillSeed)
+				if err != nil {
+					return nil, err
+				}
+				stepsBySeed[t.FillSeed] = steps
+			}
+		}
+		for _, t := range targets {
+			steps := stepsBySeed[t.FillSeed]
+			target := t.Coverage
+			if t.Relative && target > 0 {
+				final := randDetected
+				if len(steps) > 0 {
+					final = steps[len(steps)-1].cumDetected
+				}
+				target *= float64(final) / float64(total)
+			}
+			nCubes, careBits, detected := g.cutAtTarget(steps, randDetected, target, total)
+			p, err := g.buildProfile(num, level, t, steps[:nCubes], careBits, detected, total)
+			if err != nil {
+				return nil, err
+			}
+			if g.opt.MeasureTransition && transTotal > 0 {
+				hits := 0
+				for _, idx := range transDetIdx {
+					if idx < level {
+						hits++
+					}
+				}
+				p.TransitionCov = float64(hits) / float64(transTotal)
+			}
+			profiles = append(profiles, p)
+			num++
+		}
+	}
+	return profiles, nil
+}
+
+// cutAtTarget selects the shortest top-off prefix reaching the coverage
+// target (or the full run for target 0 = max).
+func (g *Generator) cutAtTarget(steps []cubeStep, randDetected int, target float64, total int) (nCubes, careBits, detected int) {
+	detected = randDetected
+	for i, s := range steps {
+		if target > 0 && float64(detected)/float64(total) >= target {
+			return i, careBits, detected
+		}
+		careBits += s.careBits
+		detected = s.cumDetected
+		nCubes = i + 1
+	}
+	return nCubes, careBits, detected
+}
+
+// buildProfile assembles the measured quantities into a Profile. The
+// deterministic data volume comes from the real reseeding encoder when
+// Options.ReseedWidth is set, and from the best-of raw/sparse per-cube
+// heuristic otherwise.
+func (g *Generator) buildProfile(num, prps int, t TargetSpec, steps []cubeStep, careBits, detected, total int) (Profile, error) {
+	coverage := 1.0
+	if total > 0 {
+		coverage = float64(detected) / float64(total)
+	}
+	nCubes := len(steps)
+	detBytes := 0
+	switch {
+	case nCubes == 0:
+		// Random phase alone met the target.
+	case g.reseedE != nil:
+		cubes := make([]atpg.Cube, nCubes)
+		for i, s := range steps {
+			cubes[i] = s.cube
+		}
+		enc, err := g.reseedE.EncodeSet(cubes)
+		if err != nil {
+			return Profile{}, err
+		}
+		detBytes = enc.TotalBytes()
+	default:
+		avgCare := careBits / nCubes
+		detBytes = nCubes * encodedCubeBytes(g.circuit.NumInputs(), avgCare)
+	}
+	totalPatterns := prps + nCubes
+	return Profile{
+		Number:      num,
+		PRPs:        prps,
+		Coverage:    coverage,
+		RuntimeMS:   g.session.SessionTimeMS(totalPatterns),
+		DataBytes:   int64(detBytes + g.session.ResponseDataBytes(totalPatterns)),
+		DetPatterns: nCubes,
+		CareBits:    careBits,
+		Target:      t.Name,
+	}, nil
+}

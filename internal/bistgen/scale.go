@@ -1,0 +1,42 @@
+package bistgen
+
+// CUTDims are the structural dimensions a profile is measured on or
+// scaled to.
+type CUTDims struct {
+	ScanCells int // total scan cells (inputs of the full-scan core)
+	ChainLen  int // longest chain, dominates per-pattern shift time
+	Faults    int // collapsed fault population
+}
+
+// PaperCUT is the Infineon automotive processor of the case study:
+// 371,900 collapsed faults, 100 scan chains with a maximum length of
+// 77, tested at 40 MHz.
+var PaperCUT = CUTDims{ScanCells: 100 * 77, ChainLen: 77, Faults: 371900}
+
+// ScaleToCUT linearly extrapolates a profile measured on dimensions
+// `from` to a CUT of dimensions `to`. The model keeps the pattern
+// counts and coverage and scales the structure-dependent quantities:
+//
+//   - the deterministic cube count grows with the fault population, and
+//     each cube's storage with the scan cell count, so the deterministic
+//     data volume scales with both ratios;
+//   - per-pattern scan time grows with the chain length.
+//
+// It is the documented substitution (DESIGN.md) that maps synthetic-CUT
+// measurements onto the paper's proprietary processor; the qualitative
+// PRP-vs-data tradeoff is preserved because only per-unit costs change.
+func ScaleToCUT(p Profile, from, to CUTDims) Profile {
+	if from.ScanCells <= 0 || from.Faults <= 0 || from.ChainLen <= 0 {
+		return p
+	}
+	cellRatio := float64(to.ScanCells) / float64(from.ScanCells)
+	faultRatio := float64(to.Faults) / float64(from.Faults)
+	chainRatio := float64(to.ChainLen+1) / float64(from.ChainLen+1)
+
+	out := p
+	out.DataBytes = int64(float64(p.DataBytes) * cellRatio * faultRatio)
+	out.RuntimeMS = p.RuntimeMS * chainRatio
+	out.DetPatterns = int(float64(p.DetPatterns) * faultRatio)
+	out.CareBits = int(float64(p.CareBits) * cellRatio * faultRatio)
+	return out
+}

@@ -1,0 +1,327 @@
+package can
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+var testBus = Bus{Name: "bus1", BitRate: 500_000, Format: Standard}
+
+func TestFrameBits(t *testing.T) {
+	// Known worst-case sizes for the standard format (Davis et al. 2007):
+	// an 8-byte frame occupies 135 bits including stuffing and IFS.
+	cases := []struct {
+		payload int
+		format  FrameFormat
+		want    int
+	}{
+		{0, Standard, 34 + 13 + 33/4},
+		{8, Standard, 135},
+		{8, Extended, 54 + 64 + 13 + (54+64-1)/4},
+		{-1, Standard, 34 + 13 + 33/4}, // clamped to 0
+		{9, Standard, 135},             // clamped to 8
+	}
+	for _, c := range cases {
+		if got := FrameBits(c.payload, c.format); got != c.want {
+			t.Errorf("FrameBits(%d,%v) = %d, want %d", c.payload, c.format, got, c.want)
+		}
+	}
+}
+
+func TestTxTimeMS(t *testing.T) {
+	// 135 bits at 500 kbit/s = 0.27 ms.
+	got := testBus.TxTimeMS(8)
+	if math.Abs(got-0.27) > 1e-9 {
+		t.Fatalf("TxTimeMS(8) = %v, want 0.27", got)
+	}
+	dead := Bus{BitRate: 0}
+	if !math.IsInf(dead.TxTimeMS(8), 1) || !math.IsInf(dead.BitTimeMS(), 1) {
+		t.Fatal("zero bitrate must yield +Inf times")
+	}
+}
+
+func TestFrameValidate(t *testing.T) {
+	good := Frame{ID: "m", Payload: 8, PeriodMS: 10}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("Validate(good) = %v", err)
+	}
+	bad := []Frame{
+		{Payload: 8, PeriodMS: 10},                        // no ID
+		{ID: "m", Payload: 9, PeriodMS: 10},               // payload too big
+		{ID: "m", Payload: -1, PeriodMS: 10},              // negative payload
+		{ID: "m", Payload: 8},                             // no period
+		{ID: "m", Payload: 8, PeriodMS: 10, JitterMS: -1}, // negative jitter
+	}
+	for i, f := range bad {
+		if err := f.Validate(); err == nil {
+			t.Errorf("case %d: Validate accepted %+v", i, f)
+		}
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	frames := []Frame{
+		{ID: "a", Priority: 1, Payload: 8, PeriodMS: 10},
+		{ID: "b", Priority: 2, Payload: 8, PeriodMS: 10},
+	}
+	u := Utilization(testBus, frames)
+	want := 2 * 0.27 / 10
+	if math.Abs(u-want) > 1e-9 {
+		t.Fatalf("Utilization = %v, want %v", u, want)
+	}
+}
+
+func TestAnalyzeBusSimple(t *testing.T) {
+	frames := []Frame{
+		{ID: "hi", Priority: 1, Payload: 8, PeriodMS: 10},
+		{ID: "lo", Priority: 2, Payload: 8, PeriodMS: 20},
+	}
+	rts, err := AnalyzeBus(testBus, frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rts) != 2 || rts[0].Frame != "hi" || rts[1].Frame != "lo" {
+		t.Fatalf("order = %v", rts)
+	}
+	// hi: blocked by lo (0.27), then its own tx: 0.54.
+	if math.Abs(rts[0].WCRTms-0.54) > 1e-9 {
+		t.Fatalf("WCRT(hi) = %v, want 0.54", rts[0].WCRTms)
+	}
+	// lo: no blocking, one hi interference + own tx: 0.54.
+	if math.Abs(rts[1].WCRTms-0.54) > 1e-9 {
+		t.Fatalf("WCRT(lo) = %v, want 0.54", rts[1].WCRTms)
+	}
+	for _, rt := range rts {
+		if !rt.Schedulable {
+			t.Fatalf("frame %s unschedulable: %+v", rt.Frame, rt)
+		}
+	}
+}
+
+func TestAnalyzeBusOverload(t *testing.T) {
+	// 10 frames each needing 0.27 ms every 1 ms: utilization 2.7 — the
+	// lowest-priority frames must be unschedulable.
+	var frames []Frame
+	for i := 0; i < 10; i++ {
+		frames = append(frames, Frame{ID: string(rune('a' + i)), Priority: i, Payload: 8, PeriodMS: 1})
+	}
+	ok, err := Schedulable(testBus, frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("overloaded bus reported schedulable")
+	}
+}
+
+func TestAnalyzeBusRejectsInvalid(t *testing.T) {
+	if _, err := AnalyzeBus(testBus, []Frame{{ID: "x", Payload: 8}}); err == nil {
+		t.Fatal("invalid frame accepted")
+	}
+}
+
+func TestResponseTimesByIDDuplicate(t *testing.T) {
+	frames := []Frame{
+		{ID: "a", Priority: 1, Payload: 8, PeriodMS: 10},
+		{ID: "a", Priority: 2, Payload: 8, PeriodMS: 10},
+	}
+	if _, err := ResponseTimesByID(testBus, frames); err == nil {
+		t.Fatal("duplicate IDs accepted")
+	}
+}
+
+func TestMirrorKeepsTiming(t *testing.T) {
+	own := []Frame{
+		{ID: "c1", Priority: 3, Payload: 8, PeriodMS: 10},
+		{ID: "c2", Priority: 7, Payload: 4, PeriodMS: 50},
+	}
+	m := Mirror(own, "'")
+	if len(m) != 2 {
+		t.Fatalf("len = %d", len(m))
+	}
+	for i := range own {
+		if m[i].ID == own[i].ID {
+			t.Fatalf("mirror %d kept same ID %q", i, m[i].ID)
+		}
+		if m[i].Payload != own[i].Payload || m[i].PeriodMS != own[i].PeriodMS || m[i].Priority != own[i].Priority {
+			t.Fatalf("mirror %d changed timing: %+v vs %+v", i, m[i], own[i])
+		}
+	}
+}
+
+func TestVerifyNonIntrusive(t *testing.T) {
+	own := []Frame{
+		{ID: "c1", Priority: 2, Payload: 8, PeriodMS: 10},
+		{ID: "c2", Priority: 5, Payload: 8, PeriodMS: 20},
+	}
+	others := []Frame{
+		{ID: "o1", Priority: 1, Payload: 8, PeriodMS: 10},
+		{ID: "o2", Priority: 3, Payload: 8, PeriodMS: 20},
+		{ID: "o3", Priority: 9, Payload: 8, PeriodMS: 100},
+	}
+	rep, err := VerifyNonIntrusive(testBus, own, others)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("mirroring intrusive: %+v", rep)
+	}
+}
+
+// TestVerifyNonIntrusiveProperty checks over random frame sets that
+// mirroring never perturbs third-party response times.
+func TestVerifyNonIntrusiveProperty(t *testing.T) {
+	f := func(seed uint8, nOwn, nOthers uint8) bool {
+		periods := []float64{5, 10, 20, 50, 100}
+		mkFrames := func(prefix string, n int, prioBase int) []Frame {
+			frames := make([]Frame, n)
+			for i := range frames {
+				frames[i] = Frame{
+					ID:       prefix + string(rune('a'+i)),
+					Priority: prioBase + i*2,
+					Payload:  1 + (int(seed)+i)%8,
+					PeriodMS: periods[(int(seed)*7+i)%len(periods)],
+				}
+			}
+			return frames
+		}
+		own := mkFrames("own", 1+int(nOwn)%4, 1)
+		others := mkFrames("oth", 1+int(nOthers)%5, 2)
+		rep, err := VerifyNonIntrusive(testBus, own, others)
+		return err == nil && rep.OK()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTransferTimeMS(t *testing.T) {
+	frames := []Frame{
+		{ID: "c1", Payload: 8, PeriodMS: 10}, // 0.8 B/ms
+		{ID: "c2", Payload: 4, PeriodMS: 20}, // 0.2 B/ms
+	}
+	// 1 MB over 1 B/ms = 1,000,000 ms.
+	got := TransferTimeMS(1_000_000, frames)
+	if math.Abs(got-1_000_000) > 1e-6 {
+		t.Fatalf("TransferTimeMS = %v, want 1e6", got)
+	}
+	if !math.IsInf(TransferTimeMS(100, nil), 1) {
+		t.Fatal("no bandwidth must yield +Inf")
+	}
+}
+
+// TestTransferTimePaperScale sanity-checks Eq. (1) at the paper's
+// magnitudes: ~2.4 MB of profile-1 pattern data over a handful of
+// typical CAN messages takes tens of seconds — matching the > 20 s
+// shut-off times of the gateway-storage implementations in Fig. 5.
+func TestTransferTimePaperScale(t *testing.T) {
+	frames := []Frame{
+		{ID: "c1", Payload: 8, PeriodMS: 10},
+		{ID: "c2", Payload: 8, PeriodMS: 20},
+		{ID: "c3", Payload: 8, PeriodMS: 100},
+	}
+	q := TransferTimeMS(2_399_185, frames) // profile 1, Table I
+	if q < 20_000 || q > 10_000_000 {
+		t.Fatalf("q = %v ms, expected tens of seconds to minutes", q)
+	}
+}
+
+func TestSimulateBurstIsIntrusive(t *testing.T) {
+	others := []Frame{
+		{ID: "o1", Priority: 10, Payload: 8, PeriodMS: 5},
+		{ID: "o2", Priority: 20, Payload: 8, PeriodMS: 10},
+	}
+	// Highest-priority burst: must hurt everyone.
+	rep, err := SimulateBurst(testBus, others, 1<<20, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.ViolatedDeadlines) == 0 {
+		t.Fatalf("high-priority burst violated no deadlines: %+v", rep)
+	}
+	if rep.BurstDurationMS <= 0 {
+		t.Fatal("burst duration must be positive")
+	}
+}
+
+func TestSimulateBurstLowPriorityStillBlocks(t *testing.T) {
+	// Even a lowest-priority burst adds non-preemptive blocking to
+	// frames that previously had none.
+	others := []Frame{
+		{ID: "only", Priority: 1, Payload: 8, PeriodMS: 10},
+	}
+	rep, err := SimulateBurst(testBus, others, 1024, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.DeltaWCRTms["only"] <= 0 {
+		t.Fatalf("low-priority burst added no blocking: %+v", rep)
+	}
+}
+
+func TestFDPayloadSize(t *testing.T) {
+	cases := map[int]int{0: 0, 1: 1, 8: 8, 9: 12, 13: 16, 33: 48, 64: 64, 100: 64}
+	for in, want := range cases {
+		if got := FDPayloadSize(in); got != want {
+			t.Errorf("FDPayloadSize(%d) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func TestFDBusTxTime(t *testing.T) {
+	fd := FDBus{NomBitRate: 500_000, DataBitRate: 2_000_000}
+	classic := testBus.TxTimeMS(8)
+	// An 8-byte FD frame at 4x data rate beats the classic frame.
+	if got := fd.TxTimeMS(8); got >= classic {
+		t.Fatalf("FD 8B frame %.4f ms not below classic %.4f ms", got, classic)
+	}
+	// A 64-byte FD frame carries 8x the payload in far less than 8x the
+	// classic frame time.
+	if got := fd.TxTimeMS(64); got >= 8*classic {
+		t.Fatalf("FD 64B frame %.4f ms not below 8 classic frames", got)
+	}
+	if !math.IsInf(FDBus{}.TxTimeMS(8), 1) {
+		t.Fatal("zero rates must give +Inf")
+	}
+}
+
+// TestStudyFDMigration: migrating the mirrored slots to 64-byte FD
+// frames must cut Eq. (1) transfer times by the payload ratio.
+func TestStudyFDMigration(t *testing.T) {
+	frames := []Frame{
+		{ID: "c1", Payload: 8, PeriodMS: 10},
+		{ID: "c2", Payload: 8, PeriodMS: 20},
+	}
+	st := StudyFDMigration(994_156, frames, 64) // Table I profile 3
+	if st.Speedup < 7.9 || st.Speedup > 8.1 {
+		t.Fatalf("speedup = %.2f, want ~8", st.Speedup)
+	}
+	if st.FDMS >= st.ClassicMS {
+		t.Fatal("FD not faster")
+	}
+	if st := StudyFDMigration(100, nil, 64); !math.IsInf(st.FDMS, 1) {
+		t.Fatal("no slots must stay infinite")
+	}
+}
+
+func TestAnalyzeBusWithJitter(t *testing.T) {
+	// Release jitter on a high-priority frame inflates the interference
+	// term of lower-priority frames.
+	frames := []Frame{
+		{ID: "hi", Priority: 1, Payload: 8, PeriodMS: 10, JitterMS: 0},
+		{ID: "lo", Priority: 2, Payload: 8, PeriodMS: 30},
+	}
+	base, err := ResponseTimesByID(testBus, frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames[0].JitterMS = 9.8 // almost a full period of slack
+	jittered, err := ResponseTimesByID(testBus, frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jittered["lo"].WCRTms <= base["lo"].WCRTms {
+		t.Fatalf("jitter did not inflate lo's WCRT: %v vs %v", jittered["lo"].WCRTms, base["lo"].WCRTms)
+	}
+}

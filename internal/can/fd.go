@@ -1,0 +1,100 @@
+package can
+
+import "math"
+
+// CAN FD support: flexible data-rate frames carry up to 64 payload
+// bytes and switch to a faster bit rate for the data phase. Migrating
+// an E/E-architecture's buses to CAN FD is the natural follow-up to the
+// paper's CAN-based TAM: the mirrored slots carry 8× the payload, and
+// Eq. (1)'s transfer times shrink accordingly.
+
+// FDBus describes a CAN FD segment: arbitration (nominal) bit rate and
+// the switched data-phase bit rate.
+type FDBus struct {
+	Name        string
+	NomBitRate  float64 // bit/s during arbitration and control
+	DataBitRate float64 // bit/s during the data phase (≥ NomBitRate)
+}
+
+// fdDLCSteps are the valid CAN FD payload sizes in bytes.
+var fdDLCSteps = []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 12, 16, 20, 24, 32, 48, 64}
+
+// FDPayloadSize rounds a payload up to the next valid CAN FD DLC step
+// (values above 64 clamp to 64).
+func FDPayloadSize(bytes int) int {
+	for _, s := range fdDLCSteps {
+		if bytes <= s {
+			return s
+		}
+	}
+	return 64
+}
+
+// TxTimeMS returns the worst-case transmission time of an FD frame
+// with the given payload: the arbitration/control portion (~30 bits
+// with stuffing) at the nominal rate plus data, CRC and stuff bits at
+// the data rate (CRC 17/21 bits for ≤16/>16 payload bytes).
+func (b FDBus) TxTimeMS(payload int) float64 {
+	if b.NomBitRate <= 0 || b.DataBitRate <= 0 {
+		return math.Inf(1)
+	}
+	payload = FDPayloadSize(payload)
+	// Arbitration + control + ACK/EOF at nominal rate, incl. worst-case
+	// stuffing of the stuffable ~27 bits.
+	nomBits := 30 + (27-1)/4 + 10
+	crc := 17
+	if payload > 16 {
+		crc = 21
+	}
+	dataBits := 8*payload + crc
+	dataBits += (dataBits - 1) / 4 // worst-case stuffing (fixed stuff bits in real FD)
+	return float64(nomBits)/b.NomBitRate*1000 + float64(dataBits)/b.DataBitRate*1000
+}
+
+// FDMigrationStudy compares the Eq. (1) transfer time of a pattern
+// volume over classic CAN mirrored slots versus the same slots migrated
+// to CAN FD (same periods, payloads grown to the FD step factor).
+type FDMigrationStudy struct {
+	ClassicMS float64
+	FDMS      float64
+	Speedup   float64
+}
+
+// StudyFDMigration evaluates the future-work scenario: every mirrored
+// functional message keeps its period but carries fdPayload bytes
+// (default 64) instead of its classic payload.
+func StudyFDMigration(dataBytes int64, frames []Frame, fdPayload int) FDMigrationStudy {
+	if fdPayload <= 0 {
+		fdPayload = 64
+	}
+	fdPayload = FDPayloadSize(fdPayload)
+	classic := TransferTimeMS(dataBytes, frames)
+	fd := make([]Frame, len(frames))
+	for i, f := range frames {
+		fd[i] = f
+		fd[i].Payload = fdPayload
+	}
+	// TransferTimeMS only uses payload/period, so the same fluid model
+	// applies; FD frames just carry more per slot.
+	fdTime := transferTimeAnyPayload(dataBytes, fd)
+	st := FDMigrationStudy{ClassicMS: classic, FDMS: fdTime}
+	if fdTime > 0 && !math.IsInf(fdTime, 1) {
+		st.Speedup = classic / fdTime
+	}
+	return st
+}
+
+// transferTimeAnyPayload is TransferTimeMS without the classic-CAN
+// 8-byte clamp implied by Frame validation (FD payloads reach 64).
+func transferTimeAnyPayload(dataBytes int64, frames []Frame) float64 {
+	bw := 0.0
+	for _, f := range frames {
+		if f.PeriodMS > 0 {
+			bw += float64(f.Payload) / f.PeriodMS
+		}
+	}
+	if bw <= 0 {
+		return math.Inf(1)
+	}
+	return float64(dataBytes) / bw
+}

@@ -1,0 +1,117 @@
+// Package can models the Controller Area Network field bus used as the
+// test access mechanism (TAM) of the paper: frame timing with worst-case
+// bit stuffing, fixed-priority non-preemptive response-time analysis,
+// utilization, and the non-intrusive message mirroring of Section III-B
+// including the test-data transfer time of Eq. (1).
+package can
+
+import (
+	"fmt"
+	"math"
+)
+
+// FrameFormat selects the CAN identifier format.
+type FrameFormat int
+
+const (
+	// Standard is the 11-bit identifier base frame format.
+	Standard FrameFormat = iota
+	// Extended is the 29-bit identifier extended frame format.
+	Extended
+)
+
+// MaxPayload is the maximum payload of a classic CAN frame in bytes.
+const MaxPayload = 8
+
+// FrameBits returns the worst-case number of bits on the wire for a
+// frame with n payload bytes, including the inter-frame space and the
+// maximum number of stuff bits (Davis, Burns, Bril, Lukkien, "Controller
+// Area Network (CAN) schedulability analysis", RTS 2007).
+//
+// For the standard format the exposed-to-stuffing portion is g = 34
+// control bits plus the 8n data bits; 13 further bits (CRC delimiter,
+// ACK, EOF, intermission) are never stuffed.
+func FrameBits(payload int, format FrameFormat) int {
+	if payload < 0 {
+		payload = 0
+	}
+	if payload > MaxPayload {
+		payload = MaxPayload
+	}
+	g := 34
+	if format == Extended {
+		g = 54
+	}
+	stuffable := g + 8*payload
+	return stuffable + 13 + (stuffable-1)/4
+}
+
+// Bus describes one CAN segment.
+type Bus struct {
+	Name    string
+	BitRate float64 // bit/s
+	Format  FrameFormat
+}
+
+// TxTimeMS returns the worst-case transmission time of a frame with the
+// given payload on this bus, in milliseconds.
+func (b Bus) TxTimeMS(payload int) float64 {
+	if b.BitRate <= 0 {
+		return math.Inf(1)
+	}
+	return float64(FrameBits(payload, b.Format)) / b.BitRate * 1000
+}
+
+// BitTimeMS returns the duration of a single bit in milliseconds.
+func (b Bus) BitTimeMS() float64 {
+	if b.BitRate <= 0 {
+		return math.Inf(1)
+	}
+	return 1000 / b.BitRate
+}
+
+// Frame is one periodic message on a bus. Frames are scheduled by fixed
+// priority, non-preemptively; a lower Priority value wins arbitration.
+type Frame struct {
+	ID       string
+	Priority int
+	Payload  int     // bytes, ≤ MaxPayload per frame
+	PeriodMS float64 // activation period
+	JitterMS float64 // release jitter
+}
+
+// Validate reports parameter errors of the frame.
+func (f Frame) Validate() error {
+	if f.ID == "" {
+		return fmt.Errorf("can: frame must have an ID")
+	}
+	if f.Payload < 0 || f.Payload > MaxPayload {
+		return fmt.Errorf("can: frame %s: payload %d outside [0,%d]", f.ID, f.Payload, MaxPayload)
+	}
+	if f.PeriodMS <= 0 {
+		return fmt.Errorf("can: frame %s: period must be positive", f.ID)
+	}
+	if f.JitterMS < 0 {
+		return fmt.Errorf("can: frame %s: negative jitter", f.ID)
+	}
+	return nil
+}
+
+// BandwidthBytesPerMS returns the long-run payload bandwidth s(c)/p(c)
+// of the frame in bytes per millisecond.
+func (f Frame) BandwidthBytesPerMS() float64 {
+	if f.PeriodMS <= 0 {
+		return 0
+	}
+	return float64(f.Payload) / f.PeriodMS
+}
+
+// Utilization returns the bus utilization of the frame set: the sum of
+// worst-case transmission times divided by periods.
+func Utilization(bus Bus, frames []Frame) float64 {
+	u := 0.0
+	for _, f := range frames {
+		u += bus.TxTimeMS(f.Payload) / f.PeriodMS
+	}
+	return u
+}

@@ -1,0 +1,138 @@
+package can
+
+import (
+	"fmt"
+	"math"
+)
+
+// Mirror implements the non-intrusive test access mechanism of Section
+// III-B: while an ECU's functional tasks are shut off, its functional
+// messages c_i fall silent, and the freed bandwidth slots are reused by
+// test-data messages c'_i that mirror the communication properties of
+// the originals — same payload size, period, and relative priority —
+// under fresh, distinguishable CAN-IDs.
+//
+// Because c'_i is timing-indistinguishable from c_i for every other bus
+// subscriber, the certified bus schedule is retained unchanged.
+func Mirror(functional []Frame, suffix string) []Frame {
+	out := make([]Frame, len(functional))
+	for i, f := range functional {
+		m := f
+		m.ID = f.ID + suffix
+		out[i] = m
+	}
+	return out
+}
+
+// TransferTimeMS evaluates Eq. (1) of the paper: the time q(b^T) needed
+// to ship s(b^D) bytes of encoded test patterns from the BIST data task
+// to the CUT, given that the transfer may only reuse the bandwidth of
+// the ECU's own (now silent) functional messages I:
+//
+//	q(b_r^T) = s(b_r^D) / Σ_{c ∈ I} s(c)/p(c)
+//
+// dataBytes is s(b^D); frames are the ECU's functional message set I.
+// The result is in milliseconds. With zero mirrored bandwidth the
+// transfer never completes and +Inf is returned.
+func TransferTimeMS(dataBytes int64, frames []Frame) float64 {
+	bw := 0.0 // bytes per millisecond
+	for _, f := range frames {
+		bw += f.BandwidthBytesPerMS()
+	}
+	if bw <= 0 {
+		return math.Inf(1)
+	}
+	return float64(dataBytes) / bw
+}
+
+// NonIntrusiveReport compares the worst-case response times of all
+// third-party frames on a bus before and after swapping one ECU's
+// functional messages for their mirrored test-data twins.
+type NonIntrusiveReport struct {
+	// MaxDeltaMS is the largest absolute WCRT change observed on any
+	// frame not owned by the ECU under test. Non-intrusiveness demands
+	// zero.
+	MaxDeltaMS float64
+	// Intrusive lists third-party frame IDs whose WCRT changed.
+	Intrusive []string
+}
+
+// OK reports whether the mirror swap left every third-party response
+// time untouched.
+func (r NonIntrusiveReport) OK() bool { return len(r.Intrusive) == 0 }
+
+// VerifyNonIntrusive checks the central claim of Section III-B on a
+// concrete bus: replacing the functional frames `own` of the ECU under
+// test by Mirror(own) must not change the worst-case response time of
+// any other frame in `others`. It returns the comparison report.
+func VerifyNonIntrusive(bus Bus, own, others []Frame) (NonIntrusiveReport, error) {
+	before, err := ResponseTimesByID(bus, append(append([]Frame(nil), own...), others...))
+	if err != nil {
+		return NonIntrusiveReport{}, fmt.Errorf("can: baseline analysis: %w", err)
+	}
+	mirrored := Mirror(own, "'")
+	after, err := ResponseTimesByID(bus, append(append([]Frame(nil), mirrored...), others...))
+	if err != nil {
+		return NonIntrusiveReport{}, fmt.Errorf("can: mirrored analysis: %w", err)
+	}
+	var rep NonIntrusiveReport
+	for _, f := range others {
+		b, a := before[f.ID], after[f.ID]
+		d := math.Abs(a.WCRTms - b.WCRTms)
+		if d > 0 {
+			rep.Intrusive = append(rep.Intrusive, f.ID)
+			if d > rep.MaxDeltaMS {
+				rep.MaxDeltaMS = d
+			}
+		}
+	}
+	return rep, nil
+}
+
+// BurstReport quantifies the damage of the naive alternative to
+// mirroring: transmitting the test patterns as a dedicated lowest- or
+// highest-priority burst stream while the functional messages of the
+// other ECUs keep running.
+type BurstReport struct {
+	// DeltaWCRTms maps third-party frame IDs to the WCRT increase caused
+	// by the burst frame.
+	DeltaWCRTms map[string]float64
+	// ViolatedDeadlines lists third-party frames pushed past their
+	// period.
+	ViolatedDeadlines []string
+	// BurstDurationMS is how long the burst needs to ship dataBytes.
+	BurstDurationMS float64
+}
+
+// SimulateBurst models shipping dataBytes over the bus as a back-to-back
+// stream of 8-byte frames at the given priority and reports the effect
+// on the other ECUs' frames. It is the intrusive baseline to compare
+// Mirror against (DESIGN.md experiment E5).
+func SimulateBurst(bus Bus, others []Frame, dataBytes int64, priority int) (BurstReport, error) {
+	before, err := ResponseTimesByID(bus, others)
+	if err != nil {
+		return BurstReport{}, err
+	}
+	nFrames := (dataBytes + MaxPayload - 1) / MaxPayload
+	txOne := bus.TxTimeMS(MaxPayload)
+	// A back-to-back stream is modeled as a frame whose period equals its
+	// own transmission time: the bus sees a new burst frame the moment
+	// the previous one completes.
+	burst := Frame{ID: "burst", Priority: priority, Payload: MaxPayload, PeriodMS: txOne}
+	after, err := ResponseTimesByID(bus, append(append([]Frame(nil), others...), burst))
+	if err != nil {
+		return BurstReport{}, err
+	}
+	rep := BurstReport{
+		DeltaWCRTms:     make(map[string]float64, len(others)),
+		BurstDurationMS: float64(nFrames) * txOne,
+	}
+	for _, f := range others {
+		d := after[f.ID].WCRTms - before[f.ID].WCRTms
+		rep.DeltaWCRTms[f.ID] = d
+		if before[f.ID].Schedulable && !after[f.ID].Schedulable {
+			rep.ViolatedDeadlines = append(rep.ViolatedDeadlines, f.ID)
+		}
+	}
+	return rep, nil
+}

@@ -1,0 +1,157 @@
+package can
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ResponseTime holds the worst-case response-time analysis result of one
+// frame.
+type ResponseTime struct {
+	Frame       string
+	WCRTms      float64 // worst-case response time
+	BlockingMS  float64 // blocking by at most one lower-priority frame
+	Schedulable bool    // WCRT ≤ period (implicit deadline)
+}
+
+// AnalyzeBus performs the exact fixed-priority non-preemptive
+// response-time analysis for CAN (Davis, Burns, Bril, Lukkien, RTS
+// 2007) including multi-instance priority-level busy periods, so the
+// bound is valid even when a frame's response time exceeds its period:
+//
+//	t_m        = B_m + Σ_{k ∈ hep(m)} ⌈(t_m + J_k) / T_k⌉ · C_k   (busy period)
+//	Q_m        = ⌈(t_m + J_m) / T_m⌉                              (instances)
+//	w_m(q)     = B_m + q·C_m + Σ_{k ∈ hp(m)} ⌈(w_m(q) + J_k + τ_bit)/T_k⌉·C_k
+//	R_m        = max_q ( J_m + w_m(q) − q·T_m + C_m )
+//
+// The returned slice is ordered by descending priority (ascending
+// Priority value, ties broken by ID). Frames whose busy period does not
+// converge (level utilization ≥ 1) report an infinite WCRT and are
+// unschedulable.
+func AnalyzeBus(bus Bus, frames []Frame) ([]ResponseTime, error) {
+	for _, f := range frames {
+		if err := f.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	sorted := append([]Frame(nil), frames...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Priority != sorted[j].Priority {
+			return sorted[i].Priority < sorted[j].Priority
+		}
+		return sorted[i].ID < sorted[j].ID
+	})
+	tauBit := bus.BitTimeMS()
+	out := make([]ResponseTime, 0, len(sorted))
+	for i, f := range sorted {
+		c := bus.TxTimeMS(f.Payload)
+		// Blocking: longest lower-priority frame already in arbitration.
+		blocking := 0.0
+		for _, lp := range sorted[i+1:] {
+			if t := bus.TxTimeMS(lp.Payload); t > blocking {
+				blocking = t
+			}
+		}
+		// Level-m busy period over hp(m) ∪ {m}.
+		busyLimit := 1000 * f.PeriodMS
+		busy := blocking + c
+		busyConverged := false
+		for iter := 0; iter < 100000; iter++ {
+			next := blocking
+			for k := 0; k <= i; k++ {
+				next += math.Ceil((busy+sorted[k].JitterMS)/sorted[k].PeriodMS) * bus.TxTimeMS(sorted[k].Payload)
+			}
+			if next == busy {
+				busyConverged = true
+				break
+			}
+			busy = next
+			if busy > busyLimit {
+				break
+			}
+		}
+		if !busyConverged {
+			out = append(out, ResponseTime{
+				Frame: f.ID, WCRTms: math.Inf(1), BlockingMS: blocking, Schedulable: false,
+			})
+			continue
+		}
+		instances := int(math.Ceil((busy + f.JitterMS) / f.PeriodMS))
+		if instances < 1 {
+			instances = 1
+		}
+		worst := 0.0
+		ok := true
+		for q := 0; q < instances; q++ {
+			w := blocking + float64(q)*c
+			converged := false
+			for iter := 0; iter < 100000; iter++ {
+				next := blocking + float64(q)*c
+				for _, hp := range sorted[:i] {
+					next += math.Ceil((w+hp.JitterMS+tauBit)/hp.PeriodMS) * bus.TxTimeMS(hp.Payload)
+				}
+				if next == w {
+					converged = true
+					break
+				}
+				w = next
+				if w > busyLimit {
+					break
+				}
+			}
+			if !converged {
+				ok = false
+				break
+			}
+			r := f.JitterMS + w - float64(q)*f.PeriodMS + c
+			if r > worst {
+				worst = r
+			}
+		}
+		if !ok {
+			out = append(out, ResponseTime{
+				Frame: f.ID, WCRTms: math.Inf(1), BlockingMS: blocking, Schedulable: false,
+			})
+			continue
+		}
+		out = append(out, ResponseTime{
+			Frame:       f.ID,
+			WCRTms:      worst,
+			BlockingMS:  blocking,
+			Schedulable: worst <= f.PeriodMS,
+		})
+	}
+	return out, nil
+}
+
+// Schedulable reports whether every frame of the set meets its implicit
+// deadline under worst-case arbitration.
+func Schedulable(bus Bus, frames []Frame) (bool, error) {
+	rts, err := AnalyzeBus(bus, frames)
+	if err != nil {
+		return false, err
+	}
+	for _, rt := range rts {
+		if !rt.Schedulable {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// ResponseTimesByID returns the analysis results keyed by frame ID.
+func ResponseTimesByID(bus Bus, frames []Frame) (map[string]ResponseTime, error) {
+	rts, err := AnalyzeBus(bus, frames)
+	if err != nil {
+		return nil, err
+	}
+	m := make(map[string]ResponseTime, len(rts))
+	for _, rt := range rts {
+		if _, dup := m[rt.Frame]; dup {
+			return nil, fmt.Errorf("can: duplicate frame ID %q", rt.Frame)
+		}
+		m[rt.Frame] = rt
+	}
+	return m, nil
+}

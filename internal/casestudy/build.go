@@ -1,0 +1,328 @@
+package casestudy
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/bistgen"
+	"repro/internal/model"
+)
+
+// Options parameterize case study construction.
+type Options struct {
+	// ProfilesPerECU selects how many Table I profiles are offered per
+	// ECU (1..36, default 36). Smaller values shrink the design space
+	// for fast tests.
+	ProfilesPerECU int
+	// Profiles overrides the profile set (default: TableI()).
+	Profiles []bistgen.Profile
+	// Seed drives the deterministic pseudo-random assignment of mapping
+	// options and message periods.
+	Seed int64
+	// IncludeSBST adds the software-based self-test alternatives of
+	// SBSTProfiles as further per-ECU options (related-work comparison).
+	IncludeSBST bool
+	// ExcludeBIST drops the hardware BIST profiles, leaving SBST as the
+	// only diagnosis option (requires IncludeSBST) — the [14] baseline.
+	ExcludeBIST bool
+	// FDPayload > 0 models the future-architecture variant the paper
+	// alludes to ("existing and future automotive architectures"): the
+	// buses run CAN FD at 2 Mbit/s and functional messages carry
+	// FDPayload-byte container PDUs (typically 64) at unchanged periods,
+	// multiplying the mirrored Eq. (1) bandwidth accordingly.
+	FDPayload int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Profiles == nil {
+		o.Profiles = TableI()
+	}
+	if o.ProfilesPerECU <= 0 || o.ProfilesPerECU > len(o.Profiles) {
+		o.ProfilesPerECU = len(o.Profiles)
+	}
+	if o.Seed == 0 {
+		o.Seed = 2014
+	}
+	return o
+}
+
+// appShape describes one control application tree: how many sensor
+// tasks feed its processing chain and how many actuator tasks hang off
+// its tail.
+type appShape struct {
+	name      string
+	sensors   int
+	procs     int
+	actuators int
+	bus       int // home bus index 0..2
+}
+
+// The four applications: 9 sensor tasks + 31 processing tasks +
+// 5 actuator tasks = 45 tasks; each application is a tree, so the
+// message count is 45 − 4 = 41.
+var appShapes = [4]appShape{
+	{name: "powertrain", sensors: 3, procs: 8, actuators: 1, bus: 0},
+	{name: "chassis", sensors: 2, procs: 8, actuators: 2, bus: 1},
+	{name: "adas", sensors: 2, procs: 8, actuators: 1, bus: 2},
+	{name: "body", sensors: 2, procs: 7, actuators: 1, bus: 2},
+}
+
+var messagePeriods = []float64{10, 20, 50, 100}
+
+// Build constructs the specification of the paper's case study.
+func Build(opt Options) (*model.Specification, error) {
+	opt = opt.withDefaults()
+	rng := rand.New(rand.NewSource(opt.Seed))
+
+	app := model.NewApplicationGraph()
+	arch := model.NewArchitectureGraph()
+
+	// --- Architecture: 3 CAN buses, 15 ECUs (5 per bus), 9 sensors,
+	// 5 actuators, central gateway on all buses.
+	busRate := 500_000.0
+	msgPayload := int64(8)
+	if opt.FDPayload > 0 {
+		busRate = 2_000_000
+		msgPayload = int64(opt.FDPayload)
+		if msgPayload > 64 {
+			msgPayload = 64
+		}
+	}
+	buses := make([]model.ResourceID, 3)
+	for b := range buses {
+		buses[b] = model.ResourceID(fmt.Sprintf("can%d", b))
+		if err := arch.AddResource(&model.Resource{
+			ID: buses[b], Kind: model.KindBus, Cost: 5, BitRate: busRate,
+		}); err != nil {
+			return nil, err
+		}
+	}
+	gw := model.ResourceID("gateway")
+	if err := arch.AddResource(&model.Resource{
+		ID: gw, Kind: model.KindGateway, Cost: 80, MemCostPerKB: 0.004,
+	}); err != nil {
+		return nil, err
+	}
+	for _, b := range buses {
+		if err := arch.Connect(gw, b); err != nil {
+			return nil, err
+		}
+	}
+	ecus := make([]model.ResourceID, 15)
+	for i := range ecus {
+		ecus[i] = model.ResourceID(fmt.Sprintf("ecu%02d", i+1))
+		cost := 50 + float64(rng.Intn(80)) // 50..129
+		if err := arch.AddResource(&model.Resource{
+			ID: ecus[i], Kind: model.KindECU, Cost: cost,
+			BISTCapable: true, BISTCost: cost * 0.005, MemCostPerKB: 0.02,
+		}); err != nil {
+			return nil, err
+		}
+		if err := arch.Connect(ecus[i], buses[i/5]); err != nil {
+			return nil, err
+		}
+	}
+	sensors := make([]model.ResourceID, 9)
+	for i := range sensors {
+		sensors[i] = model.ResourceID(fmt.Sprintf("sensor%d", i+1))
+		if err := arch.AddResource(&model.Resource{
+			ID: sensors[i], Kind: model.KindSensor, Cost: 8,
+		}); err != nil {
+			return nil, err
+		}
+	}
+	actuators := make([]model.ResourceID, 5)
+	for i := range actuators {
+		actuators[i] = model.ResourceID(fmt.Sprintf("actuator%d", i+1))
+		if err := arch.AddResource(&model.Resource{
+			ID: actuators[i], Kind: model.KindActuator, Cost: 12,
+		}); err != nil {
+			return nil, err
+		}
+	}
+
+	spec := model.NewSpecification(app, arch)
+	spec.Gateway = gw
+
+	// --- Functional applications.
+	if err := app.AddTask(&model.Task{ID: "bR", Kind: model.KindCollect}); err != nil {
+		return nil, err
+	}
+	if err := spec.AddMapping("bR", gw); err != nil {
+		return nil, err
+	}
+
+	sensorIdx, actuatorIdx := 0, 0
+	prio := 1
+	for _, shape := range appShapes {
+		bus := buses[shape.bus]
+		busECUs := ecus[shape.bus*5 : shape.bus*5+5]
+		// Attach this app's sensors and actuators to its home bus.
+		var sensorTasks []model.TaskID
+		for s := 0; s < shape.sensors; s++ {
+			res := sensors[sensorIdx]
+			sensorIdx++
+			if err := arch.Connect(res, bus); err != nil {
+				return nil, err
+			}
+			tid := model.TaskID(fmt.Sprintf("%s.s%d", shape.name, s))
+			if err := app.AddTask(&model.Task{ID: tid, Kind: model.KindFunctional, WCETms: 0.5}); err != nil {
+				return nil, err
+			}
+			if err := spec.AddMapping(tid, res); err != nil {
+				return nil, err
+			}
+			sensorTasks = append(sensorTasks, tid)
+		}
+		// Processing chain with 2–3 ECU mapping options each.
+		var procTasks []model.TaskID
+		for p := 0; p < shape.procs; p++ {
+			tid := model.TaskID(fmt.Sprintf("%s.p%d", shape.name, p))
+			if err := app.AddTask(&model.Task{ID: tid, Kind: model.KindFunctional, WCETms: 1, MemBytes: 4096}); err != nil {
+				return nil, err
+			}
+			nOpts := 2 + rng.Intn(2)
+			perm := rng.Perm(len(busECUs))
+			for k := 0; k < nOpts; k++ {
+				if err := spec.AddMapping(tid, busECUs[perm[k]]); err != nil {
+					return nil, err
+				}
+			}
+			procTasks = append(procTasks, tid)
+		}
+		var actuatorTasks []model.TaskID
+		for a := 0; a < shape.actuators; a++ {
+			res := actuators[actuatorIdx]
+			actuatorIdx++
+			if err := arch.Connect(res, bus); err != nil {
+				return nil, err
+			}
+			tid := model.TaskID(fmt.Sprintf("%s.a%d", shape.name, a))
+			if err := app.AddTask(&model.Task{ID: tid, Kind: model.KindFunctional, WCETms: 0.5}); err != nil {
+				return nil, err
+			}
+			if err := spec.AddMapping(tid, res); err != nil {
+				return nil, err
+			}
+			actuatorTasks = append(actuatorTasks, tid)
+		}
+
+		// Tree edges: sensors fan into the first processing task, the
+		// processing tasks form a chain, the actuators hang off the tail.
+		addMsg := func(src, dst model.TaskID) error {
+			id := model.MessageID(fmt.Sprintf("c.%s.%s", src, dst))
+			err := app.AddMessage(&model.Message{
+				ID: id, Src: src, Dst: []model.TaskID{dst},
+				SizeBytes: msgPayload,
+				PeriodMS:  messagePeriods[rng.Intn(len(messagePeriods))],
+				Priority:  prio,
+			})
+			prio++
+			return err
+		}
+		for _, s := range sensorTasks {
+			if err := addMsg(s, procTasks[0]); err != nil {
+				return nil, err
+			}
+		}
+		for p := 1; p < len(procTasks); p++ {
+			if err := addMsg(procTasks[p-1], procTasks[p]); err != nil {
+				return nil, err
+			}
+		}
+		for _, a := range actuatorTasks {
+			if err := addMsg(procTasks[len(procTasks)-1], a); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// --- Diagnostic tasks: per ECU, one (b^T, b^D, c^D, c^R) family per
+	// selectable profile.
+	if !opt.ExcludeBIST {
+		if err := AddBIST(spec, ecus, opt.Profiles[:opt.ProfilesPerECU]); err != nil {
+			return nil, err
+		}
+	}
+	if opt.IncludeSBST {
+		if err := AddSBST(spec, ecus, SBSTProfiles()); err != nil {
+			return nil, err
+		}
+	}
+	if opt.ExcludeBIST && !opt.IncludeSBST {
+		return nil, fmt.Errorf("casestudy: ExcludeBIST without IncludeSBST leaves no diagnosis options")
+	}
+
+	if err := spec.Validate(); err != nil {
+		return nil, fmt.Errorf("casestudy: built an invalid specification: %w", err)
+	}
+	return spec, nil
+}
+
+// BISTShare returns the fraction of ECU r's total IC fault population
+// that lives in its BIST-testable microprocessor. The paper maximizes
+// "the average stuck-at fault coverage achieved for all the ICs in the
+// ECUs", but BIST exercises only the main µC — transceivers, power
+// ASICs and peripherals stay untested, which caps per-ECU quality below
+// 1 (the ≈85 % ceiling visible in the paper's Fig. 5). The share is a
+// deterministic per-ECU value in [0.78, 0.92].
+func BISTShare(r model.ResourceID) float64 {
+	h := uint32(2166136261)
+	for _, b := range []byte(r) {
+		h = (h ^ uint32(b)) * 16777619
+	}
+	return 0.78 + 0.14*float64(h%1000)/999
+}
+
+// AddBIST augments a specification with the BIST task families of the
+// given profiles for each listed ECU: the test task b^T (bindable only
+// to its ECU, its coverage derated by BISTShare), the data task b^D
+// (bindable to the ECU or the gateway), the pattern message c^D, and
+// the fail-data message c^R to the mandatory collector bR (Fig. 3 of
+// the paper).
+func AddBIST(spec *model.Specification, ecus []model.ResourceID, profiles []bistgen.Profile) error {
+	app := spec.App
+	if app.Task("bR") == nil {
+		return fmt.Errorf("casestudy: specification has no collector task bR")
+	}
+	for _, ecu := range ecus {
+		for _, p := range profiles {
+			bT := model.TaskID(fmt.Sprintf("bT.%s.%d", ecu, p.Number))
+			bD := model.TaskID(fmt.Sprintf("bD.%s.%d", ecu, p.Number))
+			if err := app.AddTask(&model.Task{
+				ID: bT, Kind: model.KindBISTTest, TestedECU: ecu,
+				Coverage: p.Coverage * BISTShare(ecu), WCETms: p.RuntimeMS, Profile: p.Number,
+			}); err != nil {
+				return err
+			}
+			if err := app.AddTask(&model.Task{
+				ID: bD, Kind: model.KindBISTData, TestedECU: ecu,
+				MemBytes: p.DataBytes, Profile: p.Number,
+			}); err != nil {
+				return err
+			}
+			if err := app.AddMessage(&model.Message{
+				ID: model.MessageID("cD." + string(bT)), Src: bD, Dst: []model.TaskID{bT},
+				SizeBytes: 8, PeriodMS: 10,
+			}); err != nil {
+				return err
+			}
+			if err := app.AddMessage(&model.Message{
+				ID: model.MessageID("cR." + string(bT)), Src: bT, Dst: []model.TaskID{"bR"},
+				SizeBytes: 8, PeriodMS: 100,
+			}); err != nil {
+				return err
+			}
+			if err := spec.AddMapping(bT, ecu); err != nil {
+				return err
+			}
+			if err := spec.AddMapping(bD, ecu); err != nil {
+				return err
+			}
+			if err := spec.AddMapping(bD, spec.Gateway); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

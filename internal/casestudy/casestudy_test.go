@@ -1,0 +1,244 @@
+package casestudy
+
+import (
+	"testing"
+
+	"repro/internal/model"
+)
+
+func TestTableIContents(t *testing.T) {
+	profiles := TableI()
+	if len(profiles) != 36 {
+		t.Fatalf("len = %d", len(profiles))
+	}
+	// Spot-check rows 1, 3 and 36 against the paper.
+	p1 := profiles[0]
+	if p1.PRPs != 500 || p1.Coverage != 0.9983 || p1.RuntimeMS != 4.87 || p1.DataBytes != 2_399_185 {
+		t.Fatalf("row 1 = %+v", p1)
+	}
+	p3 := profiles[2]
+	if p3.Target != "98%" || p3.DataBytes != 994_156 {
+		t.Fatalf("row 3 = %+v", p3)
+	}
+	p36 := profiles[35]
+	if p36.PRPs != 500_000 || p36.Coverage != 0.9669 || p36.DataBytes != 171_792 {
+		t.Fatalf("row 36 = %+v", p36)
+	}
+	for i, p := range profiles {
+		if p.Number != i+1 {
+			t.Fatalf("numbering broken at %d", i)
+		}
+		if p.Coverage < 0.95 || p.Coverage > 1 {
+			t.Fatalf("coverage out of range: %+v", p)
+		}
+		if p.RuntimeMS <= 0 || p.DataBytes <= 0 {
+			t.Fatalf("non-positive attributes: %+v", p)
+		}
+	}
+}
+
+// TestTableIShape verifies the qualitative structure the DSE exploits:
+// within a PRP level the 95% profile stores less than the 98% profile,
+// which stores less than both max profiles; and runtime grows with the
+// pattern count.
+func TestTableIShape(t *testing.T) {
+	profiles := TableI()
+	for level := 0; level < 9; level++ {
+		ps := profiles[level*4 : level*4+4]
+		if ps[3].DataBytes >= ps[2].DataBytes {
+			t.Fatalf("level %d: 95%% stores %d, 98%% stores %d", level, ps[3].DataBytes, ps[2].DataBytes)
+		}
+		if ps[2].DataBytes >= ps[0].DataBytes || ps[2].DataBytes >= ps[1].DataBytes {
+			t.Fatalf("level %d: 98%% not below max", level)
+		}
+		for i := 1; i < 4; i++ {
+			if ps[i].PRPs != ps[0].PRPs {
+				t.Fatalf("level %d mixes PRP counts", level)
+			}
+		}
+	}
+	for level := 1; level < 9; level++ {
+		if profiles[level*4].RuntimeMS <= profiles[(level-1)*4].RuntimeMS {
+			t.Fatal("runtime not increasing with PRPs")
+		}
+	}
+}
+
+func TestBuildPaperCounts(t *testing.T) {
+	spec, err := Build(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	app := spec.App
+	arch := spec.Arch
+
+	if n := len(app.TasksOfKind(model.KindFunctional)); n != 45 {
+		t.Fatalf("functional tasks = %d, want 45", n)
+	}
+	functionalMsgs := 0
+	for _, m := range app.Messages() {
+		if src := app.Task(m.Src); src != nil && src.Kind == model.KindFunctional {
+			functionalMsgs++
+		}
+	}
+	if functionalMsgs != 41 {
+		t.Fatalf("functional messages = %d, want 41", functionalMsgs)
+	}
+	if n := len(arch.ResourcesOfKind(model.KindECU)); n != 15 {
+		t.Fatalf("ECUs = %d, want 15", n)
+	}
+	if n := len(arch.ResourcesOfKind(model.KindSensor)); n != 9 {
+		t.Fatalf("sensors = %d, want 9", n)
+	}
+	if n := len(arch.ResourcesOfKind(model.KindActuator)); n != 5 {
+		t.Fatalf("actuators = %d, want 5", n)
+	}
+	if n := len(arch.ResourcesOfKind(model.KindBus)); n != 3 {
+		t.Fatalf("buses = %d, want 3", n)
+	}
+	if n := len(app.TasksOfKind(model.KindBISTTest)); n != 15*36 {
+		t.Fatalf("BIST test tasks = %d, want 540", n)
+	}
+	if n := len(app.TasksOfKind(model.KindBISTData)); n != 15*36 {
+		t.Fatalf("BIST data tasks = %d, want 540", n)
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	a, err := Build(Options{ProfilesPerECU: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Build(Options{ProfilesPerECU: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	am, bm := a.Mappings(), b.Mappings()
+	if len(am) != len(bm) {
+		t.Fatalf("mapping counts differ: %d vs %d", len(am), len(bm))
+	}
+	for i := range am {
+		if am[i] != bm[i] {
+			t.Fatalf("mapping %d differs: %v vs %v", i, am[i], bm[i])
+		}
+	}
+}
+
+func TestBuildProfilesSubset(t *testing.T) {
+	spec, err := Build(Options{ProfilesPerECU: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ecu := range spec.Arch.ResourcesOfKind(model.KindECU) {
+		if n := len(spec.BISTTasksForECU(ecu.ID)); n != 4 {
+			t.Fatalf("ECU %s has %d profiles, want 4", ecu.ID, n)
+		}
+	}
+}
+
+func TestBISTPairingComplete(t *testing.T) {
+	spec, err := Build(Options{ProfilesPerECU: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bT := range spec.App.TasksOfKind(model.KindBISTTest) {
+		bD := spec.DataTaskFor(bT)
+		if bD == nil {
+			t.Fatalf("test task %s has no data task", bT.ID)
+		}
+		if bD.TestedECU != bT.TestedECU || bD.Profile != bT.Profile {
+			t.Fatalf("pairing mismatch: %v vs %v", bT, bD)
+		}
+		// The data task must be mappable to the ECU and the gateway.
+		targets := spec.MappingTargets(bD.ID)
+		if len(targets) != 2 {
+			t.Fatalf("data task %s targets = %v", bD.ID, targets)
+		}
+	}
+}
+
+func TestSmallSpec(t *testing.T) {
+	spec, err := Small(3, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(spec.Arch.ResourcesOfKind(model.KindECU)); n != 3 {
+		t.Fatalf("ECUs = %d", n)
+	}
+	if n := len(spec.App.TasksOfKind(model.KindBISTTest)); n != 12 {
+		t.Fatalf("BIST tasks = %d, want 12", n)
+	}
+	if err := spec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSmallRejectsTinyFleet(t *testing.T) {
+	if _, err := Small(1, 4, 1); err == nil {
+		t.Fatal("1-ECU subnet accepted")
+	}
+}
+
+func TestSBSTProfiles(t *testing.T) {
+	ps := SBSTProfiles()
+	if len(ps) != 3 {
+		t.Fatalf("profiles = %d", len(ps))
+	}
+	for i, p := range ps {
+		if p.Coverage <= 0.4 || p.Coverage >= 0.8 {
+			t.Fatalf("SBST coverage out of literature range: %+v", p)
+		}
+		if i > 0 && (p.Coverage <= ps[i-1].Coverage || p.RuntimeMS <= ps[i-1].RuntimeMS) {
+			t.Fatal("SBST profiles not ordered by effort")
+		}
+	}
+	// SBST coverage must stay below the worst hardware BIST profile.
+	worstBIST := 1.0
+	for _, p := range TableI() {
+		if p.Coverage < worstBIST {
+			worstBIST = p.Coverage
+		}
+	}
+	for _, p := range ps {
+		if p.Coverage >= worstBIST {
+			t.Fatalf("SBST profile %d out-covers hardware BIST", p.Number)
+		}
+	}
+}
+
+func TestBuildWithSBST(t *testing.T) {
+	spec, err := Build(Options{ProfilesPerECU: 2, IncludeSBST: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ecu := range spec.Arch.ResourcesOfKind(model.KindECU) {
+		tasks := spec.BISTTasksForECU(ecu.ID)
+		if len(tasks) != 5 { // 2 BIST + 3 SBST
+			t.Fatalf("ECU %s offers %d tests, want 5", ecu.ID, len(tasks))
+		}
+	}
+	// SBST data tasks are bindable locally only.
+	for _, bD := range spec.App.TasksOfKind(model.KindBISTData) {
+		targets := spec.MappingTargets(bD.ID)
+		if bD.Profile >= 37 {
+			if len(targets) != 1 || targets[0] != bD.TestedECU {
+				t.Fatalf("SBST data task %s targets %v", bD.ID, targets)
+			}
+		}
+	}
+}
+
+func TestBuildSBSTOnly(t *testing.T) {
+	spec, err := Build(Options{IncludeSBST: true, ExcludeBIST: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bT := range spec.App.TasksOfKind(model.KindBISTTest) {
+		if bT.Profile < 37 {
+			t.Fatalf("hardware BIST %s present in SBST-only build", bT.ID)
+		}
+	}
+	if _, err := Build(Options{ExcludeBIST: true}); err == nil {
+		t.Fatal("ExcludeBIST without IncludeSBST accepted")
+	}
+}

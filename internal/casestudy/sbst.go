@@ -1,0 +1,75 @@
+package casestudy
+
+import (
+	"fmt"
+
+	"repro/internal/bistgen"
+	"repro/internal/model"
+)
+
+// SBSTProfiles models the software-based self-test alternative the
+// paper contrasts with in Section II ([14], Eberl et al., DAC'12):
+// test programs executed by the CPU itself in functional mode. Compared
+// to logic BIST they reach lower structural coverage, run much longer
+// (instruction-level stimuli), and keep their code in local flash —
+// but they need no test mode, no scan infrastructure and no pattern
+// transfer.
+//
+// Coverage/runtime/size figures follow the ranges reported in the SBST
+// literature for embedded processors (50–70 % stuck-at coverage, tens
+// of kilobytes of code).
+func SBSTProfiles() []bistgen.Profile {
+	return []bistgen.Profile{
+		{Number: 37, PRPs: 0, Coverage: 0.52, RuntimeMS: 60, DataBytes: 16 * 1024, Target: "sbst-s"},
+		{Number: 38, PRPs: 0, Coverage: 0.61, RuntimeMS: 180, DataBytes: 32 * 1024, Target: "sbst-m"},
+		{Number: 39, PRPs: 0, Coverage: 0.70, RuntimeMS: 450, DataBytes: 64 * 1024, Target: "sbst-l"},
+	}
+}
+
+// AddSBST augments a specification with SBST task families: like
+// AddBIST, but the test-program storage task is bindable only to the
+// tested ECU (the code executes from local flash; streaming
+// instructions over CAN is not an option).
+func AddSBST(spec *model.Specification, ecus []model.ResourceID, profiles []bistgen.Profile) error {
+	app := spec.App
+	if app.Task("bR") == nil {
+		return fmt.Errorf("casestudy: specification has no collector task bR")
+	}
+	for _, ecu := range ecus {
+		for _, p := range profiles {
+			bT := model.TaskID(fmt.Sprintf("sT.%s.%d", ecu, p.Number))
+			bD := model.TaskID(fmt.Sprintf("sD.%s.%d", ecu, p.Number))
+			if err := app.AddTask(&model.Task{
+				ID: bT, Kind: model.KindBISTTest, TestedECU: ecu,
+				Coverage: p.Coverage * BISTShare(ecu), WCETms: p.RuntimeMS, Profile: p.Number,
+			}); err != nil {
+				return err
+			}
+			if err := app.AddTask(&model.Task{
+				ID: bD, Kind: model.KindBISTData, TestedECU: ecu,
+				MemBytes: p.DataBytes, Profile: p.Number,
+			}); err != nil {
+				return err
+			}
+			if err := app.AddMessage(&model.Message{
+				ID: model.MessageID("cD." + string(bT)), Src: bD, Dst: []model.TaskID{bT},
+				SizeBytes: 8, PeriodMS: 10,
+			}); err != nil {
+				return err
+			}
+			if err := app.AddMessage(&model.Message{
+				ID: model.MessageID("cR." + string(bT)), Src: bT, Dst: []model.TaskID{"bR"},
+				SizeBytes: 8, PeriodMS: 100,
+			}); err != nil {
+				return err
+			}
+			if err := spec.AddMapping(bT, ecu); err != nil {
+				return err
+			}
+			if err := spec.AddMapping(bD, ecu); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,127 @@
+package casestudy
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/model"
+)
+
+// Small builds a reduced subnet for examples and fast tests: nECUs on a
+// single CAN bus plus a gateway, one sensor → processing chain →
+// actuator application whose processing tasks have two mapping options
+// each, and profilesPerECU Table I profiles per ECU.
+func Small(nECUs, profilesPerECU int, seed int64) (*model.Specification, error) {
+	if nECUs < 2 {
+		return nil, fmt.Errorf("casestudy: Small needs at least 2 ECUs")
+	}
+	if profilesPerECU <= 0 || profilesPerECU > 36 {
+		profilesPerECU = 4
+	}
+	rng := rand.New(rand.NewSource(seed))
+
+	app := model.NewApplicationGraph()
+	arch := model.NewArchitectureGraph()
+	bus := model.ResourceID("can0")
+	if err := arch.AddResource(&model.Resource{ID: bus, Kind: model.KindBus, Cost: 5, BitRate: 500_000}); err != nil {
+		return nil, err
+	}
+	gw := model.ResourceID("gateway")
+	if err := arch.AddResource(&model.Resource{ID: gw, Kind: model.KindGateway, Cost: 80, MemCostPerKB: 0.004}); err != nil {
+		return nil, err
+	}
+	if err := arch.Connect(gw, bus); err != nil {
+		return nil, err
+	}
+	ecus := make([]model.ResourceID, nECUs)
+	for i := range ecus {
+		ecus[i] = model.ResourceID(fmt.Sprintf("ecu%02d", i+1))
+		cost := 50 + float64(rng.Intn(80))
+		if err := arch.AddResource(&model.Resource{
+			ID: ecus[i], Kind: model.KindECU, Cost: cost,
+			BISTCapable: true, BISTCost: cost * 0.005, MemCostPerKB: 0.02,
+		}); err != nil {
+			return nil, err
+		}
+		if err := arch.Connect(ecus[i], bus); err != nil {
+			return nil, err
+		}
+	}
+	sensor := model.ResourceID("sensor1")
+	if err := arch.AddResource(&model.Resource{ID: sensor, Kind: model.KindSensor, Cost: 8}); err != nil {
+		return nil, err
+	}
+	if err := arch.Connect(sensor, bus); err != nil {
+		return nil, err
+	}
+	act := model.ResourceID("actuator1")
+	if err := arch.AddResource(&model.Resource{ID: act, Kind: model.KindActuator, Cost: 12}); err != nil {
+		return nil, err
+	}
+	if err := arch.Connect(act, bus); err != nil {
+		return nil, err
+	}
+
+	spec := model.NewSpecification(app, arch)
+	spec.Gateway = gw
+	if err := app.AddTask(&model.Task{ID: "bR", Kind: model.KindCollect}); err != nil {
+		return nil, err
+	}
+	if err := spec.AddMapping("bR", gw); err != nil {
+		return nil, err
+	}
+
+	// One chain: sensor → p0 → p1 → … → actuator, one processing task
+	// per ECU pair.
+	if err := app.AddTask(&model.Task{ID: "read", Kind: model.KindFunctional, WCETms: 0.5}); err != nil {
+		return nil, err
+	}
+	if err := spec.AddMapping("read", sensor); err != nil {
+		return nil, err
+	}
+	prev := model.TaskID("read")
+	prio := 1
+	addMsg := func(src, dst model.TaskID) error {
+		err := app.AddMessage(&model.Message{
+			ID: model.MessageID(fmt.Sprintf("c.%s.%s", src, dst)), Src: src,
+			Dst: []model.TaskID{dst}, SizeBytes: 8,
+			PeriodMS: messagePeriods[rng.Intn(len(messagePeriods))], Priority: prio,
+		})
+		prio++
+		return err
+	}
+	nProc := nECUs
+	for p := 0; p < nProc; p++ {
+		tid := model.TaskID(fmt.Sprintf("p%d", p))
+		if err := app.AddTask(&model.Task{ID: tid, Kind: model.KindFunctional, WCETms: 1, MemBytes: 4096}); err != nil {
+			return nil, err
+		}
+		if err := spec.AddMapping(tid, ecus[p%nECUs]); err != nil {
+			return nil, err
+		}
+		if err := spec.AddMapping(tid, ecus[(p+1)%nECUs]); err != nil {
+			return nil, err
+		}
+		if err := addMsg(prev, tid); err != nil {
+			return nil, err
+		}
+		prev = tid
+	}
+	if err := app.AddTask(&model.Task{ID: "drive", Kind: model.KindFunctional, WCETms: 0.5}); err != nil {
+		return nil, err
+	}
+	if err := spec.AddMapping("drive", act); err != nil {
+		return nil, err
+	}
+	if err := addMsg(prev, "drive"); err != nil {
+		return nil, err
+	}
+
+	if err := AddBIST(spec, ecus, TableI()[:profilesPerECU]); err != nil {
+		return nil, err
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, fmt.Errorf("casestudy: Small built an invalid specification: %w", err)
+	}
+	return spec, nil
+}

@@ -1,0 +1,85 @@
+// Package casestudy builds the automotive E/E-architecture subnet of
+// the paper's Section IV: four control-centric applications with 45
+// tasks and 41 messages over 15 ECUs, 9 sensors and 5 actuators on
+// three CAN buses joined by a central gateway — plus, per ECU, the 36
+// selectable BIST profiles of Table I as optional diagnostic tasks.
+package casestudy
+
+import "repro/internal/bistgen"
+
+// tableIRow is one row of the paper's Table I.
+type tableIRow struct {
+	prps     int
+	coverage float64 // percent
+	runtime  float64 // ms
+	bytes    int64
+}
+
+// tableI reproduces Table I verbatim: BIST profiles measured on the
+// Infineon automotive processor (371,900 collapsed faults, 100 scan
+// chains × ≤77 cells, 40 MHz).
+var tableI = [36]tableIRow{
+	{500, 99.83, 4.87, 2_399_185},
+	{500, 99.84, 4.87, 2_401_554},
+	{500, 98.17, 2.81, 994_156},
+	{500, 95.73, 1.71, 455_061},
+	{1000, 99.84, 5.79, 2_370_883},
+	{1000, 99.84, 5.74, 2_340_080},
+	{1000, 98.15, 3.66, 918_895},
+	{1000, 96.13, 2.67, 455_193},
+	{5000, 99.87, 13.37, 2_300_488},
+	{5000, 99.87, 13.31, 2_263_762},
+	{5000, 98.21, 11.23, 772_886},
+	{5000, 95.61, 10.25, 311_258},
+	{10000, 99.87, 22.93, 2_261_705},
+	{10000, 99.87, 22.85, 2_210_762},
+	{10000, 98.06, 20.61, 834_119},
+	{10000, 95.97, 19.75, 304_549},
+	{20000, 99.88, 42.11, 2_216_126},
+	{20000, 99.88, 42.05, 2_180_585},
+	{20000, 97.62, 39.74, 757_737},
+	{20000, 95.16, 38.88, 229_353},
+	{50000, 99.87, 99.59, 2_054_510},
+	{50000, 99.87, 99.53, 2_018_968},
+	{50000, 97.93, 97.24, 610_337},
+	{50000, 96.11, 96.63, 231_227},
+	{100000, 99.87, 195.84, 2_054_081},
+	{100000, 99.87, 195.74, 1_994_845},
+	{100000, 98.10, 193.49, 611_093},
+	{100000, 95.36, 192.76, 158_531},
+	{200000, 99.89, 388.06, 1_888_552},
+	{200000, 99.89, 387.99, 1_843_533},
+	{200000, 98.13, 385.87, 540_342},
+	{200000, 95.99, 385.26, 162_417},
+	{500000, 99.89, 965.35, 1_767_609},
+	{500000, 99.89, 965.31, 1_741_544},
+	{500000, 98.28, 963.25, 475_080},
+	{500000, 96.69, 962.76, 171_792},
+}
+
+// targetNames labels the four variants of each PRP level in Table I
+// order: two maximum-coverage runs, a 98 % run and a 95 % run.
+var targetNames = [4]string{"max", "max", "98%", "95%"}
+
+// TableI returns the paper's 36 BIST profiles as bistgen.Profile values
+// (coverage in [0,1]). The fail data per session is fixed at roughly
+// 638 bytes and transferred to the central gateway regardless of
+// profile, so it is not part of s(b).
+func TableI() []bistgen.Profile {
+	out := make([]bistgen.Profile, len(tableI))
+	for i, r := range tableI {
+		out[i] = bistgen.Profile{
+			Number:    i + 1,
+			PRPs:      r.prps,
+			Coverage:  r.coverage / 100,
+			RuntimeMS: r.runtime,
+			DataBytes: r.bytes,
+			Target:    targetNames[i%4],
+		}
+	}
+	return out
+}
+
+// FailDataBytes is the fixed fail-data volume per BIST session shipped
+// to the gateway (Section IV-A).
+const FailDataBytes = 638

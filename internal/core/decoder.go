@@ -1,0 +1,51 @@
+// Package core ties the reproduction together: it couples the MOEA with
+// a genotype decoder (SAT-decoding via the pseudo-Boolean encoding, or
+// the fast greedy constructive decoder) and the three design objectives,
+// forming the design space exploration of the paper's Fig. 2.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/encode"
+	"repro/internal/model"
+)
+
+// Decoder turns a genotype into a feasible implementation. Decoders
+// must be deterministic: the same genotype always yields the same
+// implementation.
+type Decoder interface {
+	GenotypeLen() int
+	Decode(genotype []float64) (*model.Implementation, error)
+}
+
+// SATDecoder is the paper's SAT-decoding: the genotype orders the
+// pseudo-Boolean solver's decisions over the mapping variables and the
+// solver completes them into a model of Eqs. (2a)–(2h), (3a), (3b) plus
+// the functional constraints.
+type SATDecoder struct {
+	Enc *encode.Encoding
+	// MaxConflicts bounds the per-decode search (0 = solver default).
+	MaxConflicts int
+}
+
+// NewSATDecoder builds the encoding for the specification.
+func NewSATDecoder(spec *model.Specification, tmax int) (*SATDecoder, error) {
+	enc, err := encode.Build(spec, tmax)
+	if err != nil {
+		return nil, err
+	}
+	return &SATDecoder{Enc: enc}, nil
+}
+
+// GenotypeLen implements Decoder.
+func (d *SATDecoder) GenotypeLen() int { return d.Enc.GenotypeLen() }
+
+// Decode implements Decoder.
+func (d *SATDecoder) Decode(genotype []float64) (*model.Implementation, error) {
+	x, _, err := d.Enc.SolveWithGenotype(genotype, d.MaxConflicts)
+	if err != nil {
+		return nil, fmt.Errorf("core: SAT decode: %w", err)
+	}
+	return x, nil
+}

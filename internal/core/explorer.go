@@ -1,0 +1,213 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/model"
+	"repro/internal/moea"
+	"repro/internal/objective"
+)
+
+// Solution is one evaluated implementation in the result set.
+type Solution struct {
+	Impl       *model.Implementation
+	Objectives objective.Vector
+}
+
+// Result is the outcome of an exploration run.
+type Result struct {
+	// Solutions is the Pareto-optimal set over (cost, −quality,
+	// shut-off), sorted by ascending cost.
+	Solutions []Solution
+	// Evaluations counts decoded and evaluated implementations.
+	Evaluations int
+	// Elapsed is the wall-clock duration of the run.
+	Elapsed time.Duration
+	// DecodeFailures counts genotypes the decoder could not turn into an
+	// implementation (zero for the construct-by-design decoders).
+	DecodeFailures int
+}
+
+// Explorer couples a decoder with the MOEA.
+type Explorer struct {
+	Spec    *model.Specification
+	Decoder Decoder
+	// Verify re-checks every decoded implementation against the model's
+	// structural rules and fails loudly on violation. Enable in tests;
+	// costs ~30 % throughput.
+	Verify bool
+
+	decodeFailures atomic.Int64
+}
+
+// NewExplorer returns an explorer over the specification.
+func NewExplorer(spec *model.Specification, dec Decoder) *Explorer {
+	return &Explorer{Spec: spec, Decoder: dec}
+}
+
+// GenotypeLen implements moea.Problem.
+func (e *Explorer) GenotypeLen() int { return e.Decoder.GenotypeLen() }
+
+// Evaluate implements moea.Problem: decode, verify (optionally), and
+// score. Decode failures are punished with an all-worst objective
+// vector so the MOEA steers away from them. Evaluate is safe for
+// concurrent use when the decoder is (both built-in decoders are).
+func (e *Explorer) Evaluate(genotype []float64) (moea.Objectives, any) {
+	x, err := e.Decoder.Decode(genotype)
+	if err != nil {
+		e.decodeFailures.Add(1)
+		return moea.Objectives{math.Inf(1), 0, math.Inf(1)}, nil
+	}
+	if e.Verify {
+		if errs := x.Check(); len(errs) != 0 {
+			panic(fmt.Sprintf("core: decoder produced infeasible implementation: %v", errs))
+		}
+	}
+	v := objective.Evaluate(x)
+	return moea.Objectives(v.Minimized()), Solution{Impl: x, Objectives: v}
+}
+
+// Run executes the exploration with the given MOEA options.
+func (e *Explorer) Run(opt moea.Options) (*Result, error) {
+	e.decodeFailures.Store(0)
+	start := time.Now()
+	mres, err := moea.Run(e, opt)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Evaluations:    mres.Evaluations,
+		Elapsed:        time.Since(start),
+		DecodeFailures: int(e.decodeFailures.Load()),
+	}
+	for _, ind := range mres.Archive {
+		if sol, ok := ind.Payload.(Solution); ok {
+			res.Solutions = append(res.Solutions, sol)
+		}
+	}
+	sort.Slice(res.Solutions, func(i, j int) bool {
+		return res.Solutions[i].Objectives.CostTotal < res.Solutions[j].Objectives.CostTotal
+	})
+	return res, nil
+}
+
+// RunRandom explores with uniform random sampling instead of NSGA-II —
+// the optimizer ablation baseline (DESIGN.md A2 family).
+func (e *Explorer) RunRandom(evals int, seed int64) (*Result, error) {
+	e.decodeFailures.Store(0)
+	start := time.Now()
+	mres, err := moea.RandomSearch(e, evals, seed)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Evaluations:    mres.Evaluations,
+		Elapsed:        time.Since(start),
+		DecodeFailures: int(e.decodeFailures.Load()),
+	}
+	for _, ind := range mres.Archive {
+		if sol, ok := ind.Payload.(Solution); ok {
+			res.Solutions = append(res.Solutions, sol)
+		}
+	}
+	sort.Slice(res.Solutions, func(i, j int) bool {
+		return res.Solutions[i].Objectives.CostTotal < res.Solutions[j].Objectives.CostTotal
+	})
+	return res, nil
+}
+
+// SplitByShutOff partitions the solutions at the given shut-off
+// threshold in milliseconds — the ●/▲ marker split of the paper's
+// Fig. 5 (20 s).
+func (r *Result) SplitByShutOff(thresholdMS float64) (fast, slow []Solution) {
+	for _, s := range r.Solutions {
+		if s.Objectives.ShutOffMS <= thresholdMS {
+			fast = append(fast, s)
+		} else {
+			slow = append(slow, s)
+		}
+	}
+	return fast, slow
+}
+
+// BestQualityWithin returns the highest-test-quality solution whose
+// cost stays within (1+maxCostOverhead)·baselineCost — the paper's
+// headline query ("80.7 % test quality for <3.7 % extra cost").
+func (r *Result) BestQualityWithin(baselineCost, maxCostOverhead float64) (Solution, bool) {
+	var best Solution
+	found := false
+	limit := baselineCost * (1 + maxCostOverhead)
+	for _, s := range r.Solutions {
+		if s.Objectives.CostTotal <= limit && (!found || s.Objectives.TestQuality > best.Objectives.TestQuality) {
+			best = s
+			found = true
+		}
+	}
+	return best, found
+}
+
+// BaselineCost returns the monetary cost of the cheapest exploration
+// solution without any BIST, or, if the archive holds none, the
+// cheapest solution's hardware cost (its BIST increment removed).
+func (r *Result) BaselineCost() float64 {
+	best := math.Inf(1)
+	for _, s := range r.Solutions {
+		if s.Objectives.TestQuality == 0 && s.Objectives.CostTotal < best {
+			best = s.Objectives.CostTotal
+		}
+	}
+	if !math.IsInf(best, 1) {
+		return best
+	}
+	for _, s := range r.Solutions {
+		c := objective.MonetaryCosts(s.Impl)
+		hw := c.Hardware
+		if hw < best {
+			best = hw
+		}
+	}
+	return best
+}
+
+// MemorySplit reports, for one solution, the diagnostic memory stored
+// at the gateway versus distributed into the ECUs — the quantities of
+// the paper's Fig. 6.
+type MemorySplit struct {
+	GatewayBytes     int64
+	DistributedBytes int64
+	ShutOffMS        float64
+	CostTotal        float64
+	TestQuality      float64
+}
+
+// MemorySplitOf computes the Fig. 6 quantities of a solution. Gateway
+// entries of the same profile are stored once (the shared-pattern model
+// of Section III-D), distributed entries once per ECU.
+func MemorySplitOf(s Solution) MemorySplit {
+	ms := MemorySplit{
+		ShutOffMS:   s.Objectives.ShutOffMS,
+		CostTotal:   s.Objectives.CostTotal,
+		TestQuality: s.Objectives.TestQuality,
+	}
+	x := s.Impl
+	gwShared := make(map[int]int64)
+	for tid, r := range x.Binding {
+		t := x.Spec.App.Task(tid)
+		if t == nil || t.Kind != model.KindBISTData {
+			continue
+		}
+		if r == x.Spec.Gateway {
+			gwShared[t.Profile] = t.MemBytes
+		} else {
+			ms.DistributedBytes += t.MemBytes
+		}
+	}
+	for _, bytes := range gwShared {
+		ms.GatewayBytes += bytes
+	}
+	return ms
+}

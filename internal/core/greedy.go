@@ -1,0 +1,184 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+)
+
+// GreedyDecoder is the high-throughput constructive decoder: instead of
+// running the PB solver it interprets the genotype directly —
+//
+//   - one gene per mandatory task with several mapping options, selecting
+//     the option index;
+//   - one gene per ECU selecting "no BIST" or one of the available
+//     profiles (Eq. 3a holds by construction);
+//   - one gene per ECU selecting local vs gateway pattern storage
+//     (Eq. 3b holds by construction);
+//
+// and routes every active message along the shortest architecture path.
+// BIST is suppressed on ECUs that end up hosting no mandatory task,
+// enforcing Eq. (2h). Every decode is feasible by construction; the
+// ablation experiment A2 (DESIGN.md) compares it against SAT-decoding.
+type GreedyDecoder struct {
+	Spec *model.Specification
+
+	// StorageChoice overrides the storage gene when non-zero:
+	// +1 forces local storage, -1 forces gateway storage (ablation A1).
+	StorageChoice int
+
+	choiceTasks []model.TaskID // mandatory tasks with ≥2 options
+	fixedTasks  []model.TaskID // mandatory tasks with exactly 1 option
+	ecus        []model.ResourceID
+
+	// pathCache memoizes shortest paths between resource pairs; the
+	// architecture graph is immutable, so entries never invalidate.
+	pathCache map[[2]model.ResourceID][]model.ResourceID
+}
+
+// NewGreedyDecoder prepares the gene layout for the specification and
+// pre-warms every cache, making Decode safe for concurrent use.
+func NewGreedyDecoder(spec *model.Specification) (*GreedyDecoder, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	spec.WarmCaches()
+	d := &GreedyDecoder{Spec: spec, pathCache: make(map[[2]model.ResourceID][]model.ResourceID)}
+	for _, t := range spec.App.Tasks() {
+		if t.Kind.Diagnostic() {
+			continue
+		}
+		if len(spec.MappingTargets(t.ID)) > 1 {
+			d.choiceTasks = append(d.choiceTasks, t.ID)
+		} else {
+			d.fixedTasks = append(d.fixedTasks, t.ID)
+		}
+	}
+	for _, r := range spec.Arch.ResourcesOfKind(model.KindECU) {
+		if len(spec.BISTTasksForECU(r.ID)) > 0 {
+			d.ecus = append(d.ecus, r.ID)
+		}
+	}
+	// Fill the path cache for every resource pair up front; Decode then
+	// only reads it, so concurrent decodes are safe.
+	for _, a := range spec.Arch.Resources() {
+		for _, b := range spec.Arch.Resources() {
+			d.shortestPath(a.ID, b.ID)
+		}
+	}
+	return d, nil
+}
+
+// GenotypeLen implements Decoder: task-choice genes, then one profile
+// gene and one storage gene per ECU.
+func (d *GreedyDecoder) GenotypeLen() int {
+	return len(d.choiceTasks) + 2*len(d.ecus)
+}
+
+// shortestPath memoizes Spec.Arch.ShortestPath. Callers must not
+// mutate the returned slice.
+func (d *GreedyDecoder) shortestPath(src, dst model.ResourceID) ([]model.ResourceID, bool) {
+	key := [2]model.ResourceID{src, dst}
+	if p, hit := d.pathCache[key]; hit {
+		return p, p != nil
+	}
+	p, ok := d.Spec.Arch.ShortestPath(src, dst, nil)
+	if !ok {
+		p = nil
+	}
+	d.pathCache[key] = p
+	return p, ok
+}
+
+// pick maps a gene in [0,1] onto {0, …, n−1}.
+func pick(g float64, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	i := int(g * float64(n))
+	if i >= n {
+		i = n - 1
+	}
+	if i < 0 {
+		i = 0
+	}
+	return i
+}
+
+// Decode implements Decoder.
+func (d *GreedyDecoder) Decode(genotype []float64) (*model.Implementation, error) {
+	if len(genotype) != d.GenotypeLen() {
+		return nil, fmt.Errorf("core: genotype length %d, want %d", len(genotype), d.GenotypeLen())
+	}
+	spec := d.Spec
+	x := model.NewImplementation(spec)
+
+	// Mandatory bindings.
+	for _, t := range d.fixedTasks {
+		x.Bind(t, spec.MappingTargets(t)[0])
+	}
+	for i, t := range d.choiceTasks {
+		opts := spec.MappingTargets(t)
+		x.Bind(t, opts[pick(genotype[i], len(opts))])
+	}
+
+	// Eq. 2h precondition: which ECUs host mandatory tasks.
+	hostsMandatory := make(map[model.ResourceID]bool)
+	for tid, r := range x.Binding {
+		if task := spec.App.Task(tid); task != nil && !task.Kind.Diagnostic() {
+			hostsMandatory[r] = true
+		}
+	}
+
+	// BIST selection per ECU.
+	base := len(d.choiceTasks)
+	for k, ecu := range d.ecus {
+		profiles := spec.BISTTasksForECU(ecu)
+		sel := pick(genotype[base+2*k], len(profiles)+1) // 0 = off
+		if sel == 0 || !hostsMandatory[ecu] {
+			continue
+		}
+		bT := profiles[sel-1]
+		bD := spec.DataTaskFor(bT)
+		if bD == nil {
+			return nil, fmt.Errorf("core: BIST task %s has no data task", bT.ID)
+		}
+		x.Bind(bT.ID, ecu)
+		storage := ecu
+		storeLocal := genotype[base+2*k+1] < 0.5
+		switch d.StorageChoice {
+		case 1:
+			storeLocal = true
+		case -1:
+			storeLocal = false
+		}
+		if !storeLocal {
+			storage = spec.Gateway
+		}
+		// The data task must actually be mappable to the chosen target.
+		if !spec.HasMapping(bD.ID, storage) {
+			storage = spec.MappingTargets(bD.ID)[0]
+		}
+		x.Bind(bD.ID, storage)
+	}
+
+	// Routing: shortest path per active message.
+	for _, msg := range spec.App.Messages() {
+		if !x.Bound(msg.Src) {
+			continue
+		}
+		srcRes := x.Binding[msg.Src]
+		for _, dst := range msg.Dst {
+			dstRes, bound := x.Binding[dst]
+			if !bound {
+				continue
+			}
+			path, ok := d.shortestPath(srcRes, dstRes)
+			if !ok {
+				return nil, fmt.Errorf("core: no route for %s from %s to %s", msg.ID, srcRes, dstRes)
+			}
+			x.SetRoute(msg.ID, dst, model.Route{Hops: path})
+		}
+	}
+	return x, nil
+}

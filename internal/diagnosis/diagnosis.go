@@ -1,0 +1,169 @@
+// Package diagnosis implements the downstream use of the collected fail
+// data (paper Sections I and III): signature-based logic diagnosis of a
+// faulty IC from the few intermediate MISR signatures a BIST session
+// ships to the gateway, and system-level identification of the faulty
+// ECU for workshop repair.
+package diagnosis
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/netlist"
+	"repro/internal/stumps"
+)
+
+// fingerprint is the window→signature map of one fault's fail data.
+type fingerprint map[int]uint64
+
+// Dictionary is a pre-computed fault dictionary: the expected fail data
+// of every candidate fault under one fixed BIST session.
+type Dictionary struct {
+	Session   *stumps.Session
+	NPatterns int
+
+	entries map[string]fingerprint // fault key -> fingerprint
+	faults  []netlist.Fault
+}
+
+// BuildDictionary simulates every candidate fault through the session
+// and records its fail-data fingerprint. Faults whose fail data is
+// empty (undetected or signature-aliased) are stored with an empty
+// fingerprint — they are indistinguishable from a fault-free device.
+func BuildDictionary(s *stumps.Session, faults []netlist.Fault, nPatterns int) (*Dictionary, error) {
+	d := &Dictionary{
+		Session:   s,
+		NPatterns: nPatterns,
+		entries:   make(map[string]fingerprint, len(faults)),
+		faults:    append([]netlist.Fault(nil), faults...),
+	}
+	golden, err := s.Signatures(nPatterns, nil)
+	if err != nil {
+		return nil, err
+	}
+	for _, f := range faults {
+		fault := f
+		sigs, err := s.Signatures(nPatterns, &fault)
+		if err != nil {
+			return nil, fmt.Errorf("diagnosis: fault %v: %w", f, err)
+		}
+		fp := make(fingerprint)
+		for w := range golden {
+			if sigs[w] != golden[w] {
+				fp[w] = sigs[w]
+			}
+		}
+		d.entries[f.String()] = fp
+	}
+	return d, nil
+}
+
+// Faults returns the candidate fault list of the dictionary.
+func (d *Dictionary) Faults() []netlist.Fault {
+	return append([]netlist.Fault(nil), d.faults...)
+}
+
+// Candidate is one ranked diagnosis.
+type Candidate struct {
+	Fault netlist.Fault
+	// Score in [0,1]: Jaccard similarity between the observed fail data
+	// and the dictionary fingerprint (1 = exact match).
+	Score float64
+}
+
+// Diagnose ranks the dictionary faults against observed fail data,
+// best match first. Candidates with zero score are omitted. Ties are
+// broken by fault order for determinism.
+func (d *Dictionary) Diagnose(fd stumps.FailData) []Candidate {
+	observed := make(fingerprint, len(fd.Entries))
+	for _, e := range fd.Entries {
+		observed[e.Window] = e.Got
+	}
+	var out []Candidate
+	for _, f := range d.faults {
+		fp := d.entries[f.String()]
+		score := jaccard(observed, fp)
+		if score > 0 {
+			out = append(out, Candidate{Fault: f, Score: score})
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Score > out[j].Score })
+	return out
+}
+
+// jaccard compares two fingerprints: |matching entries| / |union|.
+func jaccard(a, b fingerprint) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 0
+	}
+	match := 0
+	union := len(b)
+	for w, sig := range a {
+		if bsig, ok := b[w]; ok && bsig == sig {
+			match++
+		} else {
+			union++
+		}
+	}
+	if union == 0 {
+		return 0
+	}
+	return float64(match) / float64(union)
+}
+
+// DiagnosabilityReport summarizes how well the session's fail data
+// distinguishes the fault population.
+type DiagnosabilityReport struct {
+	Faults int
+	// Detected counts faults with non-empty fail data.
+	Detected int
+	// ExactTop counts detected faults whose own dictionary entry ranks
+	// first (score 1.0, possibly tied with equivalent faults).
+	ExactTop int
+	// AmbiguityAvg is the average number of candidates sharing the top
+	// score for detected faults — the equivalence-class size seen
+	// through the MISR.
+	AmbiguityAvg float64
+}
+
+// EvaluateDiagnosability injects every dictionary fault, diagnoses its
+// fail data, and scores the outcome.
+func (d *Dictionary) EvaluateDiagnosability() (DiagnosabilityReport, error) {
+	rep := DiagnosabilityReport{Faults: len(d.faults)}
+	totalAmb := 0
+	for _, f := range d.faults {
+		fault := f
+		fd, err := d.Session.RunDiagnostic(d.NPatterns, fault)
+		if err != nil {
+			return rep, err
+		}
+		if fd.Pass() {
+			continue
+		}
+		rep.Detected++
+		cands := d.Diagnose(fd)
+		if len(cands) == 0 {
+			continue
+		}
+		top := cands[0].Score
+		amb := 0
+		hit := false
+		for _, c := range cands {
+			if c.Score < top {
+				break
+			}
+			amb++
+			if c.Fault == f {
+				hit = true
+			}
+		}
+		if hit && top == 1.0 {
+			rep.ExactTop++
+		}
+		totalAmb += amb
+	}
+	if rep.Detected > 0 {
+		rep.AmbiguityAvg = float64(totalAmb) / float64(rep.Detected)
+	}
+	return rep, nil
+}

@@ -1,0 +1,280 @@
+package diagnosis
+
+import (
+	"testing"
+
+	"repro/internal/faultsim"
+	"repro/internal/netlist"
+	"repro/internal/stumps"
+)
+
+func testSession(t *testing.T, seed int64) (*netlist.Circuit, *stumps.Session, stumps.Config) {
+	t.Helper()
+	cfg := stumps.Config{Chains: 6, ChainLen: 8, Seed: 3, WindowPatterns: 16}
+	c := netlist.ScanCUT(seed, cfg.Chains, cfg.ChainLen, 4)
+	s, err := stumps.NewSession(c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, s, cfg
+}
+
+// detectedFaults returns faults provably detected by the session's
+// first nPatterns patterns, per the fault simulator.
+func detectedFaults(t *testing.T, c *netlist.Circuit, cfg stumps.Config, nPatterns, limit int) []netlist.Fault {
+	t.Helper()
+	fs := faultsim.NewFaultSim(c, netlist.CollapsedFaults(c))
+	prpg, err := stumps.NewPRPG(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.RunCoverage(prpg, nPatterns); err != nil {
+		t.Fatal(err)
+	}
+	dets := fs.Detections()
+	var out []netlist.Fault
+	for _, d := range dets {
+		out = append(out, d.Fault)
+		if len(out) == limit {
+			break
+		}
+	}
+	return out
+}
+
+func TestDictionaryDiagnosesInjectedFault(t *testing.T) {
+	c, s, cfg := testSession(t, 31)
+	faults := detectedFaults(t, c, cfg, 128, 24)
+	if len(faults) < 5 {
+		t.Skipf("only %d detected faults", len(faults))
+	}
+	dict, err := BuildDictionary(s, faults, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range faults[:5] {
+		fd, err := s.RunDiagnostic(128, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cands := dict.Diagnose(fd)
+		if len(cands) == 0 {
+			t.Fatalf("fault %v: no candidates", f)
+		}
+		// The injected fault must be among the top-scored candidates.
+		top := cands[0].Score
+		found := false
+		for _, cand := range cands {
+			if cand.Score < top {
+				break
+			}
+			if cand.Fault == f {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("fault %v not in top candidates (top=%v %v)", f, cands[0].Fault, top)
+		}
+		if top != 1.0 {
+			t.Fatalf("fault %v: own fingerprint does not match itself (score %v)", f, top)
+		}
+	}
+}
+
+func TestDiagnoseFaultFreePassesQuietly(t *testing.T) {
+	c, s, cfg := testSession(t, 32)
+	faults := detectedFaults(t, c, cfg, 64, 8)
+	if len(faults) == 0 {
+		t.Skip("no detected faults")
+	}
+	dict, err := BuildDictionary(s, faults, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cands := dict.Diagnose(stumps.FailData{Windows: 4})
+	if len(cands) != 0 {
+		t.Fatalf("fault-free data produced candidates: %v", cands)
+	}
+}
+
+func TestEvaluateDiagnosability(t *testing.T) {
+	c, s, cfg := testSession(t, 33)
+	faults := detectedFaults(t, c, cfg, 96, 16)
+	if len(faults) < 8 {
+		t.Skipf("only %d detected faults", len(faults))
+	}
+	dict, err := BuildDictionary(s, faults, 96)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := dict.EvaluateDiagnosability()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Faults != len(faults) {
+		t.Fatalf("report faults = %d", rep.Faults)
+	}
+	// All these faults are detected by construction.
+	if rep.Detected != len(faults) {
+		t.Fatalf("detected = %d of %d", rep.Detected, len(faults))
+	}
+	if rep.ExactTop < rep.Detected/2 {
+		t.Fatalf("only %d of %d exact top diagnoses", rep.ExactTop, rep.Detected)
+	}
+	if rep.AmbiguityAvg < 1 {
+		t.Fatalf("ambiguity = %v", rep.AmbiguityAvg)
+	}
+}
+
+func TestLocateFaultyECUs(t *testing.T) {
+	reports := []ECUReport{
+		{ECU: "ecu03", Fail: stumps.FailData{Windows: 4, Entries: []stumps.FailEntry{{Window: 1, Got: 5, Want: 6}}}},
+		{ECU: "ecu01", Fail: stumps.FailData{Windows: 4}},
+		{ECU: "ecu02", Fail: stumps.FailData{Windows: 4, Entries: []stumps.FailEntry{{Window: 0, Got: 1, Want: 2}}}},
+	}
+	got := LocateFaultyECUs(reports)
+	if len(got) != 2 || got[0] != "ecu02" || got[1] != "ecu03" {
+		t.Fatalf("located = %v", got)
+	}
+	if got := LocateFaultyECUs(nil); len(got) != 0 {
+		t.Fatalf("empty fleet located %v", got)
+	}
+}
+
+func TestIdentificationRateMatchesDetection(t *testing.T) {
+	c, s, cfg := testSession(t, 34)
+	faults := detectedFaults(t, c, cfg, 96, 12)
+	if len(faults) < 6 {
+		t.Skip("not enough detected faults")
+	}
+	rate, err := IdentificationRate(s, faults, 96)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// These faults are all detectable; only MISR aliasing may lose a few.
+	if rate < 0.9 {
+		t.Fatalf("identification rate = %v", rate)
+	}
+	if r, err := IdentificationRate(s, nil, 96); err != nil || r != 1 {
+		t.Fatalf("empty fault list: %v, %v", r, err)
+	}
+}
+
+// TestFunctionalVsStructural reproduces the Section I motivation: the
+// structural BIST clearly out-covers functional-style patterns on the
+// same fault population.
+func TestFunctionalVsStructural(t *testing.T) {
+	cfg := stumps.Config{Chains: 6, ChainLen: 8, Seed: 5, WindowPatterns: 16}
+	c := netlist.ScanCUT(35, cfg.Chains, cfg.ChainLen, 4)
+	cmp, err := CompareFunctionalVsStructural(c, cfg, 256, 256, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.Faults == 0 {
+		t.Fatal("no faults")
+	}
+	if cmp.StructuralCoverage <= cmp.FunctionalCoverage {
+		t.Fatalf("structural %v not above functional %v", cmp.StructuralCoverage, cmp.FunctionalCoverage)
+	}
+	if cmp.FunctionalCoverage <= 0 || cmp.FunctionalCoverage >= 1 {
+		t.Fatalf("functional coverage = %v", cmp.FunctionalCoverage)
+	}
+}
+
+func TestCompareRejectsShapeMismatch(t *testing.T) {
+	cfg := stumps.Config{Chains: 4, ChainLen: 4}
+	if _, err := CompareFunctionalVsStructural(netlist.C17(), cfg, 8, 8, 1); err == nil {
+		t.Fatal("shape mismatch accepted")
+	}
+}
+
+func TestJaccard(t *testing.T) {
+	a := fingerprint{1: 10, 2: 20}
+	if s := jaccard(a, a); s != 1 {
+		t.Fatalf("self = %v", s)
+	}
+	b := fingerprint{1: 10, 3: 30}
+	// match 1, union {1,2,3} = 3.
+	if s := jaccard(a, b); s != 1.0/3.0 {
+		t.Fatalf("partial = %v", s)
+	}
+	if s := jaccard(fingerprint{}, fingerprint{}); s != 0 {
+		t.Fatalf("empty = %v", s)
+	}
+	// Same window, different signature: no match.
+	if s := jaccard(fingerprint{1: 10}, fingerprint{1: 11}); s != 0 {
+		t.Fatalf("mismatched sig = %v", s)
+	}
+}
+
+// TestRefineDiagnosisReducesAmbiguity: finer windows never increase the
+// ambiguity of the top equivalence class, and the injected fault stays
+// among the top candidates.
+func TestRefineDiagnosisReducesAmbiguity(t *testing.T) {
+	cfg := stumps.Config{Chains: 6, ChainLen: 8, Seed: 3, WindowPatterns: 64}
+	c := netlist.ScanCUT(31, cfg.Chains, cfg.ChainLen, 4)
+	s, err := stumps.NewSession(c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faults := detectedFaults(t, c, cfg, 128, 32)
+	if len(faults) < 10 {
+		t.Skipf("only %d detected faults", len(faults))
+	}
+	dict, err := BuildDictionary(s, faults, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refined := 0
+	for _, f := range faults[:8] {
+		res, err := RefineDiagnosis(dict, 8, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.FineAmbiguity > res.CoarseAmbiguity {
+			t.Fatalf("fault %v: ambiguity grew %d -> %d", f, res.CoarseAmbiguity, res.FineAmbiguity)
+		}
+		if res.FineAmbiguity < res.CoarseAmbiguity {
+			refined++
+		}
+		found := false
+		top := res.Fine[0].Score
+		for _, cand := range res.Fine {
+			if cand.Score < top {
+				break
+			}
+			if cand.Fault == f {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("fault %v lost from the fine top class", f)
+		}
+	}
+	t.Logf("refinement split %d of 8 coarse top classes", refined)
+}
+
+func TestRefineDiagnosisValidation(t *testing.T) {
+	cfg := stumps.Config{Chains: 6, ChainLen: 8, Seed: 3, WindowPatterns: 16}
+	c := netlist.ScanCUT(31, cfg.Chains, cfg.ChainLen, 4)
+	s, err := stumps.NewSession(c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faults := detectedFaults(t, c, cfg, 64, 4)
+	if len(faults) == 0 {
+		t.Skip("no faults")
+	}
+	dict, err := BuildDictionary(s, faults, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RefineDiagnosis(dict, 16, faults[0]); err == nil {
+		t.Fatal("fine window equal to coarse accepted")
+	}
+	if _, err := RefineDiagnosis(dict, 0, faults[0]); err == nil {
+		t.Fatal("zero fine window accepted")
+	}
+}

@@ -1,0 +1,126 @@
+package diagnosis
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/faultsim"
+	"repro/internal/netlist"
+	"repro/internal/stumps"
+)
+
+// ECUReport is the fail data one ECU ships to the central gateway after
+// its BIST session.
+type ECUReport struct {
+	ECU  string
+	Fail stumps.FailData
+}
+
+// LocateFaultyECUs returns the ECUs whose fail data is non-empty — the
+// workshop-repair decision: replace exactly these units. The result is
+// sorted for determinism.
+func LocateFaultyECUs(reports []ECUReport) []string {
+	var out []string
+	for _, r := range reports {
+		if !r.Fail.Pass() {
+			out = append(out, r.ECU)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// IdentificationRate measures the paper's "test quality as ECU
+// identification success rate": the fraction of candidate faults whose
+// injection yields non-empty fail data under the session (detected and
+// not signature-aliased).
+func IdentificationRate(s *stumps.Session, faults []netlist.Fault, nPatterns int) (float64, error) {
+	if len(faults) == 0 {
+		return 1, nil
+	}
+	hits := 0
+	for _, f := range faults {
+		fault := f
+		fd, err := s.RunDiagnostic(nPatterns, fault)
+		if err != nil {
+			return 0, err
+		}
+		if !fd.Pass() {
+			hits++
+		}
+	}
+	return float64(hits) / float64(len(faults)), nil
+}
+
+// FunctionalVsStructural compares functional-style testing against a
+// structural BIST session on the same CUT (experiment E6; the paper
+// cites ~47 % structural coverage for functional tests [2]).
+//
+// Functional tests are modeled as nFunc fixed operational patterns — a
+// small, biased pattern set exercising only typical input activity
+// (random over a restricted input subspace: a fraction of inputs is
+// held constant, as configuration pins would be).
+type Comparison struct {
+	FunctionalCoverage float64
+	StructuralCoverage float64
+	Faults             int
+}
+
+// CompareFunctionalVsStructural fault-simulates both pattern sources
+// over the same collapsed fault list.
+func CompareFunctionalVsStructural(c *netlist.Circuit, cfg stumps.Config, nFunc, nBIST int, seed int64) (Comparison, error) {
+	faults := netlist.CollapsedFaults(c)
+	cmp := Comparison{Faults: len(faults)}
+
+	// Functional phase: restricted input activity.
+	rng := rand.New(rand.NewSource(seed))
+	frozen := make([]bool, c.NumInputs())
+	frozenVal := make([]bool, c.NumInputs())
+	for i := range frozen {
+		// Two thirds of the inputs behave as quasi-static configuration
+		// or mode pins during operation.
+		if rng.Intn(3) != 0 {
+			frozen[i] = true
+			frozenVal[i] = rng.Intn(2) == 1
+		}
+	}
+	fsFunc := faultsim.NewFaultSim(c, faults)
+	done := 0
+	for done < nFunc {
+		n := nFunc - done
+		if n > 64 {
+			n = 64
+		}
+		words := make([]uint64, c.NumInputs())
+		for i := range words {
+			if frozen[i] {
+				if frozenVal[i] {
+					words[i] = ^uint64(0)
+				}
+			} else {
+				words[i] = rng.Uint64()
+			}
+		}
+		if _, err := fsFunc.SimulateBatch(faultsim.Batch{Words: words, N: n}); err != nil {
+			return cmp, err
+		}
+		done += n
+	}
+	cmp.FunctionalCoverage = fsFunc.Coverage()
+
+	// Structural phase: the real LFSR BIST session patterns.
+	prpg, err := stumps.NewPRPG(cfg)
+	if err != nil {
+		return cmp, err
+	}
+	if prpg.NumInputs() != c.NumInputs() {
+		return cmp, fmt.Errorf("diagnosis: scan config supplies %d inputs, circuit has %d", prpg.NumInputs(), c.NumInputs())
+	}
+	fsBIST := faultsim.NewFaultSim(c, faults)
+	if _, err := fsBIST.RunCoverage(prpg, nBIST); err != nil {
+		return cmp, err
+	}
+	cmp.StructuralCoverage = fsBIST.Coverage()
+	return cmp, nil
+}

@@ -1,0 +1,96 @@
+package diagnosis
+
+import (
+	"fmt"
+
+	"repro/internal/netlist"
+	"repro/internal/stumps"
+)
+
+// RefineResult is the outcome of two-stage diagnosis.
+type RefineResult struct {
+	// Coarse is the ranked candidate set after the periodic session's
+	// normal-window fail data.
+	Coarse []Candidate
+	// Fine is the ranked candidate set after re-running the same
+	// pattern sequence with finer diagnostic windows.
+	Fine []Candidate
+	// CoarseAmbiguity / FineAmbiguity count the candidates sharing the
+	// top score in each stage.
+	CoarseAmbiguity int
+	FineAmbiguity   int
+}
+
+func topAmbiguity(cands []Candidate) int {
+	if len(cands) == 0 {
+		return 0
+	}
+	top := cands[0].Score
+	n := 0
+	for _, c := range cands {
+		if c.Score < top {
+			break
+		}
+		n++
+	}
+	return n
+}
+
+// RefineDiagnosis performs the two-stage in-field diagnosis the paper's
+// references [9]/[10] build on. Stage 1 is the periodic session with
+// its configured (coarse) windows — small response data, shipped every
+// shut-off. When a device fails, stage 2 re-runs the *same* pattern
+// sequence with fineWindow patterns per window: the extra intermediate
+// signatures split equivalence classes the coarse fingerprints could
+// not distinguish, narrowing the candidate list for failure analysis.
+//
+// The faulty device is modeled by the injected fault; fineWindow must
+// be positive and smaller than the dictionary session's window size.
+// Only the coarse stage's top candidates are re-simulated — the fine
+// dictionary stays cheap.
+func RefineDiagnosis(d *Dictionary, fineWindow int, fault netlist.Fault) (RefineResult, error) {
+	coarseCfg := d.Session.Cfg
+	if fineWindow <= 0 || fineWindow >= coarseCfg.WindowPatterns {
+		return RefineResult{}, fmt.Errorf("diagnosis: fine window %d must be in 1..%d", fineWindow, coarseCfg.WindowPatterns-1)
+	}
+	// Stage 1: coarse fail data and ranking.
+	coarseFD, err := d.Session.RunDiagnostic(d.NPatterns, fault)
+	if err != nil {
+		return RefineResult{}, err
+	}
+	res := RefineResult{Coarse: d.Diagnose(coarseFD)}
+	res.CoarseAmbiguity = topAmbiguity(res.Coarse)
+	if res.CoarseAmbiguity <= 1 {
+		res.Fine = res.Coarse
+		res.FineAmbiguity = res.CoarseAmbiguity
+		return res, nil
+	}
+
+	// Stage 2: same LFSR sequence, finer windows, dictionary over the
+	// coarse top class only.
+	fineCfg := coarseCfg
+	fineCfg.WindowPatterns = fineWindow
+	fineSession, err := stumps.NewSession(d.Session.Circuit, fineCfg)
+	if err != nil {
+		return RefineResult{}, err
+	}
+	var suspects []netlist.Fault
+	top := res.Coarse[0].Score
+	for _, c := range res.Coarse {
+		if c.Score < top {
+			break
+		}
+		suspects = append(suspects, c.Fault)
+	}
+	fineDict, err := BuildDictionary(fineSession, suspects, d.NPatterns)
+	if err != nil {
+		return RefineResult{}, err
+	}
+	fineFD, err := fineSession.RunDiagnostic(d.NPatterns, fault)
+	if err != nil {
+		return RefineResult{}, err
+	}
+	res.Fine = fineDict.Diagnose(fineFD)
+	res.FineAmbiguity = topAmbiguity(res.Fine)
+	return res, nil
+}

@@ -1,0 +1,170 @@
+package dtc
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/casestudy"
+	"repro/internal/core"
+	"repro/internal/model"
+)
+
+// fixture decodes the full case study with every ECU tested (gene 0.9)
+// or untested (gene 0).
+func fixture(t *testing.T, withBIST bool) *model.Implementation {
+	t.Helper()
+	spec, err := casestudy.Build(casestudy.Options{ProfilesPerECU: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := core.NewGreedyDecoder(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := make([]float64, dec.GenotypeLen())
+	if withBIST {
+		for i := range g {
+			g[i] = 0.9
+		}
+	}
+	x, err := dec.Decode(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return x
+}
+
+func TestDeriveCodesOnePerApplication(t *testing.T) {
+	x := fixture(t, false)
+	codes := DeriveCodes(x)
+	// The case study has four applications.
+	if len(codes) != 4 {
+		t.Fatalf("codes = %d, want 4", len(codes))
+	}
+	seen := make(map[string]bool)
+	for _, c := range codes {
+		if seen[c.Code] {
+			t.Fatalf("duplicate code %s", c.Code)
+		}
+		seen[c.Code] = true
+		if len(c.Suspects) < 2 {
+			t.Fatalf("code %s has trivial ambiguity set %v", c.Code, c.Suspects)
+		}
+		for _, s := range c.Suspects {
+			if x.Spec.Arch.Resource(s).Kind != model.KindECU {
+				t.Fatalf("suspect %s is not an ECU", s)
+			}
+		}
+	}
+}
+
+func TestTriggeredByAndCandidates(t *testing.T) {
+	x := fixture(t, false)
+	codes := DeriveCodes(x)
+	// Pick an ECU from the first code's suspects.
+	e := codes[0].Suspects[0]
+	triggered := TriggeredBy(codes, e)
+	if len(triggered) == 0 {
+		t.Fatalf("fault in %s triggers nothing", e)
+	}
+	cands := Candidates(codes, triggered)
+	found := false
+	for _, c := range cands {
+		if c == e {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("faulty ECU %s not among candidates %v", e, cands)
+	}
+	if got := Candidates(codes, nil); got != nil {
+		t.Fatalf("no symptoms produced candidates %v", got)
+	}
+}
+
+func TestCandidatesIntersectionShrinks(t *testing.T) {
+	codes := []TroubleCode{
+		{Code: "A", Suspects: []model.ResourceID{"e1", "e2", "e3"}},
+		{Code: "B", Suspects: []model.ResourceID{"e2", "e3", "e4"}},
+	}
+	got := Candidates(codes, []string{"A", "B"})
+	if len(got) != 2 || got[0] != "e2" || got[1] != "e3" {
+		t.Fatalf("intersection = %v", got)
+	}
+	// Contradictory symptoms fall back to the union.
+	codes[1].Suspects = []model.ResourceID{"e9"}
+	got = Candidates(codes, []string{"A", "B"})
+	if len(got) != 4 {
+		t.Fatalf("union fallback = %v", got)
+	}
+}
+
+func TestFunctionalRepairStudy(t *testing.T) {
+	x := fixture(t, false)
+	stats := FunctionalRepairStudy(x, 0.47)
+	if stats.Trials == 0 {
+		t.Fatal("no trials")
+	}
+	// Functional diagnosis points at whole applications: several
+	// candidates on average, fault-free units regularly discarded.
+	if stats.AvgCandidates < 2 {
+		t.Fatalf("AvgCandidates = %v, ambiguity too small to be realistic", stats.AvgCandidates)
+	}
+	if stats.AvgFaultFreeDiscarded <= 0 {
+		t.Fatalf("AvgFaultFreeDiscarded = %v", stats.AvgFaultFreeDiscarded)
+	}
+	if stats.FirstTryRate > 0.5 {
+		t.Fatalf("FirstTryRate = %v, functional diagnosis too precise", stats.FirstTryRate)
+	}
+	// With 47% detection, over half the hardware faults raise no DTC.
+	if stats.UndetectedRate < 0.4 {
+		t.Fatalf("UndetectedRate = %v", stats.UndetectedRate)
+	}
+}
+
+// TestBISTBeatsFunctionalRepair quantifies the paper's workshop-repair
+// claim: structural BIST identifies the faulty ECU directly, slashing
+// discarded fault-free units and the no-trouble-found rate.
+func TestBISTBeatsFunctionalRepair(t *testing.T) {
+	x := fixture(t, true)
+	functional := FunctionalRepairStudy(x, 0.47)
+	bist := BISTRepairStudy(x, 0.47)
+	if bist.Trials != functional.Trials {
+		t.Fatalf("trial mismatch: %d vs %d", bist.Trials, functional.Trials)
+	}
+	if bist.FirstTryRate <= functional.FirstTryRate*1.5 {
+		t.Fatalf("BIST first-try %v not clearly above functional %v", bist.FirstTryRate, functional.FirstTryRate)
+	}
+	if bist.AvgFaultFreeDiscarded >= functional.AvgFaultFreeDiscarded {
+		t.Fatalf("BIST discards %v ≥ functional %v", bist.AvgFaultFreeDiscarded, functional.AvgFaultFreeDiscarded)
+	}
+	if bist.UndetectedRate >= functional.UndetectedRate {
+		t.Fatalf("BIST undetected %v ≥ functional %v", bist.UndetectedRate, functional.UndetectedRate)
+	}
+	// With ~85% shares and >95% profile coverage, first-try repair
+	// should approach the Eq. (4)-style average.
+	if bist.FirstTryRate < 0.6 {
+		t.Fatalf("BIST first-try rate = %v", bist.FirstTryRate)
+	}
+}
+
+// TestBISTWithoutSelectionEqualsFunctional: an implementation without
+// any BIST degenerates to the functional baseline.
+func TestBISTWithoutSelectionEqualsFunctional(t *testing.T) {
+	x := fixture(t, false)
+	functional := FunctionalRepairStudy(x, 0.47)
+	bist := BISTRepairStudy(x, 0.47)
+	if math.Abs(bist.FirstTryRate-functional.FirstTryRate) > 1e-9 {
+		t.Fatalf("first-try rates differ without BIST: %v vs %v", bist.FirstTryRate, functional.FirstTryRate)
+	}
+	if math.Abs(bist.AvgFaultFreeDiscarded-functional.AvgFaultFreeDiscarded) > 1e-9 {
+		t.Fatalf("discard rates differ without BIST: %v vs %v", bist.AvgFaultFreeDiscarded, functional.AvgFaultFreeDiscarded)
+	}
+}
+
+func TestNormalizeEmptyStats(t *testing.T) {
+	var s RepairStats
+	if got := s.normalize(); got.Trials != 0 || got.AvgCandidates != 0 {
+		t.Fatalf("normalize(empty) = %+v", got)
+	}
+}

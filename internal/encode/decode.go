@@ -1,0 +1,164 @@
+package encode
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/model"
+	"repro/internal/pbsat"
+)
+
+// GenotypeLen returns the genotype length used by Branching: one gene
+// per mapping edge.
+func (e *Encoding) GenotypeLen() int { return len(e.mapOrder) }
+
+// Branching turns a genotype (one gene in [0,1] per mapping edge, in
+// specification order) into the SAT-decoding decision order: the gene
+// magnitude is the priority, values ≥ 0.5 prefer binding the edge.
+// Routing variables are left to propagation and the solver fallback.
+func (e *Encoding) Branching(genotype []float64) (pbsat.Branching, error) {
+	if len(genotype) != len(e.mapOrder) {
+		return nil, fmt.Errorf("encode: genotype length %d, want %d", len(genotype), len(e.mapOrder))
+	}
+	prio := make(map[pbsat.Var]float64, len(genotype))
+	pref := make(map[pbsat.Var]bool, len(genotype))
+	for i, m := range e.mapOrder {
+		v := e.mapVars[m]
+		g := genotype[i]
+		// Distance from 0.5 is decision confidence; decide confident
+		// genes first so the decode follows the genotype closely.
+		d := g - 0.5
+		if d < 0 {
+			d = -d
+		}
+		prio[v] = d
+		pref[v] = g >= 0.5
+	}
+	return pbsat.NewPriorityBranching(prio, pref), nil
+}
+
+// Decode reconstructs the implementation from a satisfying assignment.
+func (e *Encoding) Decode(a pbsat.Assignment) (*model.Implementation, error) {
+	x := model.NewImplementation(e.Spec)
+	for _, m := range e.mapOrder {
+		if a.Get(e.mapVars[m]) {
+			x.Bind(m.Task, m.Resource)
+		}
+	}
+	for _, msg := range e.Spec.App.Messages() {
+		if !x.Bound(msg.Src) {
+			continue
+		}
+		dst := msg.Dst[0]
+		if !x.Bound(dst) {
+			continue
+		}
+		route, err := e.extractRoute(a, msg, x.Binding[msg.Src], x.Binding[dst])
+		if err != nil {
+			return nil, err
+		}
+		x.SetRoute(msg.ID, dst, route)
+	}
+	return x, nil
+}
+
+// extractRoute walks the c_rτ assignment from the sender resource until
+// the receiver resource is reached.
+func (e *Encoding) extractRoute(a pbsat.Assignment, msg *model.Message, srcRes, dstRes model.ResourceID) (model.Route, error) {
+	byTau := make(map[int]model.ResourceID)
+	maxTau := -1
+	for key, v := range e.stepVar {
+		if key.msg != msg.ID || !a.Get(v) {
+			continue
+		}
+		if prev, dup := byTau[key.tau]; dup {
+			return model.Route{}, fmt.Errorf("encode: message %q has two resources (%q,%q) at step %d", msg.ID, prev, key.res, key.tau)
+		}
+		byTau[key.tau] = key.res
+		if key.tau > maxTau {
+			maxTau = key.tau
+		}
+	}
+	if byTau[0] != srcRes {
+		return model.Route{}, fmt.Errorf("encode: message %q route starts at %q, sender at %q", msg.ID, byTau[0], srcRes)
+	}
+	var hops []model.ResourceID
+	for tau := 0; tau <= maxTau; tau++ {
+		r, ok := byTau[tau]
+		if !ok {
+			break // chain ended
+		}
+		hops = append(hops, r)
+		if r == dstRes {
+			return model.Route{Hops: hops}, nil
+		}
+	}
+	return model.Route{}, fmt.Errorf("encode: message %q route %v never reaches receiver %q", msg.ID, hops, dstRes)
+}
+
+// Stats summarizes the encoding size.
+type Stats struct {
+	MappingVars int
+	RouteVars   int
+	StepVars    int
+	Constraints int
+	TMax        int
+}
+
+// Stats returns the encoding size summary.
+func (e *Encoding) Stats() Stats {
+	return Stats{
+		MappingVars: len(e.mapVars),
+		RouteVars:   len(e.routeVar),
+		StepVars:    len(e.stepVar),
+		Constraints: e.Problem.NumConstraints(),
+		TMax:        e.TMax,
+	}
+}
+
+// SolveWithGenotype runs the full SAT-decoding pipeline: genotype →
+// branching → solver → implementation. maxConflicts bounds the search
+// (0 = solver default).
+func (e *Encoding) SolveWithGenotype(genotype []float64, maxConflicts int) (*model.Implementation, *pbsat.Result, error) {
+	br, err := e.Branching(genotype)
+	if err != nil {
+		return nil, nil, err
+	}
+	s := pbsat.NewSolver(e.Problem)
+	if maxConflicts > 0 {
+		s.MaxConflicts = maxConflicts
+	}
+	res := s.Solve(br)
+	if !res.SAT {
+		return nil, &res, fmt.Errorf("encode: no feasible implementation found (aborted=%v, conflicts=%d)", res.Aborted, res.Conflicts)
+	}
+	x, err := e.Decode(res.Model)
+	if err != nil {
+		return nil, &res, err
+	}
+	return x, &res, nil
+}
+
+// MappingOrder exposes the deterministic mapping-edge order backing the
+// genotype layout (read-only).
+func (e *Encoding) MappingOrder() []model.Mapping {
+	return append([]model.Mapping(nil), e.mapOrder...)
+}
+
+// sortedStepKeys is a test helper surface: deterministic iteration of
+// step variables for a message.
+func (e *Encoding) sortedStepKeys(msg model.MessageID) []stepKey {
+	var keys []stepKey
+	for k := range e.stepVar {
+		if k.msg == msg {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].tau != keys[j].tau {
+			return keys[i].tau < keys[j].tau
+		}
+		return keys[i].res < keys[j].res
+	})
+	return keys
+}

@@ -1,0 +1,292 @@
+package faultsim
+
+import (
+	"fmt"
+	"math/bits"
+	"math/rand"
+
+	"repro/internal/netlist"
+)
+
+// BridgeKind is the electrical behavior of a two-net bridging defect
+// (the paper's Section I: "unintended connections, or bridges, between
+// neighboring signals in the circuit layout").
+type BridgeKind int
+
+const (
+	// WiredAND pulls both nets to the AND of their driven values.
+	WiredAND BridgeKind = iota
+	// WiredOR pulls both nets to the OR of their driven values.
+	WiredOR
+	// DomA forces net B to follow net A (A's driver wins).
+	DomA
+	// DomB forces net A to follow net B.
+	DomB
+)
+
+// String returns the bridge-kind mnemonic.
+func (k BridgeKind) String() string {
+	switch k {
+	case WiredAND:
+		return "wired-and"
+	case WiredOR:
+		return "wired-or"
+	case DomA:
+		return "dom-a"
+	case DomB:
+		return "dom-b"
+	default:
+		return fmt.Sprintf("BridgeKind(%d)", int(k))
+	}
+}
+
+// Bridge is one bridging fault between the output nets of gates A and B.
+type Bridge struct {
+	A, B int
+	Kind BridgeKind
+}
+
+// String renders like "g3~g7/wired-and".
+func (b Bridge) String() string {
+	return fmt.Sprintf("g%d~g%d/%s", b.A, b.B, b.Kind)
+}
+
+// faultyValues returns the bridged values of both nets given their
+// driven values (64 patterns in parallel).
+func (b Bridge) faultyValues(va, vb uint64) (fa, fb uint64) {
+	switch b.Kind {
+	case WiredAND:
+		w := va & vb
+		return w, w
+	case WiredOR:
+		w := va | vb
+		return w, w
+	case DomA:
+		return va, va
+	default: // DomB
+		return vb, vb
+	}
+}
+
+// CandidateBridges enumerates n plausible bridging sites for a circuit
+// without layout information: random pairs of distinct gates on the
+// same or adjacent topological level (a proxy for physical
+// neighborhood), excluding pairs where one net lies in the other's
+// fanout cone (such feedback bridges can oscillate and need a
+// sequential model). All four electrical behaviors are cycled through.
+func CandidateBridges(c *netlist.Circuit, n int, seed int64) []Bridge {
+	rng := rand.New(rand.NewSource(seed))
+	// Bucket gates by level.
+	byLevel := make(map[int][]int)
+	maxLevel := 0
+	for _, g := range c.Gates {
+		l := c.Level(g.ID)
+		byLevel[l] = append(byLevel[l], g.ID)
+		if l > maxLevel {
+			maxLevel = l
+		}
+	}
+	inCone := func(root, target int) bool {
+		for _, g := range c.Cone(root) {
+			if g == target {
+				return true
+			}
+		}
+		return false
+	}
+	seen := make(map[[2]int]bool)
+	var out []Bridge
+	for tries := 0; len(out) < n && tries < n*50; tries++ {
+		l := rng.Intn(maxLevel + 1)
+		candA := byLevel[l]
+		lb := l
+		if rng.Intn(2) == 1 && l < maxLevel {
+			lb = l + 1
+		}
+		candB := byLevel[lb]
+		if len(candA) == 0 || len(candB) == 0 {
+			continue
+		}
+		a := candA[rng.Intn(len(candA))]
+		b := candB[rng.Intn(len(candB))]
+		if a == b {
+			continue
+		}
+		if a > b {
+			a, b = b, a
+		}
+		key := [2]int{a, b}
+		if seen[key] {
+			continue
+		}
+		if inCone(a, b) || inCone(b, a) {
+			continue
+		}
+		seen[key] = true
+		out = append(out, Bridge{A: a, B: b, Kind: BridgeKind(len(out) % 4)})
+	}
+	return out
+}
+
+// BridgeSim runs parallel-pattern bridging fault simulation with fault
+// dropping, analogous to FaultSim.
+type BridgeSim struct {
+	c    *netlist.Circuit
+	good *LogicSim
+
+	remaining []Bridge
+	detected  []BridgeDetection
+	seen      int
+
+	faulty  []uint64
+	isSet   []bool
+	touched []int
+	scratch []uint64
+}
+
+// BridgeDetection records the first detection of a bridge.
+type BridgeDetection struct {
+	Bridge  Bridge
+	Pattern int
+}
+
+// NewBridgeSim returns a simulator over the target bridge list.
+func NewBridgeSim(c *netlist.Circuit, bridges []Bridge) *BridgeSim {
+	return &BridgeSim{
+		c:         c,
+		good:      NewLogicSim(c),
+		remaining: append([]Bridge(nil), bridges...),
+		faulty:    make([]uint64, c.NumGates()),
+		isSet:     make([]bool, c.NumGates()),
+		scratch:   make([]uint64, 8),
+	}
+}
+
+// TotalBridges returns the size of the target list.
+func (bs *BridgeSim) TotalBridges() int { return len(bs.remaining) + len(bs.detected) }
+
+// Coverage returns detected / total.
+func (bs *BridgeSim) Coverage() float64 {
+	t := bs.TotalBridges()
+	if t == 0 {
+		return 1
+	}
+	return float64(len(bs.detected)) / float64(t)
+}
+
+// Detections returns the recorded first detections.
+func (bs *BridgeSim) Detections() []BridgeDetection {
+	return append([]BridgeDetection(nil), bs.detected...)
+}
+
+// SimulateBatch simulates one batch against the remaining bridges,
+// dropping detected ones.
+func (bs *BridgeSim) SimulateBatch(b Batch) ([]BridgeDetection, error) {
+	if err := bs.good.Apply(b); err != nil {
+		return nil, err
+	}
+	valid := b.ValidMask()
+	var news []BridgeDetection
+	kept := bs.remaining[:0]
+	for _, br := range bs.remaining {
+		diff := bs.outputDiff(br, valid)
+		if diff != 0 {
+			d := BridgeDetection{Bridge: br, Pattern: bs.seen + bits.TrailingZeros64(diff)}
+			news = append(news, d)
+			bs.detected = append(bs.detected, d)
+		} else {
+			kept = append(kept, br)
+		}
+	}
+	bs.remaining = kept
+	bs.seen += b.N
+	return news, nil
+}
+
+// outputDiff propagates the bridged values through the merged fanout
+// cones and ORs the per-output difference masks.
+func (bs *BridgeSim) outputDiff(br Bridge, valid uint64) uint64 {
+	for _, id := range bs.touched {
+		bs.isSet[id] = false
+	}
+	bs.touched = bs.touched[:0]
+	set := func(id int, v uint64) {
+		if !bs.isSet[id] {
+			bs.isSet[id] = true
+			bs.touched = append(bs.touched, id)
+		}
+		bs.faulty[id] = v
+	}
+	get := func(id int) uint64 {
+		if bs.isSet[id] {
+			return bs.faulty[id]
+		}
+		return bs.good.Value(id)
+	}
+	fa, fb := br.faultyValues(bs.good.Value(br.A), bs.good.Value(br.B))
+	set(br.A, fa)
+	set(br.B, fb)
+
+	// Merge both cones in level order.
+	cone := mergeCones(bs.c, br.A, br.B)
+	for _, id := range cone {
+		g := &bs.c.Gates[id]
+		if len(g.Fanin) > len(bs.scratch) {
+			bs.scratch = make([]uint64, len(g.Fanin))
+		}
+		in := bs.scratch[:len(g.Fanin)]
+		changed := false
+		for i, src := range g.Fanin {
+			in[i] = get(src)
+			if bs.isSet[src] {
+				changed = true
+			}
+		}
+		if !changed {
+			continue
+		}
+		set(id, g.Type.EvalWords(in))
+	}
+	var acc uint64
+	for _, id := range bs.c.Outputs {
+		acc |= (get(id) ^ bs.good.Value(id)) & valid
+	}
+	return acc
+}
+
+// mergeCones returns the union of both fanout cones in ascending level
+// order.
+func mergeCones(c *netlist.Circuit, a, b int) []int {
+	ca, cb := c.Cone(a), c.Cone(b)
+	seen := make(map[int]bool, len(ca)+len(cb))
+	var out []int
+	i, j := 0, 0
+	less := func(x, y int) bool {
+		if c.Level(x) != c.Level(y) {
+			return c.Level(x) < c.Level(y)
+		}
+		return x < y
+	}
+	for i < len(ca) || j < len(cb) {
+		var next int
+		switch {
+		case i == len(ca):
+			next = cb[j]
+			j++
+		case j == len(cb):
+			next = ca[i]
+			i++
+		case less(ca[i], cb[j]):
+			next = ca[i]
+			i++
+		default:
+			next = cb[j]
+			j++
+		}
+		if !seen[next] {
+			seen[next] = true
+			out = append(out, next)
+		}
+	}
+	return out
+}

@@ -1,0 +1,254 @@
+package faultsim
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/netlist"
+)
+
+func TestBridgeKindStrings(t *testing.T) {
+	if WiredAND.String() != "wired-and" || DomB.String() != "dom-b" {
+		t.Fatal("kind strings wrong")
+	}
+	if (Bridge{A: 3, B: 7, Kind: WiredOR}).String() != "g3~g7/wired-or" {
+		t.Fatal("bridge string wrong")
+	}
+}
+
+func TestBridgeFaultyValues(t *testing.T) {
+	va, vb := uint64(0b1100), uint64(0b1010)
+	cases := []struct {
+		kind   BridgeKind
+		fa, fb uint64
+	}{
+		{WiredAND, 0b1000, 0b1000},
+		{WiredOR, 0b1110, 0b1110},
+		{DomA, 0b1100, 0b1100},
+		{DomB, 0b1010, 0b1010},
+	}
+	for _, c := range cases {
+		fa, fb := (Bridge{Kind: c.kind}).faultyValues(va, vb)
+		if fa != c.fa || fb != c.fb {
+			t.Fatalf("%v: %b,%b want %b,%b", c.kind, fa, fb, c.fa, c.fb)
+		}
+	}
+}
+
+// twoBufCircuit: two independent buffer paths a->y0, b->y1, so a bridge
+// between the inputs has a fully predictable effect.
+func twoBufCircuit(t *testing.T) *netlist.Circuit {
+	t.Helper()
+	nb := netlist.NewBuilder("twobuf")
+	a := nb.Input("a")
+	b := nb.Input("b")
+	nb.Output(nb.Gate(netlist.Buf, "y0", a))
+	nb.Output(nb.Gate(netlist.Buf, "y1", b))
+	c, err := nb.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestBridgeDetectionHandComputed(t *testing.T) {
+	c := twoBufCircuit(t)
+	// Wired-AND between the two inputs: detectable whenever a != b.
+	bridges := []Bridge{{A: 0, B: 1, Kind: WiredAND}}
+	bs := NewBridgeSim(c, bridges)
+	// Patterns: 00, 01, 10, 11 — detection at pattern 1 (a=0,b=1: y1
+	// reads 0 instead of 1).
+	batch, err := BatchFromBools([][]bool{{false, false}, {false, true}, {true, false}, {true, true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dets, err := bs.SimulateBatch(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dets) != 1 || dets[0].Pattern != 1 {
+		t.Fatalf("detections = %+v", dets)
+	}
+	if bs.Coverage() != 1 || bs.TotalBridges() != 1 {
+		t.Fatalf("coverage = %v", bs.Coverage())
+	}
+}
+
+func TestDominantBridgeDirectionality(t *testing.T) {
+	c := twoBufCircuit(t)
+	// DomA: only y1 (driven by B's net) can be wrong.
+	bs := NewBridgeSim(c, nil)
+	batch, _ := BatchFromBools([][]bool{{true, false}})
+	if err := bs.good.Apply(batch); err != nil {
+		t.Fatal(err)
+	}
+	diff := bs.outputDiff(Bridge{A: 0, B: 1, Kind: DomA}, batch.ValidMask())
+	if diff != 1 {
+		t.Fatalf("diff = %b, want detection", diff)
+	}
+	// With equal values no bridge is observable.
+	batch, _ = BatchFromBools([][]bool{{true, true}})
+	if err := bs.good.Apply(batch); err != nil {
+		t.Fatal(err)
+	}
+	for k := WiredAND; k <= DomB; k++ {
+		if d := bs.outputDiff(Bridge{A: 0, B: 1, Kind: k}, batch.ValidMask()); d != 0 {
+			t.Fatalf("%v visible on equal values: %b", k, d)
+		}
+	}
+}
+
+// TestBridgeSimMatchesBruteForce validates the cone-merged simulation
+// against full two-net forcing resimulation.
+func TestBridgeSimMatchesBruteForce(t *testing.T) {
+	c := netlist.Random(9, netlist.RandomOptions{Inputs: 8, Gates: 60, Outputs: 6})
+	bridges := CandidateBridges(c, 24, 3)
+	if len(bridges) < 8 {
+		t.Fatalf("only %d candidate bridges", len(bridges))
+	}
+	src := &counterSource{nIn: 8}
+	batch := src.NextBatch(64)
+	bs := NewBridgeSim(c, nil)
+	if err := bs.good.Apply(batch); err != nil {
+		t.Fatal(err)
+	}
+	for _, br := range bridges {
+		fast := bs.outputDiff(br, batch.ValidMask())
+		want := bruteForceBridgeDiff(t, c, br, batch)
+		if fast != want {
+			t.Fatalf("bridge %v: fast %b brute %b", br, fast, want)
+		}
+	}
+}
+
+// bruteForceBridgeDiff resimulates pattern by pattern in two phases:
+// first the driven (good) values of both nets, then a full faulty
+// re-evaluation with the bridged values forced onto A and B for every
+// reader. This matches the simulator's model and is valid because
+// candidate bridges exclude cone relationships between A and B.
+func bruteForceBridgeDiff(t *testing.T, c *netlist.Circuit, br Bridge, b Batch) uint64 {
+	t.Helper()
+	good := NewLogicSim(c)
+	if err := good.Apply(b); err != nil {
+		t.Fatal(err)
+	}
+	goodOut := good.OutputWords()
+	var acc uint64
+	for p := 0; p < b.N; p++ {
+		// Phase 1: driven values (plain good simulation).
+		driven := make(map[int]bool)
+		for i, id := range c.Inputs {
+			driven[id] = b.Words[i]>>uint(p)&1 == 1
+		}
+		for _, id := range c.Order() {
+			g := &c.Gates[id]
+			in := make([]bool, len(g.Fanin))
+			for i, f := range g.Fanin {
+				in[i] = driven[f]
+			}
+			driven[id] = g.Type.Eval(in)
+		}
+		fa, fb := br.faultyValues(boolWord(driven[br.A]), boolWord(driven[br.B]))
+
+		// Phase 2: re-evaluate with A and B forced to the bridged values.
+		vals := make(map[int]bool)
+		for i, id := range c.Inputs {
+			vals[id] = b.Words[i]>>uint(p)&1 == 1
+		}
+		vals[br.A] = fa&1 == 1
+		vals[br.B] = fb&1 == 1
+		for _, id := range c.Order() {
+			if id == br.A || id == br.B {
+				continue // forced
+			}
+			g := &c.Gates[id]
+			in := make([]bool, len(g.Fanin))
+			for i, f := range g.Fanin {
+				in[i] = vals[f]
+			}
+			vals[id] = g.Type.Eval(in)
+		}
+		for i, id := range c.Outputs {
+			gv := goodOut[i]>>uint(p)&1 == 1
+			if vals[id] != gv {
+				acc |= 1 << uint(p)
+			}
+		}
+	}
+	return acc
+}
+
+func boolWord(b bool) uint64 {
+	if b {
+		return ^uint64(0)
+	}
+	return 0
+}
+
+func TestCandidateBridgesProperties(t *testing.T) {
+	c := netlist.ScanCUT(4, 6, 8, 4)
+	bridges := CandidateBridges(c, 40, 7)
+	if len(bridges) < 20 {
+		t.Fatalf("only %d bridges", len(bridges))
+	}
+	seen := make(map[[2]int]bool)
+	for _, br := range bridges {
+		if br.A == br.B {
+			t.Fatalf("self bridge %v", br)
+		}
+		if br.A > br.B {
+			t.Fatalf("unnormalized pair %v", br)
+		}
+		key := [2]int{br.A, br.B}
+		if seen[key] {
+			t.Fatalf("duplicate pair %v", br)
+		}
+		seen[key] = true
+		// No cone relationship (feedback exclusion).
+		for _, g := range c.Cone(br.A) {
+			if g == br.B {
+				t.Fatalf("bridge %v has B in cone(A)", br)
+			}
+		}
+		// Levels at most one apart (layout-neighbor proxy).
+		dl := c.Level(br.A) - c.Level(br.B)
+		if dl < -1 || dl > 1 {
+			t.Fatalf("bridge %v spans levels %d and %d", br, c.Level(br.A), c.Level(br.B))
+		}
+	}
+}
+
+// TestRandomPatternsCoverBridges: stuck-at-oriented random patterns
+// also detect most bridging defects — the classic surrogate-coverage
+// argument behind using stuck-at BIST for layout defects. (The LFSR
+// variant lives in the stumps package tests to avoid an import cycle.)
+func TestRandomPatternsCoverBridges(t *testing.T) {
+	c := netlist.ScanCUT(21, 6, 8, 4)
+	bridges := CandidateBridges(c, 60, 11)
+	bs := NewBridgeSim(c, bridges)
+	src := &randomSource{nIn: c.NumInputs(), rng: rand.New(rand.NewSource(3))}
+	for bs.seen < 512 && len(bs.remaining) > 0 {
+		if _, err := bs.SimulateBatch(src.NextBatch(64)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if cov := bs.Coverage(); cov < 0.5 {
+		t.Fatalf("bridge coverage = %.2f after 512 PRPs", cov)
+	}
+	// Detections recorded consistently.
+	for _, d := range bs.Detections() {
+		if d.Pattern < 0 || d.Pattern >= 512 {
+			t.Fatalf("detection pattern %d", d.Pattern)
+		}
+	}
+}
+
+func TestBridgeSimEmptyListTrivial(t *testing.T) {
+	c := twoBufCircuit(t)
+	bs := NewBridgeSim(c, nil)
+	if bs.Coverage() != 1 || bs.TotalBridges() != 0 {
+		t.Fatal("empty list must be trivially covered")
+	}
+	rng := rand.New(rand.NewSource(1))
+	_ = rng
+}

@@ -1,0 +1,308 @@
+package faultsim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/netlist"
+)
+
+// counterSource enumerates input patterns 0,1,2,... as binary counters,
+// giving exhaustive coverage on small circuits.
+type counterSource struct {
+	nIn  int
+	next uint64
+}
+
+func (s *counterSource) NextBatch(n int) Batch {
+	if n > 64 {
+		n = 64
+	}
+	words := make([]uint64, s.nIn)
+	for p := 0; p < n; p++ {
+		v := s.next
+		s.next++
+		for i := 0; i < s.nIn; i++ {
+			if v>>uint(i)&1 == 1 {
+				words[i] |= 1 << uint(p)
+			}
+		}
+	}
+	return Batch{Words: words, N: n}
+}
+
+// randomSource produces uniformly random batches from a fixed seed.
+type randomSource struct {
+	nIn int
+	rng *rand.Rand
+}
+
+func (s *randomSource) NextBatch(n int) Batch {
+	if n > 64 {
+		n = 64
+	}
+	words := make([]uint64, s.nIn)
+	for i := range words {
+		words[i] = s.rng.Uint64()
+	}
+	return Batch{Words: words, N: n}
+}
+
+func TestBatchFromBools(t *testing.T) {
+	b, err := BatchFromBools([][]bool{{true, false}, {false, true}, {true, true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.N != 3 || len(b.Words) != 2 {
+		t.Fatalf("batch = %+v", b)
+	}
+	// Input 0: patterns 0 and 2 set -> 0b101; input 1: patterns 1,2 -> 0b110.
+	if b.Words[0] != 0b101 || b.Words[1] != 0b110 {
+		t.Fatalf("words = %b %b", b.Words[0], b.Words[1])
+	}
+	if b.ValidMask() != 0b111 {
+		t.Fatalf("mask = %b", b.ValidMask())
+	}
+	if _, err := BatchFromBools(nil); err == nil {
+		t.Fatal("empty batch accepted")
+	}
+	if _, err := BatchFromBools([][]bool{{true}, {true, false}}); err == nil {
+		t.Fatal("ragged batch accepted")
+	}
+}
+
+func TestValidMaskFull(t *testing.T) {
+	if (Batch{N: 64}).ValidMask() != ^uint64(0) {
+		t.Fatal("full batch mask wrong")
+	}
+}
+
+// TestAdderOracle checks the logic simulator against integer addition.
+func TestAdderOracle(t *testing.T) {
+	c := netlist.RippleAdder(8)
+	sim := NewLogicSim(c)
+	f := func(a, b uint8, cin bool) bool {
+		pattern := make([]bool, 17)
+		for i := 0; i < 8; i++ {
+			pattern[i] = a>>uint(i)&1 == 1
+			pattern[8+i] = b>>uint(i)&1 == 1
+		}
+		pattern[16] = cin
+		out, err := sim.ApplyBools(pattern)
+		if err != nil {
+			return false
+		}
+		sum := uint16(a) + uint16(b)
+		if cin {
+			sum++
+		}
+		for i := 0; i < 8; i++ {
+			if out[i] != (sum>>uint(i)&1 == 1) {
+				return false
+			}
+		}
+		return out[8] == (sum>>8&1 == 1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestApplyRejectsWrongWidth(t *testing.T) {
+	sim := NewLogicSim(netlist.C17())
+	if err := sim.Apply(Batch{Words: make([]uint64, 3), N: 1}); err == nil {
+		t.Fatal("wrong-width batch accepted")
+	}
+}
+
+// TestC17ExhaustiveCoverage verifies that exhaustive patterns detect all
+// 22 collapsed faults of c17 (the circuit is fully testable).
+func TestC17ExhaustiveCoverage(t *testing.T) {
+	c := netlist.C17()
+	fs := NewFaultSim(c, netlist.CollapsedFaults(c))
+	src := &counterSource{nIn: 5}
+	if _, err := fs.SimulateBatch(src.NextBatch(32)); err != nil {
+		t.Fatal(err)
+	}
+	if fs.Coverage() != 1 {
+		t.Fatalf("coverage = %v, remaining %v", fs.Coverage(), fs.Remaining())
+	}
+	if fs.DetectedCount() != 22 || fs.TotalFaults() != 22 {
+		t.Fatalf("detected %d of %d", fs.DetectedCount(), fs.TotalFaults())
+	}
+}
+
+// TestKnownFaultDetection hand-checks a single stuck-at fault on a
+// 2-input AND: a/sa0 is detected exactly by pattern a=1,b=1.
+func TestKnownFaultDetection(t *testing.T) {
+	b := netlist.NewBuilder("and2")
+	a := b.Input("a")
+	bb := b.Input("b")
+	g := b.Gate(netlist.And, "g", a, bb)
+	b.Output(g)
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fault := netlist.Fault{Gate: a, Pin: netlist.StemPin, Stuck: false} // a sa0
+	fs := NewFaultSim(c, []netlist.Fault{fault})
+	// Patterns: 00, 01, 10, 11 — only 11 detects.
+	batch, _ := BatchFromBools([][]bool{{false, false}, {false, true}, {true, false}, {true, true}})
+	dets, err := fs.SimulateBatch(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dets) != 1 || dets[0].Pattern != 3 {
+		t.Fatalf("detections = %+v, want single detection at pattern 3", dets)
+	}
+}
+
+// TestPinFaultOnlyAffectsBranch checks that an input-pin (branch) fault
+// does not corrupt the other reader of the same stem.
+func TestPinFaultOnlyAffectsBranch(t *testing.T) {
+	// s drives both g1 = BUF(s) and g2 = BUF(s). Branch fault on g1's pin
+	// must flip only output 0.
+	b := netlist.NewBuilder("branch")
+	s := b.Input("s")
+	g1 := b.Gate(netlist.Buf, "g1", s)
+	g2 := b.Gate(netlist.Buf, "g2", s)
+	b.Output(g1)
+	b.Output(g2)
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fault := netlist.Fault{Gate: g1, Pin: 0, Stuck: false}
+	fs := NewFaultSim(c, nil)
+	batch, _ := BatchFromBools([][]bool{{true}})
+	resp, err := fs.OutputResponse(fault, batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp[0] != 1 || resp[1] != 0 {
+		t.Fatalf("response = %b,%b; want output0 flipped only", resp[0], resp[1])
+	}
+}
+
+// TestFaultSimMatchesBruteForce compares the cone-based fault simulator
+// with naive full faulty-machine resimulation on random circuits.
+func TestFaultSimMatchesBruteForce(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		c := netlist.Random(seed, netlist.RandomOptions{Inputs: 8, Gates: 60, Outputs: 6})
+		faults := netlist.CollapsedFaults(c)
+		src := &counterSource{nIn: 8}
+		batch := src.NextBatch(64)
+
+		fs := NewFaultSim(c, faults)
+		fast := make(map[string]uint64)
+		for _, f := range faults {
+			resp, err := fs.OutputResponse(f, batch)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var acc uint64
+			for _, d := range resp {
+				acc |= d
+			}
+			fast[f.String()] = acc
+		}
+
+		for _, f := range faults {
+			want := bruteForceDiff(t, c, f, batch)
+			if fast[f.String()] != want {
+				t.Fatalf("seed %d fault %v: fast %b, brute %b", seed, f, fast[f.String()], want)
+			}
+		}
+	}
+}
+
+// bruteForceDiff resimulates the faulty machine pattern by pattern with
+// explicit value forcing.
+func bruteForceDiff(t *testing.T, c *netlist.Circuit, f netlist.Fault, b Batch) uint64 {
+	t.Helper()
+	good := NewLogicSim(c)
+	if err := good.Apply(b); err != nil {
+		t.Fatal(err)
+	}
+	goodOut := good.OutputWords()
+
+	var acc uint64
+	for p := 0; p < b.N; p++ {
+		vals := make(map[int]bool)
+		for i, id := range c.Inputs {
+			vals[id] = b.Words[i]>>uint(p)&1 == 1
+		}
+		// Stem fault forces the driver value after evaluation.
+		if f.Pin == netlist.StemPin && c.Gates[f.Gate].Type == netlist.Input {
+			vals[f.Gate] = f.Stuck
+		}
+		for _, id := range c.Order() {
+			g := &c.Gates[id]
+			in := make([]bool, len(g.Fanin))
+			for i, src := range g.Fanin {
+				in[i] = vals[src]
+				if f.Pin != netlist.StemPin && id == f.Gate && i == f.Pin {
+					in[i] = f.Stuck
+				}
+			}
+			v := g.Type.Eval(in)
+			if f.Pin == netlist.StemPin && id == f.Gate {
+				v = f.Stuck
+			}
+			vals[id] = v
+		}
+		for i, id := range c.Outputs {
+			gv := goodOut[i]>>uint(p)&1 == 1
+			if vals[id] != gv {
+				acc |= 1 << uint(p)
+			}
+		}
+	}
+	return acc
+}
+
+func TestRunCoverageMonotonic(t *testing.T) {
+	c := netlist.Random(3, netlist.RandomOptions{Inputs: 16, Gates: 200, Outputs: 12})
+	fs := NewFaultSim(c, netlist.CollapsedFaults(c))
+	pts, err := fs.RunCoverage(&randomSource{nIn: 16, rng: rand.New(rand.NewSource(1))}, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) == 0 {
+		t.Fatal("no coverage points")
+	}
+	prev := 0.0
+	for _, p := range pts {
+		if p.Coverage < prev {
+			t.Fatalf("coverage decreased: %+v", pts)
+		}
+		prev = p.Coverage
+	}
+	if prev < 0.5 {
+		t.Fatalf("random patterns reached only %.2f coverage", prev)
+	}
+	if fs.PatternsSeen() > 1024 {
+		t.Fatalf("consumed %d patterns, limit 1024", fs.PatternsSeen())
+	}
+}
+
+func TestDetectionIndicesGlobal(t *testing.T) {
+	c := netlist.C17()
+	fs := NewFaultSim(c, netlist.CollapsedFaults(c))
+	src := &counterSource{nIn: 5}
+	// Feed two batches of 16; detections in the second batch must have
+	// pattern indices >= 16.
+	if _, err := fs.SimulateBatch(src.NextBatch(16)); err != nil {
+		t.Fatal(err)
+	}
+	second, err := fs.SimulateBatch(src.NextBatch(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range second {
+		if d.Pattern < 16 || d.Pattern >= 32 {
+			t.Fatalf("second-batch detection has pattern %d", d.Pattern)
+		}
+	}
+}

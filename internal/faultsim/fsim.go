@@ -1,0 +1,227 @@
+package faultsim
+
+import (
+	"math/bits"
+
+	"repro/internal/netlist"
+)
+
+// Detection records the first detection of a fault.
+type Detection struct {
+	Fault   netlist.Fault
+	Pattern int // global pattern index across all batches fed so far
+}
+
+// FaultSim runs serial-fault, parallel-pattern stuck-at simulation with
+// fault dropping: each batch first simulates the good machine, then
+// resimulates only the fanout cone of each still-undetected fault.
+type FaultSim struct {
+	c    *netlist.Circuit
+	good *LogicSim
+
+	remaining []netlist.Fault
+	detected  []Detection
+	seen      int // total patterns consumed
+
+	// faulty is the overlay value array reused across faults; touched
+	// tracks which entries are valid for the current fault.
+	faulty  []uint64
+	touched []int
+	isSet   []bool
+	scratch []uint64
+}
+
+// NewFaultSim returns a fault simulator over the given target fault
+// list (typically netlist.CollapsedFaults).
+func NewFaultSim(c *netlist.Circuit, faults []netlist.Fault) *FaultSim {
+	return &FaultSim{
+		c:         c,
+		good:      NewLogicSim(c),
+		remaining: append([]netlist.Fault(nil), faults...),
+		faulty:    make([]uint64, c.NumGates()),
+		isSet:     make([]bool, c.NumGates()),
+		scratch:   make([]uint64, 8),
+	}
+}
+
+// TotalFaults returns the size of the target fault list.
+func (fs *FaultSim) TotalFaults() int { return len(fs.remaining) + len(fs.detected) }
+
+// DetectedCount returns the number of faults detected so far.
+func (fs *FaultSim) DetectedCount() int { return len(fs.detected) }
+
+// Coverage returns detected / total fault coverage in [0,1].
+func (fs *FaultSim) Coverage() float64 {
+	total := fs.TotalFaults()
+	if total == 0 {
+		return 1
+	}
+	return float64(len(fs.detected)) / float64(total)
+}
+
+// Remaining returns the still-undetected faults.
+func (fs *FaultSim) Remaining() []netlist.Fault {
+	return append([]netlist.Fault(nil), fs.remaining...)
+}
+
+// Detections returns all recorded first detections in detection order.
+func (fs *FaultSim) Detections() []Detection {
+	return append([]Detection(nil), fs.detected...)
+}
+
+// PatternsSeen returns the number of patterns consumed so far.
+func (fs *FaultSim) PatternsSeen() int { return fs.seen }
+
+// SimulateBatch fault-simulates one pattern batch and returns the
+// detections it produced. Detected faults are dropped from the target
+// list.
+func (fs *FaultSim) SimulateBatch(b Batch) ([]Detection, error) {
+	if err := fs.good.Apply(b); err != nil {
+		return nil, err
+	}
+	valid := b.ValidMask()
+	var newDet []Detection
+	kept := fs.remaining[:0]
+	for _, f := range fs.remaining {
+		diff := fs.outputDiff(f, valid)
+		if diff != 0 {
+			d := Detection{Fault: f, Pattern: fs.seen + bits.TrailingZeros64(diff)}
+			newDet = append(newDet, d)
+			fs.detected = append(fs.detected, d)
+		} else {
+			kept = append(kept, f)
+		}
+	}
+	fs.remaining = kept
+	fs.seen += b.N
+	return newDet, nil
+}
+
+// outputDiff returns the OR over all outputs of good-vs-faulty
+// difference masks for fault f under the currently applied batch.
+func (fs *FaultSim) outputDiff(f netlist.Fault, valid uint64) uint64 {
+	per := fs.perOutputDiff(f, valid)
+	var acc uint64
+	for _, d := range per {
+		acc |= d
+	}
+	return acc
+}
+
+// perOutputDiff computes, for each circuit output, the pattern mask on
+// which fault f flips that output, under the currently applied batch.
+func (fs *FaultSim) perOutputDiff(f netlist.Fault, valid uint64) []uint64 {
+	stuckWord := uint64(0)
+	if f.Stuck {
+		stuckWord = ^uint64(0)
+	}
+	// Reset overlay from the previous fault.
+	for _, id := range fs.touched {
+		fs.isSet[id] = false
+	}
+	fs.touched = fs.touched[:0]
+
+	set := func(id int, v uint64) {
+		if !fs.isSet[id] {
+			fs.isSet[id] = true
+			fs.touched = append(fs.touched, id)
+		}
+		fs.faulty[id] = v
+	}
+	get := func(id int) uint64 {
+		if fs.isSet[id] {
+			return fs.faulty[id]
+		}
+		return fs.good.Value(id)
+	}
+
+	var coneRoot int
+	if f.Pin == netlist.StemPin {
+		set(f.Gate, stuckWord)
+		coneRoot = f.Gate
+	} else {
+		// Only the reader gate sees the stuck value on one pin.
+		g := &fs.c.Gates[f.Gate]
+		if len(g.Fanin) > len(fs.scratch) {
+			fs.scratch = make([]uint64, len(g.Fanin))
+		}
+		in := fs.scratch[:len(g.Fanin)]
+		for i, src := range g.Fanin {
+			if i == f.Pin {
+				in[i] = stuckWord
+			} else {
+				in[i] = fs.good.Value(src)
+			}
+		}
+		set(f.Gate, g.Type.EvalWords(in))
+		coneRoot = f.Gate
+	}
+
+	// Propagate through the fanout cone in topological order.
+	for _, id := range fs.c.Cone(coneRoot) {
+		g := &fs.c.Gates[id]
+		if len(g.Fanin) > len(fs.scratch) {
+			fs.scratch = make([]uint64, len(g.Fanin))
+		}
+		in := fs.scratch[:len(g.Fanin)]
+		changed := false
+		for i, src := range g.Fanin {
+			in[i] = get(src)
+			if fs.isSet[src] {
+				changed = true
+			}
+		}
+		if !changed {
+			continue
+		}
+		set(id, g.Type.EvalWords(in))
+	}
+
+	out := make([]uint64, len(fs.c.Outputs))
+	for i, id := range fs.c.Outputs {
+		out[i] = (get(id) ^ fs.good.Value(id)) & valid
+	}
+	return out
+}
+
+// OutputResponse returns, for fault f, the per-output difference masks
+// under batch b (without mutating detection state). It is used to build
+// diagnosis dictionaries: bit p of entry i says pattern p flips output
+// i.
+func (fs *FaultSim) OutputResponse(f netlist.Fault, b Batch) ([]uint64, error) {
+	if err := fs.good.Apply(b); err != nil {
+		return nil, err
+	}
+	return fs.perOutputDiff(f, b.ValidMask()), nil
+}
+
+// RunCoverage feeds batches from gen until limit patterns are consumed
+// or the fault list is exhausted, recording coverage after every batch.
+// It returns (patternsConsumed, coverage) pairs at batch granularity.
+type CoveragePoint struct {
+	Patterns int
+	Coverage float64
+}
+
+// PatternSource produces successive batches of input patterns.
+type PatternSource interface {
+	// NextBatch returns the next batch of up to n patterns.
+	NextBatch(n int) Batch
+}
+
+// RunCoverage consumes patterns from src until limit patterns have been
+// simulated (rounded up to batch size) or every fault is detected.
+func (fs *FaultSim) RunCoverage(src PatternSource, limit int) ([]CoveragePoint, error) {
+	var pts []CoveragePoint
+	for fs.seen < limit && len(fs.remaining) > 0 {
+		n := limit - fs.seen
+		if n > 64 {
+			n = 64
+		}
+		if _, err := fs.SimulateBatch(src.NextBatch(n)); err != nil {
+			return nil, err
+		}
+		pts = append(pts, CoveragePoint{Patterns: fs.seen, Coverage: fs.Coverage()})
+	}
+	return pts, nil
+}

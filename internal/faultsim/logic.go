@@ -1,0 +1,118 @@
+// Package faultsim provides 64-way parallel-pattern logic simulation
+// and single stuck-at fault simulation with fault dropping and
+// cone-limited faulty-machine resimulation. It is the engine behind the
+// fault-coverage estimation c(b) of the paper's BIST profiles.
+package faultsim
+
+import (
+	"fmt"
+
+	"repro/internal/netlist"
+)
+
+// Batch carries up to 64 input patterns in bit-parallel form: Words[i]
+// holds the values of input i across the patterns, pattern p in bit p.
+type Batch struct {
+	Words []uint64
+	N     int // number of valid patterns, 1..64
+}
+
+// ValidMask returns the bit mask covering the valid patterns.
+func (b Batch) ValidMask() uint64 {
+	if b.N >= 64 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << uint(b.N)) - 1
+}
+
+// BatchFromBools packs up to 64 single patterns (each a []bool per
+// input) into a batch.
+func BatchFromBools(patterns [][]bool) (Batch, error) {
+	if len(patterns) == 0 || len(patterns) > 64 {
+		return Batch{}, fmt.Errorf("faultsim: need 1..64 patterns, got %d", len(patterns))
+	}
+	nIn := len(patterns[0])
+	words := make([]uint64, nIn)
+	for p, pat := range patterns {
+		if len(pat) != nIn {
+			return Batch{}, fmt.Errorf("faultsim: pattern %d has %d inputs, want %d", p, len(pat), nIn)
+		}
+		for i, v := range pat {
+			if v {
+				words[i] |= 1 << uint(p)
+			}
+		}
+	}
+	return Batch{Words: words, N: len(patterns)}, nil
+}
+
+// LogicSim is a levelized 64-way parallel good-machine simulator.
+type LogicSim struct {
+	c       *netlist.Circuit
+	values  []uint64
+	scratch []uint64 // fanin staging buffer
+}
+
+// NewLogicSim returns a simulator for the circuit.
+func NewLogicSim(c *netlist.Circuit) *LogicSim {
+	return &LogicSim{
+		c:       c,
+		values:  make([]uint64, c.NumGates()),
+		scratch: make([]uint64, 8),
+	}
+}
+
+// Apply loads the batch onto the inputs and evaluates the whole circuit.
+func (s *LogicSim) Apply(b Batch) error {
+	if len(b.Words) != s.c.NumInputs() {
+		return fmt.Errorf("faultsim: batch has %d input words, circuit has %d inputs", len(b.Words), s.c.NumInputs())
+	}
+	for i, id := range s.c.Inputs {
+		s.values[id] = b.Words[i]
+	}
+	for _, id := range s.c.Order() {
+		s.values[id] = s.evalGate(id, s.values)
+	}
+	return nil
+}
+
+func (s *LogicSim) evalGate(id int, vals []uint64) uint64 {
+	g := &s.c.Gates[id]
+	if len(g.Fanin) > len(s.scratch) {
+		s.scratch = make([]uint64, len(g.Fanin))
+	}
+	in := s.scratch[:len(g.Fanin)]
+	for i, f := range g.Fanin {
+		in[i] = vals[f]
+	}
+	return g.Type.EvalWords(in)
+}
+
+// Value returns the 64-pattern value word of gate id after Apply.
+func (s *LogicSim) Value(id int) uint64 { return s.values[id] }
+
+// OutputWords returns the value words of the circuit outputs in
+// declaration order.
+func (s *LogicSim) OutputWords() []uint64 {
+	out := make([]uint64, len(s.c.Outputs))
+	for i, id := range s.c.Outputs {
+		out[i] = s.values[id]
+	}
+	return out
+}
+
+// ApplyBools simulates a single pattern and returns the output values.
+func (s *LogicSim) ApplyBools(pattern []bool) ([]bool, error) {
+	b, err := BatchFromBools([][]bool{pattern})
+	if err != nil {
+		return nil, err
+	}
+	if err := s.Apply(b); err != nil {
+		return nil, err
+	}
+	out := make([]bool, len(s.c.Outputs))
+	for i, id := range s.c.Outputs {
+		out[i] = s.values[id]&1 == 1
+	}
+	return out, nil
+}

@@ -1,0 +1,137 @@
+package faultsim
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/netlist"
+)
+
+// TransitionFault is a gross-delay (transition) fault at a gate output:
+// slow-to-rise or slow-to-fall. In the full-scan broadside model a
+// capture pattern q observes the fault iff the net transitions in the
+// required direction between patterns q−1 and q and the net's stale
+// value propagates to an output under pattern q. The paper's remark
+// that its diagnosis "is not limited to this [stuck-at] fault model"
+// is exercised by this second model.
+type TransitionFault struct {
+	Gate int
+	Rise bool // true = slow-to-rise, false = slow-to-fall
+}
+
+// String renders like "g5/str" or "g5/stf".
+func (f TransitionFault) String() string {
+	if f.Rise {
+		return fmt.Sprintf("g%d/str", f.Gate)
+	}
+	return fmt.Sprintf("g%d/stf", f.Gate)
+}
+
+// AllTransitionFaults enumerates both polarities on every non-input
+// gate output plus the (pseudo-)primary inputs — the standard
+// transition fault universe on stems.
+func AllTransitionFaults(c *netlist.Circuit) []TransitionFault {
+	var out []TransitionFault
+	for _, g := range c.Gates {
+		out = append(out, TransitionFault{Gate: g.ID, Rise: true}, TransitionFault{Gate: g.ID, Rise: false})
+	}
+	return out
+}
+
+// TransitionDetection records the first detecting capture pattern.
+type TransitionDetection struct {
+	Fault   TransitionFault
+	Pattern int // global index of the capture pattern
+}
+
+// TransitionSim runs broadside transition fault simulation over a
+// pattern sequence: consecutive patterns form launch/capture pairs
+// (pattern q pairs with q−1, including across batch boundaries).
+type TransitionSim struct {
+	fs        *FaultSim // reused for the stuck-value propagation engine
+	remaining []TransitionFault
+	detected  []TransitionDetection
+	seen      int
+
+	havePrev bool
+	prevBit  []uint64 // per gate: value of the last pattern of the previous batch (bit 0)
+}
+
+// NewTransitionSim returns a simulator over the target fault list.
+func NewTransitionSim(c *netlist.Circuit, faults []TransitionFault) *TransitionSim {
+	return &TransitionSim{
+		fs:        NewFaultSim(c, nil),
+		remaining: append([]TransitionFault(nil), faults...),
+		prevBit:   make([]uint64, c.NumGates()),
+	}
+}
+
+// TotalFaults returns the target list size.
+func (ts *TransitionSim) TotalFaults() int { return len(ts.remaining) + len(ts.detected) }
+
+// Coverage returns detected / total.
+func (ts *TransitionSim) Coverage() float64 {
+	t := ts.TotalFaults()
+	if t == 0 {
+		return 1
+	}
+	return float64(len(ts.detected)) / float64(t)
+}
+
+// Detections returns the recorded first detections.
+func (ts *TransitionSim) Detections() []TransitionDetection {
+	return append([]TransitionDetection(nil), ts.detected...)
+}
+
+// SimulateBatch consumes the next patterns of the sequence. The first
+// pattern of the very first batch has no launch partner and cannot
+// detect anything.
+func (ts *TransitionSim) SimulateBatch(b Batch) ([]TransitionDetection, error) {
+	if err := ts.fs.good.Apply(b); err != nil {
+		return nil, err
+	}
+	valid := b.ValidMask()
+	// validPairs masks capture positions with a predecessor.
+	validPairs := valid
+	if !ts.havePrev {
+		validPairs &^= 1
+	}
+	var news []TransitionDetection
+	kept := ts.remaining[:0]
+	for _, f := range ts.remaining {
+		v := ts.fs.good.Value(f.Gate)
+		shifted := v<<1 | ts.prevBit[f.Gate]
+		var act uint64
+		if f.Rise {
+			act = ^shifted & v
+		} else {
+			act = shifted & ^v
+		}
+		act &= validPairs
+		if act == 0 {
+			kept = append(kept, f)
+			continue
+		}
+		// A slow transition leaves the stale value on the net during the
+		// capture pattern: stuck-at-(¬new value) restricted to activated
+		// captures.
+		stuck := netlist.Fault{Gate: f.Gate, Pin: netlist.StemPin, Stuck: !f.Rise}
+		det := ts.fs.outputDiff(stuck, act)
+		if det != 0 {
+			d := TransitionDetection{Fault: f, Pattern: ts.seen + bits.TrailingZeros64(det)}
+			news = append(news, d)
+			ts.detected = append(ts.detected, d)
+		} else {
+			kept = append(kept, f)
+		}
+	}
+	ts.remaining = kept
+	// Carry the last pattern's value into the next batch.
+	last := uint(b.N - 1)
+	for id := range ts.prevBit {
+		ts.prevBit[id] = ts.fs.good.Value(id) >> last & 1
+	}
+	ts.havePrev = true
+	ts.seen += b.N
+	return news, nil
+}

@@ -1,0 +1,197 @@
+package faultsim
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/netlist"
+)
+
+func TestTransitionFaultStrings(t *testing.T) {
+	if (TransitionFault{Gate: 5, Rise: true}).String() != "g5/str" {
+		t.Fatal("str wrong")
+	}
+	if (TransitionFault{Gate: 5}).String() != "g5/stf" {
+		t.Fatal("stf wrong")
+	}
+}
+
+func TestAllTransitionFaultsCount(t *testing.T) {
+	c := netlist.C17()
+	if got := len(AllTransitionFaults(c)); got != 22 { // 11 gates × 2
+		t.Fatalf("faults = %d", got)
+	}
+}
+
+// TestTransitionHandComputed: single buffer a→y. Slow-to-rise at the
+// input is detected exactly at a 0→1 pattern pair.
+func TestTransitionHandComputed(t *testing.T) {
+	nb := netlist.NewBuilder("buf")
+	a := nb.Input("a")
+	nb.Output(nb.Gate(netlist.Buf, "y", a))
+	c, err := nb.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := NewTransitionSim(c, []TransitionFault{{Gate: a, Rise: true}, {Gate: a, Rise: false}})
+	// Sequence: 0, 1, 1, 0 — rise at capture 1, fall at capture 3.
+	batch, _ := BatchFromBools([][]bool{{false}, {true}, {true}, {false}})
+	dets, err := ts.SimulateBatch(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dets) != 2 {
+		t.Fatalf("detections = %+v", dets)
+	}
+	for _, d := range dets {
+		if d.Fault.Rise && d.Pattern != 1 {
+			t.Fatalf("rise detected at %d", d.Pattern)
+		}
+		if !d.Fault.Rise && d.Pattern != 3 {
+			t.Fatalf("fall detected at %d", d.Pattern)
+		}
+	}
+	if ts.Coverage() != 1 {
+		t.Fatalf("coverage = %v", ts.Coverage())
+	}
+}
+
+// TestFirstPatternCannotDetect: without a launch partner, the very
+// first pattern of the sequence never detects a transition fault.
+func TestFirstPatternCannotDetect(t *testing.T) {
+	nb := netlist.NewBuilder("buf")
+	a := nb.Input("a")
+	nb.Output(nb.Gate(netlist.Buf, "y", a))
+	c, err := nb.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := NewTransitionSim(c, []TransitionFault{{Gate: a, Rise: true}})
+	batch, _ := BatchFromBools([][]bool{{true}}) // a single 1, no predecessor
+	dets, err := ts.SimulateBatch(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dets) != 0 {
+		t.Fatalf("phantom detection: %+v", dets)
+	}
+	// The carried value makes the next batch's first pattern a valid
+	// capture: 1 -> 0 detects the fall fault.
+	ts2 := NewTransitionSim(c, []TransitionFault{{Gate: a, Rise: false}})
+	b1, _ := BatchFromBools([][]bool{{true}})
+	if _, err := ts2.SimulateBatch(b1); err != nil {
+		t.Fatal(err)
+	}
+	b2, _ := BatchFromBools([][]bool{{false}})
+	dets, err = ts2.SimulateBatch(b2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dets) != 1 || dets[0].Pattern != 1 {
+		t.Fatalf("cross-batch pair missed: %+v", dets)
+	}
+}
+
+// TestTransitionMatchesBruteForce validates against an independent
+// two-pattern resimulation with the stale value forced.
+func TestTransitionMatchesBruteForce(t *testing.T) {
+	c := netlist.Random(17, netlist.RandomOptions{Inputs: 8, Gates: 50, Outputs: 5})
+	faults := AllTransitionFaults(c)
+	src := &counterSource{nIn: 8}
+	batch := src.NextBatch(64)
+
+	// Fast path: detection masks per fault within one batch.
+	fastDet := make(map[string]int)
+	ts := NewTransitionSim(c, faults)
+	dets, err := ts.SimulateBatch(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range dets {
+		fastDet[d.Fault.String()] = d.Pattern
+	}
+
+	for _, f := range faults {
+		want := bruteForceTransition(t, c, f, batch)
+		got, ok := fastDet[f.String()]
+		if !ok {
+			got = -1
+		}
+		if got != want {
+			t.Fatalf("fault %v: fast %d brute %d", f, got, want)
+		}
+	}
+}
+
+// bruteForceTransition returns the first capture index detecting f, or
+// -1: for each pair (q−1, q), resimulate pattern q with f.Gate forced
+// to its value under q−1 whenever the activation direction matches.
+func bruteForceTransition(t *testing.T, c *netlist.Circuit, f TransitionFault, b Batch) int {
+	t.Helper()
+	evalAll := func(p int, force int, forceVal bool) map[int]bool {
+		vals := make(map[int]bool)
+		for i, id := range c.Inputs {
+			vals[id] = b.Words[i]>>uint(p)&1 == 1
+		}
+		if force >= 0 {
+			vals[force] = forceVal
+		}
+		for _, id := range c.Order() {
+			if id == force {
+				continue
+			}
+			g := &c.Gates[id]
+			in := make([]bool, len(g.Fanin))
+			for i, src := range g.Fanin {
+				in[i] = vals[src]
+			}
+			vals[id] = g.Type.Eval(in)
+		}
+		return vals
+	}
+	for q := 1; q < b.N; q++ {
+		prev := evalAll(q-1, -1, false)
+		cur := evalAll(q, -1, false)
+		vPrev, vCur := prev[f.Gate], cur[f.Gate]
+		if f.Rise && !(vPrev == false && vCur == true) {
+			continue
+		}
+		if !f.Rise && !(vPrev == true && vCur == false) {
+			continue
+		}
+		faulty := evalAll(q, f.Gate, vPrev)
+		for _, id := range c.Outputs {
+			if faulty[id] != cur[id] {
+				return q
+			}
+		}
+	}
+	return -1
+}
+
+// TestTransitionCoverageBelowStuckAt: random patterns cover fewer
+// transition faults than stuck-at faults on the same circuit (each
+// transition needs an activation pair plus propagation).
+func TestTransitionCoverageBelowStuckAt(t *testing.T) {
+	c := netlist.ScanCUT(12, 6, 8, 4)
+	rng := rand.New(rand.NewSource(2))
+	src := &randomSource{nIn: c.NumInputs(), rng: rng}
+
+	ts := NewTransitionSim(c, AllTransitionFaults(c))
+	fs := NewFaultSim(c, netlist.CollapsedFaults(c))
+	for ts.seen < 256 {
+		b := src.NextBatch(64)
+		if _, err := ts.SimulateBatch(b); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := fs.SimulateBatch(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ts.Coverage() <= 0.2 {
+		t.Fatalf("transition coverage %.2f implausibly low", ts.Coverage())
+	}
+	if ts.Coverage() >= fs.Coverage() {
+		t.Fatalf("transition coverage %.2f not below stuck-at %.2f", ts.Coverage(), fs.Coverage())
+	}
+}

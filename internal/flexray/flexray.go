@@ -1,0 +1,252 @@
+// Package flexray models the static segment of a FlexRay bus as an
+// alternative test access mechanism: the paper's mirroring concept
+// ("extensible to other automotive field buses", Section III-B) maps to
+// TDMA naturally — a test-data frame reuses exactly the static slots
+// owned by the ECU's silent functional messages, so non-intrusiveness
+// holds by construction and the Eq. (1) transfer time becomes exact.
+package flexray
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Config describes the static segment of a FlexRay cycle.
+type Config struct {
+	CycleMS     float64 // communication cycle duration (typ. 5 ms)
+	StaticSlots int     // number of static slots per cycle
+	SlotPayload int     // payload bytes per static slot (typ. up to 254)
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.CycleMS <= 0 {
+		return fmt.Errorf("flexray: non-positive cycle duration")
+	}
+	if c.StaticSlots < 1 {
+		return fmt.Errorf("flexray: need at least one static slot")
+	}
+	if c.SlotPayload < 1 {
+		return fmt.Errorf("flexray: need positive slot payload")
+	}
+	return nil
+}
+
+// Assignment gives one message a static slot in a subset of cycles:
+// the message transmits in slot Slot whenever cycle mod Repetition ==
+// BaseCycle (the FlexRay cycle multiplexing scheme).
+type Assignment struct {
+	Message    string
+	Slot       int // 1-based static slot number
+	BaseCycle  int // 0 ≤ BaseCycle < Repetition
+	Repetition int // power-of-two in real FlexRay; any ≥ 1 here
+}
+
+// fires reports whether the assignment transmits in the given cycle.
+func (a Assignment) fires(cycle int) bool {
+	return cycle%a.Repetition == a.BaseCycle
+}
+
+// BandwidthBytesPerMS returns the long-run payload bandwidth of the
+// assignment.
+func (a Assignment) BandwidthBytesPerMS(cfg Config) float64 {
+	return float64(cfg.SlotPayload) / (cfg.CycleMS * float64(a.Repetition))
+}
+
+// Schedule is a conflict-free static-segment schedule.
+type Schedule struct {
+	Cfg Config
+
+	assignments []Assignment
+	byMessage   map[string][]Assignment
+}
+
+// NewSchedule validates ranges and slot conflicts: two assignments
+// conflict if they share a slot and their cycle sets intersect
+// (BaseCycle congruent modulo gcd of the repetitions).
+func NewSchedule(cfg Config, assignments []Assignment) (*Schedule, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Schedule{Cfg: cfg, byMessage: make(map[string][]Assignment)}
+	for _, a := range assignments {
+		if a.Message == "" {
+			return nil, fmt.Errorf("flexray: assignment without message name")
+		}
+		if a.Slot < 1 || a.Slot > cfg.StaticSlots {
+			return nil, fmt.Errorf("flexray: message %q: slot %d outside 1..%d", a.Message, a.Slot, cfg.StaticSlots)
+		}
+		if a.Repetition < 1 {
+			return nil, fmt.Errorf("flexray: message %q: repetition %d < 1", a.Message, a.Repetition)
+		}
+		if a.BaseCycle < 0 || a.BaseCycle >= a.Repetition {
+			return nil, fmt.Errorf("flexray: message %q: base cycle %d outside 0..%d", a.Message, a.BaseCycle, a.Repetition-1)
+		}
+	}
+	for i := range assignments {
+		for j := i + 1; j < len(assignments); j++ {
+			if conflict(assignments[i], assignments[j]) {
+				return nil, fmt.Errorf("flexray: %q and %q collide in slot %d",
+					assignments[i].Message, assignments[j].Message, assignments[i].Slot)
+			}
+		}
+	}
+	s.assignments = append([]Assignment(nil), assignments...)
+	for _, a := range s.assignments {
+		s.byMessage[a.Message] = append(s.byMessage[a.Message], a)
+	}
+	return s, nil
+}
+
+// conflict reports whether two assignments ever share a (slot, cycle).
+func conflict(a, b Assignment) bool {
+	if a.Slot != b.Slot {
+		return false
+	}
+	g := gcd(a.Repetition, b.Repetition)
+	return a.BaseCycle%g == b.BaseCycle%g
+}
+
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// Assignments returns the schedule's assignments (copy).
+func (s *Schedule) Assignments() []Assignment {
+	return append([]Assignment(nil), s.assignments...)
+}
+
+// Utilization returns the fraction of static slot instances in use
+// over the hyperperiod.
+func (s *Schedule) Utilization() float64 {
+	used := 0.0
+	for _, a := range s.assignments {
+		used += 1 / float64(a.Repetition)
+	}
+	return used / float64(s.Cfg.StaticSlots)
+}
+
+// BandwidthBytesPerMS sums the bandwidth of the named messages.
+func (s *Schedule) BandwidthBytesPerMS(messages []string) float64 {
+	bw := 0.0
+	for _, m := range messages {
+		for _, a := range s.byMessage[m] {
+			bw += a.BandwidthBytesPerMS(s.Cfg)
+		}
+	}
+	return bw
+}
+
+// TransferTimeMS is Eq. (1) on FlexRay: time to ship dataBytes over the
+// slots owned by the given (silent) functional messages. +Inf without
+// owned slots.
+func (s *Schedule) TransferTimeMS(dataBytes int64, messages []string) float64 {
+	bw := s.BandwidthBytesPerMS(messages)
+	if bw <= 0 {
+		return math.Inf(1)
+	}
+	return float64(dataBytes) / bw
+}
+
+// SimulateTransfer walks cycles and slots explicitly and returns the
+// completion time of shipping dataBytes over the owned slots, plus the
+// number of slot instances used. It validates the fluid TransferTimeMS
+// model to within one repetition period.
+func (s *Schedule) SimulateTransfer(dataBytes int64, messages []string) (float64, int) {
+	var own []Assignment
+	for _, m := range messages {
+		own = append(own, s.byMessage[m]...)
+	}
+	if len(own) == 0 {
+		return math.Inf(1), 0
+	}
+	sort.Slice(own, func(i, j int) bool { return own[i].Slot < own[j].Slot })
+	slotDur := s.Cfg.CycleMS / float64(s.Cfg.StaticSlots)
+	remaining := dataBytes
+	used := 0
+	for cycle := 0; ; cycle++ {
+		base := float64(cycle) * s.Cfg.CycleMS
+		for _, a := range own {
+			if !a.fires(cycle) {
+				continue
+			}
+			remaining -= int64(s.Cfg.SlotPayload)
+			used++
+			if remaining <= 0 {
+				return base + float64(a.Slot)*slotDur, used
+			}
+		}
+	}
+}
+
+// Mirror returns the test-data twins of the named messages: identical
+// slot/cycle assignments under suffixed names — the TDMA analogue of
+// can.Mirror.
+func (s *Schedule) Mirror(messages []string, suffix string) []Assignment {
+	var out []Assignment
+	for _, m := range messages {
+		for _, a := range s.byMessage[m] {
+			ma := a
+			ma.Message = a.Message + suffix
+			out = append(out, ma)
+		}
+	}
+	return out
+}
+
+// VerifyNonIntrusive checks that replacing the named messages by their
+// mirrors yields a valid schedule in which every third-party assignment
+// is untouched. On TDMA this holds by construction; the check guards
+// the construction.
+func (s *Schedule) VerifyNonIntrusive(messages []string, suffix string) error {
+	own := make(map[string]bool, len(messages))
+	for _, m := range messages {
+		own[m] = true
+	}
+	var rest []Assignment
+	for _, a := range s.assignments {
+		if !own[a.Message] {
+			rest = append(rest, a)
+		}
+	}
+	mirrored := s.Mirror(messages, suffix)
+	swapped, err := NewSchedule(s.Cfg, append(rest, mirrored...))
+	if err != nil {
+		return fmt.Errorf("flexray: mirrored schedule invalid: %w", err)
+	}
+	// Third-party assignments must be bit-identical.
+	for _, a := range rest {
+		found := false
+		for _, b := range swapped.byMessage[a.Message] {
+			if a == b {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("flexray: third-party assignment %+v perturbed", a)
+		}
+	}
+	// Every mirror must occupy exactly its original's slots.
+	for _, m := range messages {
+		orig := s.byMessage[m]
+		twin := swapped.byMessage[m+suffix]
+		if len(orig) != len(twin) {
+			return fmt.Errorf("flexray: mirror of %q lost assignments", m)
+		}
+		for i := range orig {
+			if orig[i].Slot != twin[i].Slot || orig[i].BaseCycle != twin[i].BaseCycle || orig[i].Repetition != twin[i].Repetition {
+				return fmt.Errorf("flexray: mirror of %q moved from %+v to %+v", m, orig[i], twin[i])
+			}
+		}
+		if !strings.HasSuffix(twin[0].Message, suffix) {
+			return fmt.Errorf("flexray: mirror of %q kept its identity", m)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,154 @@
+package flexray
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+var cfg = Config{CycleMS: 5, StaticSlots: 10, SlotPayload: 16}
+
+func mustSchedule(t *testing.T, as []Assignment) *Schedule {
+	t.Helper()
+	s, err := NewSchedule(cfg, as)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := []Config{
+		{CycleMS: 0, StaticSlots: 1, SlotPayload: 1},
+		{CycleMS: 5, StaticSlots: 0, SlotPayload: 1},
+		{CycleMS: 5, StaticSlots: 1, SlotPayload: 0},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewScheduleValidation(t *testing.T) {
+	cases := [][]Assignment{
+		{{Message: "", Slot: 1, Repetition: 1}},
+		{{Message: "a", Slot: 0, Repetition: 1}},
+		{{Message: "a", Slot: 11, Repetition: 1}},
+		{{Message: "a", Slot: 1, Repetition: 0}},
+		{{Message: "a", Slot: 1, BaseCycle: 2, Repetition: 2}},
+		// Direct collision: same slot, every cycle.
+		{{Message: "a", Slot: 1, Repetition: 1}, {Message: "b", Slot: 1, Repetition: 1}},
+		// Multiplexed collision: rep 2/4 with congruent bases.
+		{{Message: "a", Slot: 2, BaseCycle: 1, Repetition: 2}, {Message: "b", Slot: 2, BaseCycle: 3, Repetition: 4}},
+	}
+	for i, as := range cases {
+		if _, err := NewSchedule(cfg, as); err == nil {
+			t.Errorf("case %d accepted: %+v", i, as)
+		}
+	}
+	// Disjoint multiplexing on the same slot is legal.
+	ok := []Assignment{
+		{Message: "a", Slot: 2, BaseCycle: 0, Repetition: 2},
+		{Message: "b", Slot: 2, BaseCycle: 1, Repetition: 2},
+	}
+	if _, err := NewSchedule(cfg, ok); err != nil {
+		t.Fatalf("disjoint multiplexing rejected: %v", err)
+	}
+}
+
+func TestUtilizationAndBandwidth(t *testing.T) {
+	s := mustSchedule(t, []Assignment{
+		{Message: "a", Slot: 1, Repetition: 1},               // every cycle
+		{Message: "b", Slot: 2, BaseCycle: 0, Repetition: 2}, // every other
+	})
+	// (1 + 0.5) slot instances of 10 per cycle.
+	if u := s.Utilization(); math.Abs(u-0.15) > 1e-12 {
+		t.Fatalf("utilization = %v", u)
+	}
+	// a: 16 B / 5 ms; b: 16 B / 10 ms.
+	bw := s.BandwidthBytesPerMS([]string{"a", "b"})
+	want := 16.0/5 + 16.0/10
+	if math.Abs(bw-want) > 1e-12 {
+		t.Fatalf("bandwidth = %v, want %v", bw, want)
+	}
+}
+
+func TestTransferTimeFluid(t *testing.T) {
+	s := mustSchedule(t, []Assignment{{Message: "a", Slot: 1, Repetition: 1}})
+	// 3200 bytes over 3.2 B/ms = 1000 ms.
+	if q := s.TransferTimeMS(3200, []string{"a"}); math.Abs(q-1000) > 1e-9 {
+		t.Fatalf("q = %v", q)
+	}
+	if !math.IsInf(s.TransferTimeMS(100, []string{"missing"}), 1) {
+		t.Fatal("unknown message must give +Inf")
+	}
+}
+
+func TestSimulateTransferMatchesFluid(t *testing.T) {
+	s := mustSchedule(t, []Assignment{
+		{Message: "a", Slot: 3, Repetition: 1},
+		{Message: "b", Slot: 7, BaseCycle: 1, Repetition: 2},
+	})
+	f := func(kb uint8) bool {
+		data := int64(kb)*64 + 1
+		fluid := s.TransferTimeMS(data, []string{"a", "b"})
+		sim, used := s.SimulateTransfer(data, []string{"a", "b"})
+		if used <= 0 {
+			return false
+		}
+		// Slot quantization: within one repetition period plus one cycle.
+		return sim > 0 && math.Abs(sim-fluid) <= 2*cfg.CycleMS*2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+	if q, used := s.SimulateTransfer(100, nil); !math.IsInf(q, 1) || used != 0 {
+		t.Fatal("transfer without slots must not complete")
+	}
+}
+
+func TestMirrorKeepsSlots(t *testing.T) {
+	s := mustSchedule(t, []Assignment{
+		{Message: "a", Slot: 1, Repetition: 1},
+		{Message: "b", Slot: 2, BaseCycle: 0, Repetition: 2},
+	})
+	m := s.Mirror([]string{"a", "b"}, "'")
+	if len(m) != 2 {
+		t.Fatalf("mirrors = %d", len(m))
+	}
+	for _, a := range m {
+		if a.Message != "a'" && a.Message != "b'" {
+			t.Fatalf("mirror name %q", a.Message)
+		}
+	}
+}
+
+func TestVerifyNonIntrusive(t *testing.T) {
+	s := mustSchedule(t, []Assignment{
+		{Message: "own1", Slot: 1, Repetition: 1},
+		{Message: "own2", Slot: 2, BaseCycle: 0, Repetition: 2},
+		{Message: "oth1", Slot: 2, BaseCycle: 1, Repetition: 2},
+		{Message: "oth2", Slot: 5, Repetition: 1},
+	})
+	if err := s.VerifyNonIntrusive([]string{"own1", "own2"}, "'"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFlexRayVsCANDeterminism: the FlexRay transfer-time model is exact
+// (simulation within slot quantization), unlike CAN where Eq. (1) is a
+// fluid approximation of arbitration — the property that makes TDMA
+// buses attractive for predictable shut-off times.
+func TestFlexRayTransferUpperBound(t *testing.T) {
+	s := mustSchedule(t, []Assignment{{Message: "a", Slot: 1, Repetition: 1}})
+	data := int64(10_000)
+	fluid := s.TransferTimeMS(data, []string{"a"})
+	sim, _ := s.SimulateTransfer(data, []string{"a"})
+	if sim > fluid+cfg.CycleMS {
+		t.Fatalf("simulated %v exceeds fluid %v by more than one cycle", sim, fluid)
+	}
+}

@@ -1,0 +1,47 @@
+package gateway
+
+import "testing"
+
+// FuzzUnmarshal feeds arbitrary bytes through the wire-format parser:
+// no panics, and anything accepted must survive a Marshal round trip.
+func FuzzUnmarshal(f *testing.F) {
+	good, err := Marshal(Record{ECU: "ecu01", Session: 3, Fail: sampleFail(2)})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good)
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 3})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := Unmarshal(data)
+		if err != nil {
+			return
+		}
+		b, err := Marshal(r)
+		if err != nil {
+			t.Fatalf("accepted record failed to marshal: %v", err)
+		}
+		back, err := Unmarshal(b)
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if back.ECU != r.ECU || back.Session != r.Session || len(back.Fail.Entries) != len(r.Fail.Entries) {
+			t.Fatal("round trip changed the record")
+		}
+	})
+}
+
+// FuzzImport checks the length-prefixed container parser.
+func FuzzImport(f *testing.F) {
+	var c Collector
+	c.Ingest("a", sampleFail(1))
+	blob, err := c.Export()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(blob)
+	f.Add([]byte{0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, _ = Import(data) // must not panic
+	})
+}

@@ -1,0 +1,211 @@
+// Package gateway implements the central collection point of the
+// paper's diagnosis architecture: the mandatory task b^R that stores
+// the fail data of every ECU's BIST session. Contrary to functional
+// DTCs, which are scattered across ECUs, all structural results live
+// here — a few bytes per session — so system-level countermeasures and
+// workshop read-out have a single source of truth (Section III).
+package gateway
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"repro/internal/stumps"
+)
+
+// Record is one stored BIST session result.
+type Record struct {
+	ECU     string
+	Session uint32 // session counter of the reporting ECU
+	Fail    stumps.FailData
+}
+
+// Collector is the gateway-side fail memory. The zero value is ready
+// to use; Capacity bounds the stored records (oldest evicted first,
+// 0 = unbounded).
+type Collector struct {
+	Capacity int
+
+	records []Record
+	counter map[string]uint32
+}
+
+// Ingest stores the fail data of one completed session and returns the
+// assigned session number.
+func (c *Collector) Ingest(ecu string, fd stumps.FailData) uint32 {
+	if c.counter == nil {
+		c.counter = make(map[string]uint32)
+	}
+	c.counter[ecu]++
+	rec := Record{ECU: ecu, Session: c.counter[ecu], Fail: fd}
+	c.records = append(c.records, rec)
+	if c.Capacity > 0 && len(c.records) > c.Capacity {
+		c.records = c.records[len(c.records)-c.Capacity:]
+	}
+	return rec.Session
+}
+
+// Records returns all stored records in ingestion order.
+func (c *Collector) Records() []Record {
+	return append([]Record(nil), c.records...)
+}
+
+// ByECU returns the stored records of one ECU.
+func (c *Collector) ByECU(ecu string) []Record {
+	var out []Record
+	for _, r := range c.records {
+		if r.ECU == ecu {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// FailingECUs lists ECUs with at least one failing session, sorted —
+// the workshop-repair answer.
+func (c *Collector) FailingECUs() []string {
+	set := make(map[string]bool)
+	for _, r := range c.records {
+		if !r.Fail.Pass() {
+			set[r.ECU] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for e := range set {
+		out = append(out, e)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Clear erases the fail memory (workshop "clear DTCs" analogue).
+func (c *Collector) Clear() {
+	c.records = nil
+}
+
+// StorageBytes returns the current memory footprint of the stored fail
+// data at 32-bit signatures — the quantity the paper bounds at roughly
+// 638 bytes per session.
+func (c *Collector) StorageBytes() int {
+	n := 0
+	for _, r := range c.records {
+		n += recordHeaderBytes + len(r.ECU) + r.Fail.SizeBytes(32)
+	}
+	return n
+}
+
+const recordHeaderBytes = 4 /* session */ + 2 /* ecu len */ + 2 /* windows */ + 2 /* entries */
+
+// wire format: all integers little-endian.
+//
+//	u32 session | u16 len(ecu) | ecu bytes | u16 windows | u16 nEntries
+//	then per entry: u16 window | u64 got | u64 want
+
+// Marshal serializes a record for off-board transfer (failure
+// analysis export).
+func Marshal(r Record) ([]byte, error) {
+	if len(r.ECU) > 0xFFFF {
+		return nil, fmt.Errorf("gateway: ECU name too long")
+	}
+	if r.Fail.Windows > 0xFFFF || len(r.Fail.Entries) > 0xFFFF {
+		return nil, fmt.Errorf("gateway: fail data too large to marshal")
+	}
+	var buf bytes.Buffer
+	binary.Write(&buf, binary.LittleEndian, r.Session)
+	binary.Write(&buf, binary.LittleEndian, uint16(len(r.ECU)))
+	buf.WriteString(r.ECU)
+	binary.Write(&buf, binary.LittleEndian, uint16(r.Fail.Windows))
+	binary.Write(&buf, binary.LittleEndian, uint16(len(r.Fail.Entries)))
+	for _, e := range r.Fail.Entries {
+		if e.Window < 0 || e.Window > 0xFFFF {
+			return nil, fmt.Errorf("gateway: window index %d out of range", e.Window)
+		}
+		binary.Write(&buf, binary.LittleEndian, uint16(e.Window))
+		binary.Write(&buf, binary.LittleEndian, e.Got)
+		binary.Write(&buf, binary.LittleEndian, e.Want)
+	}
+	return buf.Bytes(), nil
+}
+
+// Unmarshal parses a record produced by Marshal.
+func Unmarshal(data []byte) (Record, error) {
+	buf := bytes.NewReader(data)
+	var r Record
+	var ecuLen, windows, nEntries uint16
+	if err := binary.Read(buf, binary.LittleEndian, &r.Session); err != nil {
+		return Record{}, fmt.Errorf("gateway: truncated session: %w", err)
+	}
+	if err := binary.Read(buf, binary.LittleEndian, &ecuLen); err != nil {
+		return Record{}, fmt.Errorf("gateway: truncated name length: %w", err)
+	}
+	name := make([]byte, ecuLen)
+	if _, err := buf.Read(name); err != nil || buf.Len() < 4 {
+		return Record{}, fmt.Errorf("gateway: truncated name")
+	}
+	r.ECU = string(name)
+	if err := binary.Read(buf, binary.LittleEndian, &windows); err != nil {
+		return Record{}, err
+	}
+	if err := binary.Read(buf, binary.LittleEndian, &nEntries); err != nil {
+		return Record{}, err
+	}
+	r.Fail.Windows = int(windows)
+	for i := 0; i < int(nEntries); i++ {
+		var w uint16
+		var e stumps.FailEntry
+		if err := binary.Read(buf, binary.LittleEndian, &w); err != nil {
+			return Record{}, fmt.Errorf("gateway: truncated entry %d: %w", i, err)
+		}
+		if err := binary.Read(buf, binary.LittleEndian, &e.Got); err != nil {
+			return Record{}, fmt.Errorf("gateway: truncated entry %d: %w", i, err)
+		}
+		if err := binary.Read(buf, binary.LittleEndian, &e.Want); err != nil {
+			return Record{}, fmt.Errorf("gateway: truncated entry %d: %w", i, err)
+		}
+		e.Window = int(w)
+		r.Fail.Entries = append(r.Fail.Entries, e)
+	}
+	if buf.Len() != 0 {
+		return Record{}, fmt.Errorf("gateway: %d trailing bytes", buf.Len())
+	}
+	return r, nil
+}
+
+// Export serializes the whole fail memory, length-prefixing each
+// record.
+func (c *Collector) Export() ([]byte, error) {
+	var buf bytes.Buffer
+	for _, r := range c.records {
+		b, err := Marshal(r)
+		if err != nil {
+			return nil, err
+		}
+		binary.Write(&buf, binary.LittleEndian, uint32(len(b)))
+		buf.Write(b)
+	}
+	return buf.Bytes(), nil
+}
+
+// Import parses an Export blob into a fresh record list.
+func Import(data []byte) ([]Record, error) {
+	var out []Record
+	for off := 0; off < len(data); {
+		if off+4 > len(data) {
+			return nil, fmt.Errorf("gateway: truncated length prefix at %d", off)
+		}
+		n := int(binary.LittleEndian.Uint32(data[off:]))
+		off += 4
+		if off+n > len(data) {
+			return nil, fmt.Errorf("gateway: truncated record at %d", off)
+		}
+		r, err := Unmarshal(data[off : off+n])
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+		off += n
+	}
+	return out, nil
+}

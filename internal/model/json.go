@@ -1,0 +1,169 @@
+package model
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// specJSON is the on-disk representation of a Specification. It is the
+// interchange format of cmd/eedse's -spec flag, letting users define
+// their own E/E-architecture without touching Go code.
+type specJSON struct {
+	Gateway   string         `json:"gateway"`
+	Resources []resourceJSON `json:"resources"`
+	Links     [][2]string    `json:"links"`
+	Tasks     []taskJSON     `json:"tasks"`
+	Messages  []messageJSON  `json:"messages"`
+	Mappings  []mappingJSON  `json:"mappings"`
+}
+
+type resourceJSON struct {
+	ID           string  `json:"id"`
+	Kind         string  `json:"kind"` // ecu, sensor, actuator, bus, gateway
+	Cost         float64 `json:"cost"`
+	MemCostPerKB float64 `json:"memCostPerKB,omitempty"`
+	MemCapBytes  int64   `json:"memCapBytes,omitempty"`
+	BISTCost     float64 `json:"bistCost,omitempty"`
+	BISTCapable  bool    `json:"bistCapable,omitempty"`
+	BitRate      float64 `json:"bitRate,omitempty"`
+}
+
+type taskJSON struct {
+	ID        string  `json:"id"`
+	Kind      string  `json:"kind"` // functional, bist-test, bist-data, collect
+	MemBytes  int64   `json:"memBytes,omitempty"`
+	WCETms    float64 `json:"wcetMS,omitempty"`
+	Coverage  float64 `json:"coverage,omitempty"`
+	TestedECU string  `json:"testedECU,omitempty"`
+	Profile   int     `json:"profile,omitempty"`
+}
+
+type messageJSON struct {
+	ID        string   `json:"id"`
+	Src       string   `json:"src"`
+	Dst       []string `json:"dst"`
+	SizeBytes int64    `json:"sizeBytes"`
+	PeriodMS  float64  `json:"periodMS"`
+	Priority  int      `json:"priority,omitempty"`
+}
+
+type mappingJSON struct {
+	Task     string `json:"task"`
+	Resource string `json:"resource"`
+}
+
+var resourceKindNames = map[string]ResourceKind{
+	"ecu": KindECU, "sensor": KindSensor, "actuator": KindActuator,
+	"bus": KindBus, "gateway": KindGateway,
+}
+
+var taskKindNames = map[string]TaskKind{
+	"functional": KindFunctional, "bist-test": KindBISTTest,
+	"bist-data": KindBISTData, "collect": KindCollect,
+}
+
+// WriteJSON serializes the specification.
+func (s *Specification) WriteJSON(w io.Writer) error {
+	out := specJSON{Gateway: string(s.Gateway)}
+	for _, r := range s.Arch.Resources() {
+		out.Resources = append(out.Resources, resourceJSON{
+			ID: string(r.ID), Kind: r.Kind.String(), Cost: r.Cost,
+			MemCostPerKB: r.MemCostPerKB, MemCapBytes: r.MemCapBytes,
+			BISTCost: r.BISTCost, BISTCapable: r.BISTCapable, BitRate: r.BitRate,
+		})
+		for _, n := range s.Arch.Neighbors(r.ID) {
+			if r.ID < n { // emit each undirected edge once
+				out.Links = append(out.Links, [2]string{string(r.ID), string(n)})
+			}
+		}
+	}
+	for _, t := range s.App.Tasks() {
+		out.Tasks = append(out.Tasks, taskJSON{
+			ID: string(t.ID), Kind: t.Kind.String(), MemBytes: t.MemBytes,
+			WCETms: t.WCETms, Coverage: t.Coverage,
+			TestedECU: string(t.TestedECU), Profile: t.Profile,
+		})
+	}
+	for _, m := range s.App.Messages() {
+		dst := make([]string, len(m.Dst))
+		for i, d := range m.Dst {
+			dst[i] = string(d)
+		}
+		out.Messages = append(out.Messages, messageJSON{
+			ID: string(m.ID), Src: string(m.Src), Dst: dst,
+			SizeBytes: m.SizeBytes, PeriodMS: m.PeriodMS, Priority: m.Priority,
+		})
+	}
+	for _, m := range s.Mappings() {
+		out.Mappings = append(out.Mappings, mappingJSON{Task: string(m.Task), Resource: string(m.Resource)})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// ReadJSON parses a specification and validates it.
+func ReadJSON(r io.Reader) (*Specification, error) {
+	var in specJSON
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&in); err != nil {
+		return nil, fmt.Errorf("model: parse spec: %w", err)
+	}
+	arch := NewArchitectureGraph()
+	for _, rj := range in.Resources {
+		kind, ok := resourceKindNames[rj.Kind]
+		if !ok {
+			return nil, fmt.Errorf("model: resource %q: unknown kind %q", rj.ID, rj.Kind)
+		}
+		if err := arch.AddResource(&Resource{
+			ID: ResourceID(rj.ID), Kind: kind, Cost: rj.Cost,
+			MemCostPerKB: rj.MemCostPerKB, MemCapBytes: rj.MemCapBytes,
+			BISTCost: rj.BISTCost, BISTCapable: rj.BISTCapable, BitRate: rj.BitRate,
+		}); err != nil {
+			return nil, err
+		}
+	}
+	for _, l := range in.Links {
+		if err := arch.Connect(ResourceID(l[0]), ResourceID(l[1])); err != nil {
+			return nil, err
+		}
+	}
+	app := NewApplicationGraph()
+	for _, tj := range in.Tasks {
+		kind, ok := taskKindNames[tj.Kind]
+		if !ok {
+			return nil, fmt.Errorf("model: task %q: unknown kind %q", tj.ID, tj.Kind)
+		}
+		if err := app.AddTask(&Task{
+			ID: TaskID(tj.ID), Kind: kind, MemBytes: tj.MemBytes, WCETms: tj.WCETms,
+			Coverage: tj.Coverage, TestedECU: ResourceID(tj.TestedECU), Profile: tj.Profile,
+		}); err != nil {
+			return nil, err
+		}
+	}
+	for _, mj := range in.Messages {
+		dst := make([]TaskID, len(mj.Dst))
+		for i, d := range mj.Dst {
+			dst[i] = TaskID(d)
+		}
+		if err := app.AddMessage(&Message{
+			ID: MessageID(mj.ID), Src: TaskID(mj.Src), Dst: dst,
+			SizeBytes: mj.SizeBytes, PeriodMS: mj.PeriodMS, Priority: mj.Priority,
+		}); err != nil {
+			return nil, err
+		}
+	}
+	spec := NewSpecification(app, arch)
+	spec.Gateway = ResourceID(in.Gateway)
+	for _, mj := range in.Mappings {
+		if err := spec.AddMapping(TaskID(mj.Task), ResourceID(mj.Resource)); err != nil {
+			return nil, err
+		}
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	return spec, nil
+}

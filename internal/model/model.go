@@ -1,0 +1,176 @@
+// Package model defines the holistic system model of the paper
+// (Section III-A): a bipartite application graph g_T of tasks and
+// messages, an architecture graph g_A of resources, and a set M of
+// mapping edges. An Implementation x = (A, B, W) — allocation, binding,
+// routing — is one point of the design space.
+//
+// The model follows the graph-based specification g_S(g_T, g_A, M) of
+// Lukasiewycz et al. (DATE'09), extended with diagnostic tasks: per-ECU
+// BIST test tasks b^T, BIST data tasks b^D, the mandatory fail-data
+// collection task b^R on the gateway, and the messages c^D, c^R between
+// them.
+package model
+
+import "fmt"
+
+// TaskID identifies a task vertex t in T.
+type TaskID string
+
+// MessageID identifies a communication vertex c in C.
+type MessageID string
+
+// ResourceID identifies a resource vertex r in R.
+type ResourceID string
+
+// TaskKind distinguishes functional tasks F and the three diagnostic
+// task roles D introduced by the paper.
+type TaskKind int
+
+const (
+	// KindFunctional marks a regular application task t in F.
+	KindFunctional TaskKind = iota
+	// KindBISTTest marks a BIST test application task b^T in B ⊂ D.
+	KindBISTTest
+	// KindBISTData marks a BIST data storage task b^D in D holding the
+	// encoded deterministic test data and the response data.
+	KindBISTData
+	// KindCollect marks the mandatory fail-data collection task b^R in F
+	// that gathers the reported failures of all ECUs at the gateway.
+	KindCollect
+)
+
+// String returns a short mnemonic for the task kind.
+func (k TaskKind) String() string {
+	switch k {
+	case KindFunctional:
+		return "functional"
+	case KindBISTTest:
+		return "bist-test"
+	case KindBISTData:
+		return "bist-data"
+	case KindCollect:
+		return "collect"
+	default:
+		return fmt.Sprintf("TaskKind(%d)", int(k))
+	}
+}
+
+// Diagnostic reports whether the kind belongs to the diagnostic task set
+// D ⊂ T. The collection task b^R is mandatory and therefore part of F.
+func (k TaskKind) Diagnostic() bool {
+	return k == KindBISTTest || k == KindBISTData
+}
+
+// Task is a vertex t ∈ T of the application graph.
+type Task struct {
+	ID   TaskID
+	Kind TaskKind
+
+	// MemBytes is the permanent memory footprint of the task on the
+	// resource it is bound to. For a BIST data task b^D this is the size
+	// s(b^D) of the encoded deterministic test data plus response data.
+	MemBytes int64
+
+	// WCETms is the worst-case execution time of the task in
+	// milliseconds. For a BIST test task b^T this is the session runtime
+	// l(b^T) including the state-restore procedure.
+	WCETms float64
+
+	// Coverage is the stuck-at fault coverage c(b^T) in [0,1] achieved by
+	// a BIST test task. Zero for non-test tasks.
+	Coverage float64
+
+	// TestedECU names the ECU whose CUT a BIST test task b^T exercises
+	// (also set on the matching b^D). Empty for functional tasks.
+	TestedECU ResourceID
+
+	// Profile is the BIST profile number (1-based, per paper Table I)
+	// this task was derived from. Zero for non-diagnostic tasks.
+	Profile int
+}
+
+// Message is a communication vertex c ∈ C of the bipartite application
+// graph. Each message has exactly one sending task and one or more
+// receiving tasks.
+type Message struct {
+	ID        MessageID
+	Src       TaskID
+	Dst       []TaskID
+	SizeBytes int64   // payload size s(c)
+	PeriodMS  float64 // period p(c)
+	Priority  int     // relative bus priority; lower value = higher priority
+}
+
+// ResourceKind partitions the architecture graph vertices.
+type ResourceKind int
+
+const (
+	// KindECU is an electronic control unit with a processor and memory.
+	KindECU ResourceKind = iota
+	// KindSensor is a smart sensor node.
+	KindSensor
+	// KindActuator is a smart actuator node.
+	KindActuator
+	// KindBus is a broadcast field bus (CAN in the case study).
+	KindBus
+	// KindGateway is the central gateway storing fail data and optionally
+	// centralized test patterns.
+	KindGateway
+)
+
+// String returns a short mnemonic for the resource kind.
+func (k ResourceKind) String() string {
+	switch k {
+	case KindECU:
+		return "ecu"
+	case KindSensor:
+		return "sensor"
+	case KindActuator:
+		return "actuator"
+	case KindBus:
+		return "bus"
+	case KindGateway:
+		return "gateway"
+	default:
+		return fmt.Sprintf("ResourceKind(%d)", int(k))
+	}
+}
+
+// Resource is a vertex r ∈ R of the architecture graph.
+type Resource struct {
+	ID   ResourceID
+	Kind ResourceKind
+
+	// Cost is the monetary cost of allocating the resource.
+	Cost float64
+
+	// MemCostPerKB is the monetary cost of one kibibyte of permanent
+	// memory on this resource, used to price stored BIST data.
+	MemCostPerKB float64
+
+	// MemCapBytes bounds the permanent memory available for mapped
+	// tasks. Zero means unbounded.
+	MemCapBytes int64
+
+	// BISTCost is the additional cost of choosing the BIST-capable
+	// variant of the resource. Charged once iff a BIST test task is
+	// bound to the resource.
+	BISTCost float64
+
+	// BISTCapable reports whether a BIST-capable variant of this
+	// resource exists at all.
+	BISTCapable bool
+
+	// BitRate is the bus bit rate in bit/s. Only meaningful for buses.
+	BitRate float64
+}
+
+// Mapping is a mapping edge m = (t, r) ∈ M indicating that task t may be
+// bound to resource r.
+type Mapping struct {
+	Task     TaskID
+	Resource ResourceID
+}
+
+// String renders the mapping edge as "t->r".
+func (m Mapping) String() string { return string(m.Task) + "->" + string(m.Resource) }

@@ -1,0 +1,93 @@
+package moea
+
+import (
+	"math"
+	"sort"
+)
+
+// Hypervolume2D returns the hypervolume (area) dominated by the given
+// 2-objective minimization front relative to the reference point. Points
+// not dominating the reference contribute nothing.
+func Hypervolume2D(front []Objectives, ref Objectives) float64 {
+	pts := make([]Objectives, 0, len(front))
+	for _, p := range front {
+		if len(p) == 2 && p[0] < ref[0] && p[1] < ref[1] {
+			pts = append(pts, p)
+		}
+	}
+	if len(pts) == 0 {
+		return 0
+	}
+	sort.Slice(pts, func(i, j int) bool { return pts[i][0] < pts[j][0] })
+	hv := 0.0
+	prevY := ref[1]
+	for _, p := range pts {
+		if p[1] < prevY {
+			hv += (ref[0] - p[0]) * (prevY - p[1])
+			prevY = p[1]
+		}
+	}
+	return hv
+}
+
+// Hypervolume3D returns the hypervolume of a 3-objective minimization
+// front by slicing along the third objective (exact, O(n² log n)).
+func Hypervolume3D(front []Objectives, ref Objectives) float64 {
+	pts := make([]Objectives, 0, len(front))
+	for _, p := range front {
+		if len(p) == 3 && p[0] < ref[0] && p[1] < ref[1] && p[2] < ref[2] {
+			pts = append(pts, p)
+		}
+	}
+	if len(pts) == 0 {
+		return 0
+	}
+	sort.Slice(pts, func(i, j int) bool { return pts[i][2] < pts[j][2] })
+	hv := 0.0
+	for i := range pts {
+		var zTop float64
+		if i+1 < len(pts) {
+			zTop = pts[i+1][2]
+		} else {
+			zTop = ref[2]
+		}
+		dz := zTop - pts[i][2]
+		if dz <= 0 {
+			continue
+		}
+		// 2D hypervolume of the points active in this slab.
+		slab := make([]Objectives, 0, i+1)
+		for j := 0; j <= i; j++ {
+			slab = append(slab, Objectives{pts[j][0], pts[j][1]})
+		}
+		hv += Hypervolume2D(slab, Objectives{ref[0], ref[1]}) * dz
+	}
+	return hv
+}
+
+// AdditiveEpsilon returns the smallest ε such that every point of the
+// reference front is weakly dominated by some point of the approximation
+// front shifted by ε (all objectives minimized). Smaller is better; 0
+// means the approximation covers the reference.
+func AdditiveEpsilon(approx, reference []Objectives) float64 {
+	eps := math.Inf(-1)
+	for _, r := range reference {
+		best := math.Inf(1)
+		for _, a := range approx {
+			worst := math.Inf(-1)
+			for k := range r {
+				d := a[k] - r[k]
+				if d > worst {
+					worst = d
+				}
+			}
+			if worst < best {
+				best = worst
+			}
+		}
+		if best > eps {
+			eps = best
+		}
+	}
+	return eps
+}

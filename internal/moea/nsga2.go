@@ -1,0 +1,321 @@
+package moea
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+)
+
+// errEmptyGenotype rejects problems whose genotype has no genes.
+var errEmptyGenotype = errors.New("moea: problem has empty genotype")
+
+// Problem is the optimization problem seen by NSGA-II: a genotype
+// length and an evaluation function mapping a genotype to (minimized)
+// objectives plus an optional payload.
+type Problem interface {
+	GenotypeLen() int
+	Evaluate(genotype []float64) (Objectives, any)
+}
+
+// Options configure an NSGA-II run.
+type Options struct {
+	PopSize     int
+	Generations int
+	// CrossoverRate is the per-pair probability of uniform crossover
+	// (default 0.9); MutationRate the per-gene probability of resampling
+	// (default 1/len).
+	CrossoverRate float64
+	MutationRate  float64
+	// MutationStep is the stddev-like half-width of the polynomial-ish
+	// perturbation (default 0.15); with probability ½ a mutated gene is
+	// resampled uniformly instead, keeping global exploration alive.
+	MutationStep float64
+	Seed         int64
+	// Workers > 1 evaluates each generation's individuals concurrently
+	// on that many goroutines. Problem.Evaluate must then be safe for
+	// concurrent use. Results are deterministic: genotype generation
+	// stays sequential and evaluation order does not influence it.
+	Workers int
+	// ArchiveEpsilon, when non-empty, thins the all-time archive by
+	// ε-dominance: objective k is quantized to boxes of width
+	// ArchiveEpsilon[k] (0 = no quantization for that objective) and at
+	// most one representative per non-dominated box is kept. Bounds the
+	// archive the way practical DSE tools do; the paper reports 176
+	// Pareto implementations from 100,000 evaluations.
+	ArchiveEpsilon []float64
+	// OnGeneration, when non-nil, is called after every generation with
+	// the generation index and the current archive.
+	OnGeneration func(gen int, archive []*Individual)
+}
+
+func (o Options) withDefaults(genLen int) Options {
+	if o.PopSize <= 0 {
+		o.PopSize = 64
+	}
+	if o.PopSize%2 == 1 {
+		o.PopSize++
+	}
+	if o.Generations <= 0 {
+		o.Generations = 50
+	}
+	if o.CrossoverRate == 0 {
+		o.CrossoverRate = 0.9
+	}
+	if o.MutationRate == 0 && genLen > 0 {
+		o.MutationRate = 1.0 / float64(genLen)
+	}
+	if o.MutationStep == 0 {
+		o.MutationStep = 0.15
+	}
+	return o
+}
+
+// Result carries the outcome of a run.
+type Result struct {
+	// Archive is the all-time non-dominated set.
+	Archive []*Individual
+	// FinalPopulation is the last generation.
+	FinalPopulation []*Individual
+	// Evaluations counts Problem.Evaluate calls.
+	Evaluations int
+}
+
+// Run executes NSGA-II on the problem.
+func Run(p Problem, opt Options) (*Result, error) {
+	genLen := p.GenotypeLen()
+	if genLen <= 0 {
+		return nil, errEmptyGenotype
+	}
+	opt = opt.withDefaults(genLen)
+	rng := rand.New(rand.NewSource(opt.Seed))
+	res := &Result{}
+
+	evaluateBatch := func(genos [][]float64) []*Individual {
+		out := make([]*Individual, len(genos))
+		eval := func(i int) {
+			obj, payload := p.Evaluate(genos[i])
+			out[i] = &Individual{Genotype: genos[i], Objectives: obj, Payload: payload}
+		}
+		if opt.Workers <= 1 || len(genos) == 1 {
+			for i := range genos {
+				eval(i)
+			}
+		} else {
+			var wg sync.WaitGroup
+			work := make(chan int)
+			for w := 0; w < opt.Workers; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := range work {
+						eval(i)
+					}
+				}()
+			}
+			for i := range genos {
+				work <- i
+			}
+			close(work)
+			wg.Wait()
+		}
+		res.Evaluations += len(genos)
+		return out
+	}
+
+	initial := make([][]float64, opt.PopSize)
+	for i := range initial {
+		g := make([]float64, genLen)
+		for j := range g {
+			g[j] = rng.Float64()
+		}
+		initial[i] = g
+	}
+	pop := evaluateBatch(initial)
+	archive := updateArchiveEps(nil, pop, opt.ArchiveEpsilon)
+
+	for gen := 0; gen < opt.Generations; gen++ {
+		// Rank parents for tournament selection.
+		fronts := sortFronts(pop)
+		for _, f := range fronts {
+			assignCrowding(f)
+		}
+		// Breed the whole offspring batch sequentially (rng order), then
+		// evaluate it, possibly in parallel.
+		genos := make([][]float64, 0, opt.PopSize)
+		for len(genos) < opt.PopSize {
+			p1 := tournament(rng, pop)
+			p2 := tournament(rng, pop)
+			c1, c2 := crossover(rng, p1.Genotype, p2.Genotype, opt.CrossoverRate)
+			mutate(rng, c1, opt.MutationRate, opt.MutationStep)
+			mutate(rng, c2, opt.MutationRate, opt.MutationStep)
+			genos = append(genos, c1)
+			if len(genos) < opt.PopSize {
+				genos = append(genos, c2)
+			}
+		}
+		offspring := evaluateBatch(genos)
+		// Environmental selection over parents ∪ offspring.
+		union := append(append([]*Individual(nil), pop...), offspring...)
+		fronts = sortFronts(union)
+		next := make([]*Individual, 0, opt.PopSize)
+		for _, f := range fronts {
+			assignCrowding(f)
+			if len(next)+len(f) <= opt.PopSize {
+				next = append(next, f...)
+				continue
+			}
+			// Partial front: take the most crowded-distant first.
+			sortByCrowdingDesc(f)
+			next = append(next, f[:opt.PopSize-len(next)]...)
+			break
+		}
+		pop = next
+		archive = updateArchiveEps(archive, offspring, opt.ArchiveEpsilon)
+		if opt.OnGeneration != nil {
+			opt.OnGeneration(gen, archive)
+		}
+	}
+	res.Archive = archive
+	res.FinalPopulation = pop
+	return res, nil
+}
+
+// tournament returns the better of two random individuals by
+// (rank, crowding) — the standard crowded comparison operator.
+func tournament(rng *rand.Rand, pop []*Individual) *Individual {
+	a := pop[rng.Intn(len(pop))]
+	b := pop[rng.Intn(len(pop))]
+	if a.rank != b.rank {
+		if a.rank < b.rank {
+			return a
+		}
+		return b
+	}
+	if a.crowding > b.crowding {
+		return a
+	}
+	return b
+}
+
+// crossover performs uniform crossover with the given probability;
+// otherwise both children are copies.
+func crossover(rng *rand.Rand, a, b []float64, rate float64) ([]float64, []float64) {
+	c1 := append([]float64(nil), a...)
+	c2 := append([]float64(nil), b...)
+	if rng.Float64() < rate {
+		for i := range c1 {
+			if rng.Intn(2) == 0 {
+				c1[i], c2[i] = c2[i], c1[i]
+			}
+		}
+	}
+	return c1, c2
+}
+
+// mutate perturbs genes in place: with probability rate per gene, the
+// gene is either jittered by ±step (clamped to [0,1]) or resampled
+// uniformly (50/50).
+func mutate(rng *rand.Rand, g []float64, rate, step float64) {
+	for i := range g {
+		if rng.Float64() >= rate {
+			continue
+		}
+		if rng.Intn(2) == 0 {
+			g[i] = rng.Float64()
+		} else {
+			g[i] += (rng.Float64()*2 - 1) * step
+			if g[i] < 0 {
+				g[i] = 0
+			}
+			if g[i] > 1 {
+				g[i] = 1
+			}
+		}
+	}
+}
+
+// updateArchive merges new individuals into the all-time non-dominated
+// archive incrementally: each candidate is compared against the current
+// archive only (O(|batch|·|archive|) instead of re-filtering the whole
+// union), dropping dominated or duplicate candidates and evicting
+// archive entries the candidate dominates.
+func updateArchive(archive, batch []*Individual) []*Individual {
+	for _, cand := range batch {
+		dominated := false
+		for _, a := range archive {
+			if Dominates(a.Objectives, cand.Objectives) || equalObjectives(a.Objectives, cand.Objectives) {
+				dominated = true
+				break
+			}
+		}
+		if dominated {
+			continue
+		}
+		kept := archive[:0]
+		for _, a := range archive {
+			if !Dominates(cand.Objectives, a.Objectives) {
+				kept = append(kept, a)
+			}
+		}
+		archive = append(kept, cand)
+	}
+	return archive
+}
+
+// updateArchiveEps applies ε-dominance when eps is set: candidates and
+// archive entries are compared on box coordinates, so at most one
+// representative survives per non-dominated ε-box.
+func updateArchiveEps(archive, batch []*Individual, eps []float64) []*Individual {
+	if len(eps) == 0 {
+		return updateArchive(archive, batch)
+	}
+	box := func(obj Objectives) Objectives {
+		out := make(Objectives, len(obj))
+		for k, v := range obj {
+			out[k] = v
+			if k < len(eps) && eps[k] > 0 {
+				out[k] = epsFloor(v, eps[k])
+			}
+		}
+		return out
+	}
+	for _, cand := range batch {
+		cb := box(cand.Objectives)
+		dominated := false
+		for _, a := range archive {
+			ab := box(a.Objectives)
+			if Dominates(ab, cb) || equalObjectives(ab, cb) {
+				dominated = true
+				break
+			}
+		}
+		if dominated {
+			continue
+		}
+		kept := archive[:0]
+		for _, a := range archive {
+			if !Dominates(cb, box(a.Objectives)) {
+				kept = append(kept, a)
+			}
+		}
+		archive = append(kept, cand)
+	}
+	return archive
+}
+
+// epsFloor quantizes v down to a multiple of eps, mapping non-finite
+// values to themselves.
+func epsFloor(v, eps float64) float64 {
+	if v != v || v > 1e300 || v < -1e300 {
+		return v
+	}
+	return eps * float64(int64(v/eps))
+}
+
+func sortByCrowdingDesc(f []*Individual) {
+	for i := 1; i < len(f); i++ {
+		for j := i; j > 0 && f[j].crowding > f[j-1].crowding; j-- {
+			f[j], f[j-1] = f[j-1], f[j]
+		}
+	}
+}

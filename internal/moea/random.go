@@ -1,0 +1,36 @@
+package moea
+
+import "math/rand"
+
+// RandomSearch evaluates `evals` uniformly random genotypes and keeps
+// the non-dominated archive — the null-hypothesis optimizer against
+// which NSGA-II's selection pressure is measured (optimizer ablation).
+func RandomSearch(p Problem, evals int, seed int64) (*Result, error) {
+	genLen := p.GenotypeLen()
+	if genLen <= 0 {
+		return nil, errEmptyGenotype
+	}
+	if evals < 1 {
+		evals = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	res := &Result{}
+	var batch []*Individual
+	for i := 0; i < evals; i++ {
+		g := make([]float64, genLen)
+		for j := range g {
+			g[j] = rng.Float64()
+		}
+		obj, payload := p.Evaluate(g)
+		res.Evaluations++
+		batch = append(batch, &Individual{Genotype: g, Objectives: obj, Payload: payload})
+		// Fold into the archive in chunks to bound the quadratic filter.
+		if len(batch) >= 256 {
+			res.Archive = updateArchive(res.Archive, batch)
+			batch = batch[:0]
+		}
+	}
+	res.Archive = updateArchive(res.Archive, batch)
+	res.FinalPopulation = res.Archive
+	return res, nil
+}

@@ -1,0 +1,235 @@
+package netlist
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// ParseBench reads a circuit in the ISCAS-85/89 ".bench" netlist format:
+//
+//	# comment
+//	INPUT(a)
+//	OUTPUT(y)
+//	n1 = NAND(a, b)
+//	y  = NOT(n1)
+//
+// Supported functions: AND, NAND, OR, NOR, XOR, XNOR, NOT, BUF/BUFF.
+// DFFs are rejected — scan-insert sequential designs with SeqBuilder
+// first (the .bench sequential subset maps onto it mechanically).
+// Signals may be used before their defining line; definitions form a
+// DAG (combinational loops are rejected).
+func ParseBench(name string, r io.Reader) (*Circuit, error) {
+	type def struct {
+		fn     string
+		inputs []string
+		line   int
+	}
+	defs := make(map[string]def)
+	var inputs, outputs, defOrder []string
+
+	scanner := bufio.NewScanner(r)
+	lineNo := 0
+	for scanner.Scan() {
+		lineNo++
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		upper := strings.ToUpper(line)
+		switch {
+		case strings.HasPrefix(upper, "INPUT"):
+			sig, err := parseParen(line)
+			if err != nil {
+				return nil, fmt.Errorf("netlist: %s:%d: %w", name, lineNo, err)
+			}
+			inputs = append(inputs, sig)
+		case strings.HasPrefix(upper, "OUTPUT"):
+			sig, err := parseParen(line)
+			if err != nil {
+				return nil, fmt.Errorf("netlist: %s:%d: %w", name, lineNo, err)
+			}
+			outputs = append(outputs, sig)
+		default:
+			eq := strings.Index(line, "=")
+			if eq < 0 {
+				return nil, fmt.Errorf("netlist: %s:%d: expected assignment, got %q", name, lineNo, line)
+			}
+			lhs := strings.TrimSpace(line[:eq])
+			rhs := strings.TrimSpace(line[eq+1:])
+			open := strings.Index(rhs, "(")
+			close := strings.LastIndex(rhs, ")")
+			if open < 0 || close < open {
+				return nil, fmt.Errorf("netlist: %s:%d: malformed function %q", name, lineNo, rhs)
+			}
+			fn := strings.ToUpper(strings.TrimSpace(rhs[:open]))
+			var args []string
+			for _, a := range strings.Split(rhs[open+1:close], ",") {
+				a = strings.TrimSpace(a)
+				if a != "" {
+					args = append(args, a)
+				}
+			}
+			if _, dup := defs[lhs]; dup {
+				return nil, fmt.Errorf("netlist: %s:%d: signal %q defined twice", name, lineNo, lhs)
+			}
+			defs[lhs] = def{fn: fn, inputs: args, line: lineNo}
+			defOrder = append(defOrder, lhs)
+		}
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, fmt.Errorf("netlist: %s: %w", name, err)
+	}
+	if len(inputs) == 0 || len(outputs) == 0 {
+		return nil, fmt.Errorf("netlist: %s: need INPUT and OUTPUT declarations", name)
+	}
+
+	fnType := map[string]GateType{
+		"AND": And, "NAND": Nand, "OR": Or, "NOR": Nor,
+		"XOR": Xor, "XNOR": Xnor, "NOT": Not, "BUF": Buf, "BUFF": Buf,
+	}
+
+	b := NewBuilder(name)
+	ids := make(map[string]int, len(inputs)+len(defs))
+	for _, sig := range inputs {
+		if _, dup := ids[sig]; dup {
+			return nil, fmt.Errorf("netlist: %s: input %q declared twice", name, sig)
+		}
+		ids[sig] = b.Input(sig)
+	}
+
+	// Topological elaboration with cycle detection.
+	const (
+		unvisited = 0
+		visiting  = 1
+		done      = 2
+	)
+	state := make(map[string]int)
+	var elaborate func(sig string) (int, error)
+	elaborate = func(sig string) (int, error) {
+		if id, ok := ids[sig]; ok {
+			return id, nil
+		}
+		d, ok := defs[sig]
+		if !ok {
+			return 0, fmt.Errorf("netlist: %s: signal %q never defined", name, sig)
+		}
+		switch state[sig] {
+		case visiting:
+			return 0, fmt.Errorf("netlist: %s:%d: combinational loop through %q", name, d.line, sig)
+		case done:
+			return ids[sig], nil
+		}
+		state[sig] = visiting
+		t, ok := fnType[d.fn]
+		if !ok {
+			return 0, fmt.Errorf("netlist: %s:%d: unsupported function %q (scan-insert DFFs first)", name, d.line, d.fn)
+		}
+		fanin := make([]int, len(d.inputs))
+		for i, in := range d.inputs {
+			id, err := elaborate(in)
+			if err != nil {
+				return 0, err
+			}
+			fanin[i] = id
+		}
+		id := b.Gate(t, sig, fanin...)
+		ids[sig] = id
+		state[sig] = done
+		return id, nil
+	}
+	for _, sig := range defOrder {
+		if _, err := elaborate(sig); err != nil {
+			return nil, err
+		}
+	}
+	for _, sig := range outputs {
+		id, ok := ids[sig]
+		if !ok {
+			return nil, fmt.Errorf("netlist: %s: output %q never defined", name, sig)
+		}
+		b.Output(id)
+	}
+	return b.Build()
+}
+
+func parseParen(line string) (string, error) {
+	open := strings.Index(line, "(")
+	close := strings.LastIndex(line, ")")
+	if open < 0 || close < open+1 {
+		return "", fmt.Errorf("malformed declaration %q", line)
+	}
+	sig := strings.TrimSpace(line[open+1 : close])
+	if sig == "" {
+		return "", fmt.Errorf("empty signal in %q", line)
+	}
+	return sig, nil
+}
+
+// WriteBench serializes a circuit in .bench format. Gate names are the
+// circuit's signal names where unique, with the gate ID as fallback.
+func WriteBench(w io.Writer, c *Circuit) error {
+	name := benchNames(c)
+	for _, id := range c.Inputs {
+		if _, err := fmt.Fprintf(w, "INPUT(%s)\n", name[id]); err != nil {
+			return err
+		}
+	}
+	for _, id := range c.Outputs {
+		if _, err := fmt.Fprintf(w, "OUTPUT(%s)\n", name[id]); err != nil {
+			return err
+		}
+	}
+	fnName := map[GateType]string{
+		And: "AND", Nand: "NAND", Or: "OR", Nor: "NOR",
+		Xor: "XOR", Xnor: "XNOR", Not: "NOT", Buf: "BUFF",
+	}
+	for _, id := range c.Order() {
+		g := &c.Gates[id]
+		args := make([]string, len(g.Fanin))
+		for i, f := range g.Fanin {
+			args[i] = name[f]
+		}
+		if _, err := fmt.Fprintf(w, "%s = %s(%s)\n", name[id], fnName[g.Type], strings.Join(args, ", ")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// benchNames returns unique signal names per gate: the declared name
+// if globally unique and non-empty, otherwise "n<id>".
+func benchNames(c *Circuit) map[int]string {
+	count := make(map[string]int)
+	for _, g := range c.Gates {
+		count[g.Name]++
+	}
+	out := make(map[int]string, len(c.Gates))
+	for _, g := range c.Gates {
+		if g.Name != "" && count[g.Name] == 1 && !strings.ContainsAny(g.Name, "(), =#") {
+			out[g.ID] = g.Name
+		} else {
+			out[g.ID] = fmt.Sprintf("n%d", g.ID)
+		}
+	}
+	return out
+}
+
+// C17Bench is the ISCAS-85 c17 benchmark in .bench source form, usable
+// as a ParseBench example and golden input.
+const C17Bench = `# c17 — ISCAS-85 benchmark
+INPUT(1)
+INPUT(2)
+INPUT(3)
+INPUT(6)
+INPUT(7)
+OUTPUT(22)
+OUTPUT(23)
+10 = NAND(1, 3)
+11 = NAND(3, 6)
+16 = NAND(2, 11)
+19 = NAND(11, 7)
+22 = NAND(10, 16)
+23 = NAND(16, 19)
+`

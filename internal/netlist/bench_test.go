@@ -1,0 +1,138 @@
+package netlist
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseBenchC17(t *testing.T) {
+	c, err := ParseBench("c17", strings.NewReader(C17Bench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumInputs() != 5 || c.NumOutputs() != 2 || c.NumGates() != 11 {
+		t.Fatalf("shape: %d in, %d out, %d gates", c.NumInputs(), c.NumOutputs(), c.NumGates())
+	}
+	// Same collapsed fault count as the programmatic C17.
+	if got, want := len(CollapsedFaults(c)), len(CollapsedFaults(C17())); got != want {
+		t.Fatalf("collapsed faults = %d, want %d", got, want)
+	}
+}
+
+// TestParseBenchMatchesProgrammaticC17 checks functional equivalence
+// by exhaustive simulation against the hand-built c17.
+func TestParseBenchMatchesProgrammaticC17(t *testing.T) {
+	parsed, err := ParseBench("c17", strings.NewReader(C17Bench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	built := C17()
+	evalOne := func(c *Circuit, pattern int) [2]bool {
+		vals := make([]bool, c.NumGates())
+		for i, id := range c.Inputs {
+			vals[id] = pattern>>uint(i)&1 == 1
+		}
+		in := make([]bool, 4)
+		for _, id := range c.Order() {
+			g := &c.Gates[id]
+			use := in[:len(g.Fanin)]
+			for i, f := range g.Fanin {
+				use[i] = vals[f]
+			}
+			vals[id] = g.Type.Eval(use)
+		}
+		return [2]bool{vals[c.Outputs[0]], vals[c.Outputs[1]]}
+	}
+	for p := 0; p < 32; p++ {
+		if evalOne(parsed, p) != evalOne(built, p) {
+			t.Fatalf("pattern %05b differs", p)
+		}
+	}
+}
+
+// TestWriteBenchRoundTrip serializes a generated circuit and re-parses
+// it; both must be functionally identical on random patterns.
+func TestWriteBenchRoundTrip(t *testing.T) {
+	orig := Random(23, RandomOptions{Inputs: 7, Gates: 40, Outputs: 4})
+	var sb strings.Builder
+	if err := WriteBench(&sb, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseBench("roundtrip", strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("%v\n%s", err, sb.String())
+	}
+	if back.NumInputs() != orig.NumInputs() || back.NumOutputs() != orig.NumOutputs() {
+		t.Fatalf("shape changed: %d/%d vs %d/%d", back.NumInputs(), back.NumOutputs(), orig.NumInputs(), orig.NumOutputs())
+	}
+	evalAll := func(c *Circuit, pattern int) []bool {
+		vals := make([]bool, c.NumGates())
+		for i, id := range c.Inputs {
+			vals[id] = pattern>>uint(i)&1 == 1
+		}
+		in := make([]bool, 8)
+		for _, id := range c.Order() {
+			g := &c.Gates[id]
+			use := in[:len(g.Fanin)]
+			for i, f := range g.Fanin {
+				use[i] = vals[f]
+			}
+			vals[id] = g.Type.Eval(use)
+		}
+		out := make([]bool, len(c.Outputs))
+		for i, id := range c.Outputs {
+			out[i] = vals[id]
+		}
+		return out
+	}
+	for p := 0; p < 128; p++ {
+		a, b := evalAll(orig, p), evalAll(back, p)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("pattern %d output %d differs", p, i)
+			}
+		}
+	}
+}
+
+func TestParseBenchErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"no-io", "a = AND(b, c)\n"},
+		{"undefined", "INPUT(a)\nOUTPUT(y)\ny = AND(a, ghost)\n"},
+		{"dup-def", "INPUT(a)\nOUTPUT(y)\ny = NOT(a)\ny = BUFF(a)\n"},
+		{"dup-input", "INPUT(a)\nINPUT(a)\nOUTPUT(y)\ny = NOT(a)\n"},
+		{"bad-fn", "INPUT(a)\nOUTPUT(y)\ny = FROB(a)\n"},
+		{"dff", "INPUT(a)\nOUTPUT(q)\nq = DFF(a)\n"},
+		{"loop", "INPUT(a)\nOUTPUT(x)\nx = AND(a, z)\nz = NOT(x)\n"},
+		{"malformed", "INPUT(a)\nOUTPUT(y)\ny NOT a\n"},
+		{"bad-paren", "INPUT a\nOUTPUT(y)\ny = NOT(a)\n"},
+		{"undefined-output", "INPUT(a)\nOUTPUT(nope)\nx = NOT(a)\n"},
+	}
+	for _, c := range cases {
+		if _, err := ParseBench(c.name, strings.NewReader(c.src)); err == nil {
+			t.Errorf("%s accepted", c.name)
+		}
+	}
+}
+
+func TestParseBenchForwardReferences(t *testing.T) {
+	// Definitions out of order are legal in .bench.
+	src := "INPUT(a)\nOUTPUT(y)\ny = NOT(mid)\nmid = BUFF(a)\n"
+	c, err := ParseBench("fwd", strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumGates() != 3 {
+		t.Fatalf("gates = %d", c.NumGates())
+	}
+}
+
+func TestParseBenchCommentsAndBlanks(t *testing.T) {
+	src := "# header\n\nINPUT(a)\n  # indented comment\nOUTPUT(y)\ny = NOT(a)\n"
+	if _, err := ParseBench("c", strings.NewReader(src)); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,199 @@
+package netlist
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Circuit is a levelized combinational netlist. Build one through
+// Builder; a finalized circuit is immutable.
+type Circuit struct {
+	Name    string
+	Gates   []Gate
+	Inputs  []int // primary + pseudo-primary inputs, in declaration order
+	Outputs []int // primary + pseudo-primary outputs, in declaration order
+
+	fanout [][]int // gate ID -> IDs of gates reading it
+	level  []int   // topological level, inputs at 0
+	order  []int   // all non-input gates in ascending level order
+}
+
+// NumGates returns the total number of gates including inputs.
+func (c *Circuit) NumGates() int { return len(c.Gates) }
+
+// NumInputs returns the number of (pseudo-)primary inputs.
+func (c *Circuit) NumInputs() int { return len(c.Inputs) }
+
+// NumOutputs returns the number of (pseudo-)primary outputs.
+func (c *Circuit) NumOutputs() int { return len(c.Outputs) }
+
+// Fanout returns the gates reading gate id.
+func (c *Circuit) Fanout(id int) []int { return c.fanout[id] }
+
+// Level returns the topological level of gate id (inputs are level 0).
+func (c *Circuit) Level(id int) int { return c.level[id] }
+
+// Order returns all non-input gates in ascending topological order.
+func (c *Circuit) Order() []int { return c.order }
+
+// Depth returns the maximum level in the circuit.
+func (c *Circuit) Depth() int {
+	d := 0
+	for _, l := range c.level {
+		if l > d {
+			d = l
+		}
+	}
+	return d
+}
+
+// Cone returns the transitive fanout cone of gate id (excluding id
+// itself), in ascending topological order. It is the set of gates whose
+// value can change when gate id changes.
+func (c *Circuit) Cone(id int) []int {
+	seen := make(map[int]bool)
+	stack := append([]int(nil), c.fanout[id]...)
+	for len(stack) > 0 {
+		g := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[g] {
+			continue
+		}
+		seen[g] = true
+		stack = append(stack, c.fanout[g]...)
+	}
+	out := make([]int, 0, len(seen))
+	for g := range seen {
+		out = append(out, g)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if c.level[out[i]] != c.level[out[j]] {
+			return c.level[out[i]] < c.level[out[j]]
+		}
+		return out[i] < out[j]
+	})
+	return out
+}
+
+// Builder incrementally constructs a circuit.
+type Builder struct {
+	name  string
+	gates []Gate
+	ins   []int
+	outs  []int
+	err   error
+}
+
+// NewBuilder returns a builder for a circuit with the given name.
+func NewBuilder(name string) *Builder { return &Builder{name: name} }
+
+// Input declares a new (pseudo-)primary input and returns its gate ID.
+func (b *Builder) Input(name string) int {
+	id := len(b.gates)
+	b.gates = append(b.gates, Gate{ID: id, Type: Input, Name: name})
+	b.ins = append(b.ins, id)
+	return id
+}
+
+// Gate adds a gate of type t reading the given fanin IDs and returns its
+// gate ID.
+func (b *Builder) Gate(t GateType, name string, fanin ...int) int {
+	id := len(b.gates)
+	if t == Input {
+		b.fail(fmt.Errorf("netlist: use Input to declare inputs"))
+	}
+	if len(fanin) == 0 {
+		b.fail(fmt.Errorf("netlist: gate %q has no fanin", name))
+	}
+	if (t == Buf || t == Not) && len(fanin) != 1 {
+		b.fail(fmt.Errorf("netlist: %v gate %q must have exactly one fanin", t, name))
+	}
+	for _, f := range fanin {
+		if f < 0 || f >= id {
+			b.fail(fmt.Errorf("netlist: gate %q: fanin %d out of range (forward reference?)", name, f))
+		}
+	}
+	b.gates = append(b.gates, Gate{ID: id, Type: t, Fanin: append([]int(nil), fanin...), Name: name})
+	return id
+}
+
+// Output marks gate id as a (pseudo-)primary output.
+func (b *Builder) Output(id int) {
+	if id < 0 || id >= len(b.gates) {
+		b.fail(fmt.Errorf("netlist: output %d out of range", id))
+		return
+	}
+	b.outs = append(b.outs, id)
+}
+
+func (b *Builder) fail(err error) {
+	if b.err == nil {
+		b.err = err
+	}
+}
+
+// Build finalizes the circuit: it computes fanout lists and topological
+// levels and validates that every gate is structurally sound.
+func (b *Builder) Build() (*Circuit, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	if len(b.ins) == 0 {
+		return nil, fmt.Errorf("netlist: circuit %q has no inputs", b.name)
+	}
+	if len(b.outs) == 0 {
+		return nil, fmt.Errorf("netlist: circuit %q has no outputs", b.name)
+	}
+	c := &Circuit{
+		Name:    b.name,
+		Gates:   append([]Gate(nil), b.gates...),
+		Inputs:  append([]int(nil), b.ins...),
+		Outputs: append([]int(nil), b.outs...),
+	}
+	n := len(c.Gates)
+	c.fanout = make([][]int, n)
+	c.level = make([]int, n)
+	for _, g := range c.Gates {
+		for _, f := range g.Fanin {
+			c.fanout[f] = append(c.fanout[f], g.ID)
+		}
+	}
+	// Builder enforces fanin < id, so ascending ID order is topological.
+	c.order = make([]int, 0, n-len(c.Inputs))
+	for _, g := range c.Gates {
+		if g.Type == Input {
+			continue
+		}
+		lvl := 0
+		for _, f := range g.Fanin {
+			if c.level[f] >= lvl {
+				lvl = c.level[f] + 1
+			}
+		}
+		c.level[g.ID] = lvl
+		c.order = append(c.order, g.ID)
+	}
+	return c, nil
+}
+
+// Stats summarizes a circuit for reporting.
+type Stats struct {
+	Name    string
+	Gates   int
+	Inputs  int
+	Outputs int
+	Depth   int
+	Faults  int // collapsed stuck-at faults
+}
+
+// Stats returns summary statistics including the collapsed fault count.
+func (c *Circuit) Stats() Stats {
+	return Stats{
+		Name:    c.Name,
+		Gates:   c.NumGates(),
+		Inputs:  c.NumInputs(),
+		Outputs: c.NumOutputs(),
+		Depth:   c.Depth(),
+		Faults:  len(CollapsedFaults(c)),
+	}
+}

@@ -1,0 +1,181 @@
+package netlist
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Fault is a single stuck-at fault. Pin == StemPin addresses the gate
+// output (the stem); Pin >= 0 addresses the given fanin pin of the gate
+// (a fanout branch).
+type Fault struct {
+	Gate  int
+	Pin   int
+	Stuck bool // stuck-at value: false = s-a-0, true = s-a-1
+}
+
+// StemPin addresses the output stem of a gate in Fault.Pin.
+const StemPin = -1
+
+// String renders the fault like "g12/sa1" or "g12.in2/sa0".
+func (f Fault) String() string {
+	v := "sa0"
+	if f.Stuck {
+		v = "sa1"
+	}
+	if f.Pin == StemPin {
+		return fmt.Sprintf("g%d/%s", f.Gate, v)
+	}
+	return fmt.Sprintf("g%d.in%d/%s", f.Gate, f.Pin, v)
+}
+
+// AllFaults enumerates the uncollapsed single stuck-at fault universe:
+// both polarities on every gate output stem and on every gate input pin.
+func AllFaults(c *Circuit) []Fault {
+	var out []Fault
+	for _, g := range c.Gates {
+		for _, v := range []bool{false, true} {
+			out = append(out, Fault{Gate: g.ID, Pin: StemPin, Stuck: v})
+		}
+		for pin := range g.Fanin {
+			for _, v := range []bool{false, true} {
+				out = append(out, Fault{Gate: g.ID, Pin: pin, Stuck: v})
+			}
+		}
+	}
+	return out
+}
+
+// CollapsedFaults returns one representative per structural equivalence
+// class of the single stuck-at fault universe. Two classic rules are
+// applied:
+//
+//  1. A fanout-free connection makes the driver's stem fault equivalent
+//     to the reader's input-pin fault of the same polarity.
+//  2. Within a gate, a controlling-value input fault is equivalent to
+//     the implied output fault (e.g. NAND input s-a-0 ≡ output s-a-1),
+//     and for BUF/NOT every input fault is equivalent to the matching
+//     output fault.
+//
+// The representative of each class is its smallest member under
+// (gate, pin, value) ordering; results are sorted the same way.
+func CollapsedFaults(c *Circuit) []Fault {
+	uf := newUnionFind()
+	key := func(f Fault) string { return f.String() }
+	merge := func(a, b Fault) { uf.union(key(a), key(b)) }
+	for _, f := range AllFaults(c) {
+		uf.add(key(f))
+	}
+
+	for _, g := range c.Gates {
+		// Rule 2: gate-internal equivalences.
+		switch g.Type {
+		case Buf:
+			merge(Fault{g.ID, 0, false}, Fault{g.ID, StemPin, false})
+			merge(Fault{g.ID, 0, true}, Fault{g.ID, StemPin, true})
+		case Not:
+			merge(Fault{g.ID, 0, false}, Fault{g.ID, StemPin, true})
+			merge(Fault{g.ID, 0, true}, Fault{g.ID, StemPin, false})
+		default:
+			if cv, ok := g.Type.ControllingValue(); ok {
+				outVal := g.Type.Eval(constInputs(len(g.Fanin), cv))
+				for pin := range g.Fanin {
+					merge(Fault{g.ID, pin, cv}, Fault{g.ID, StemPin, outVal})
+				}
+			}
+		}
+		// Rule 1: fanout-free line equivalence driver-stem ≡ reader-pin.
+		for _, f := range g.Fanin {
+			if len(c.fanout[f]) == 1 {
+				for pin, src := range g.Fanin {
+					if src == f {
+						merge(Fault{f, StemPin, false}, Fault{g.ID, pin, false})
+						merge(Fault{f, StemPin, true}, Fault{g.ID, pin, true})
+					}
+				}
+			}
+		}
+	}
+
+	// Pick the minimum fault of each class.
+	repr := make(map[string]Fault)
+	for _, f := range AllFaults(c) {
+		root := uf.find(key(f))
+		cur, ok := repr[root]
+		if !ok || faultLess(f, cur) {
+			repr[root] = f
+		}
+	}
+	out := make([]Fault, 0, len(repr))
+	for _, f := range repr {
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool { return faultLess(out[i], out[j]) })
+	return out
+}
+
+func faultLess(a, b Fault) bool {
+	if a.Gate != b.Gate {
+		return a.Gate < b.Gate
+	}
+	if a.Pin != b.Pin {
+		return a.Pin < b.Pin
+	}
+	return !a.Stuck && b.Stuck
+}
+
+func constInputs(n int, v bool) []bool {
+	in := make([]bool, n)
+	for i := range in {
+		in[i] = v
+	}
+	return in
+}
+
+// unionFind is a string-keyed disjoint-set forest with path compression.
+type unionFind struct {
+	parent map[string]string
+}
+
+func newUnionFind() *unionFind { return &unionFind{parent: make(map[string]string)} }
+
+func (u *unionFind) add(k string) {
+	if _, ok := u.parent[k]; !ok {
+		u.parent[k] = k
+	}
+}
+
+func (u *unionFind) find(k string) string {
+	u.add(k)
+	root := k
+	for u.parent[root] != root {
+		root = u.parent[root]
+	}
+	for u.parent[k] != root {
+		u.parent[k], k = root, u.parent[k]
+	}
+	return root
+}
+
+func (u *unionFind) union(a, b string) {
+	ra, rb := u.find(a), u.find(b)
+	if ra != rb {
+		if ra < rb {
+			u.parent[rb] = ra
+		} else {
+			u.parent[ra] = rb
+		}
+	}
+}
+
+// FaultSite returns the gate whose output value the fault effectively
+// corrupts for simulation purposes, plus whether the corruption applies
+// to a specific reader pin only. For a stem fault the corrupted gate is
+// f.Gate itself and pin is StemPin; for an input-pin fault the value of
+// the driving gate is corrupted only as seen by f.Gate's pin.
+func FaultSite(c *Circuit, f Fault) (driver int, readerPin int) {
+	if f.Pin == StemPin {
+		return f.Gate, StemPin
+	}
+	return c.Gates[f.Gate].Fanin[f.Pin], f.Pin
+}

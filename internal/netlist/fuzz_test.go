@@ -1,0 +1,35 @@
+package netlist
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseBench feeds arbitrary text through the .bench parser: it
+// must never panic, and anything it accepts must re-serialize and
+// re-parse cleanly (idempotent interchange).
+func FuzzParseBench(f *testing.F) {
+	f.Add(C17Bench)
+	f.Add("INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n")
+	f.Add("INPUT(a)\nOUTPUT(y)\ny = AND(a, a)\n")
+	f.Add("# only a comment\n")
+	f.Add("INPUT(a)\nOUTPUT(y)\ny = NAND(a\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		c, err := ParseBench("fuzz", strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		var sb strings.Builder
+		if err := WriteBench(&sb, c); err != nil {
+			t.Fatalf("accepted circuit failed to serialize: %v", err)
+		}
+		back, err := ParseBench("fuzz2", strings.NewReader(sb.String()))
+		if err != nil {
+			t.Fatalf("round trip failed: %v\n%s", err, sb.String())
+		}
+		if back.NumInputs() != c.NumInputs() || back.NumOutputs() != c.NumOutputs() {
+			t.Fatalf("round trip changed shape: %d/%d vs %d/%d",
+				back.NumInputs(), back.NumOutputs(), c.NumInputs(), c.NumOutputs())
+		}
+	})
+}

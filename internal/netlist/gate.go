@@ -1,0 +1,162 @@
+// Package netlist provides a gate-level combinational circuit model for
+// full-scan designs: gates, levelized evaluation order, fanout cones,
+// and single stuck-at fault lists with structural equivalence
+// collapsing.
+//
+// Sequential designs are represented in their full-scan form: every scan
+// flip-flop contributes a pseudo-primary input (its Q pin, loaded
+// through the scan chain) and a pseudo-primary output (its D pin,
+// unloaded through the chain). The combinational core between those is
+// what the circuit models; package stumps assembles chains, LFSR and
+// MISR around it.
+package netlist
+
+import "fmt"
+
+// GateType enumerates the supported primitive gates.
+type GateType int
+
+const (
+	// Input marks a primary or pseudo-primary input; it has no fanin.
+	Input GateType = iota
+	// Buf is a non-inverting buffer.
+	Buf
+	// Not is an inverter.
+	Not
+	// And is an n-input AND gate.
+	And
+	// Nand is an n-input NAND gate.
+	Nand
+	// Or is an n-input OR gate.
+	Or
+	// Nor is an n-input NOR gate.
+	Nor
+	// Xor is an n-input XOR (odd parity) gate.
+	Xor
+	// Xnor is an n-input XNOR (even parity) gate.
+	Xnor
+)
+
+var gateNames = map[GateType]string{
+	Input: "input", Buf: "buf", Not: "not", And: "and", Nand: "nand",
+	Or: "or", Nor: "nor", Xor: "xor", Xnor: "xnor",
+}
+
+// String returns the lowercase gate mnemonic.
+func (t GateType) String() string {
+	if s, ok := gateNames[t]; ok {
+		return s
+	}
+	return fmt.Sprintf("GateType(%d)", int(t))
+}
+
+// Inverting reports whether the gate complements its natural function
+// (NAND, NOR, XNOR, NOT).
+func (t GateType) Inverting() bool {
+	switch t {
+	case Not, Nand, Nor, Xnor:
+		return true
+	}
+	return false
+}
+
+// ControllingValue returns the input value v that alone determines the
+// gate output, and ok=false for gates without one (XOR family, buffers).
+// AND/NAND are controlled by 0, OR/NOR by 1.
+func (t GateType) ControllingValue() (v bool, ok bool) {
+	switch t {
+	case And, Nand:
+		return false, true
+	case Or, Nor:
+		return true, true
+	}
+	return false, false
+}
+
+// EvalWords computes the gate function over 64 patterns in parallel.
+// Each uint64 carries one signal value per bit position.
+func (t GateType) EvalWords(in []uint64) uint64 {
+	switch t {
+	case Buf:
+		return in[0]
+	case Not:
+		return ^in[0]
+	case And, Nand:
+		v := ^uint64(0)
+		for _, w := range in {
+			v &= w
+		}
+		if t == Nand {
+			return ^v
+		}
+		return v
+	case Or, Nor:
+		v := uint64(0)
+		for _, w := range in {
+			v |= w
+		}
+		if t == Nor {
+			return ^v
+		}
+		return v
+	case Xor, Xnor:
+		v := uint64(0)
+		for _, w := range in {
+			v ^= w
+		}
+		if t == Xnor {
+			return ^v
+		}
+		return v
+	default:
+		panic("netlist: EvalWords on " + t.String())
+	}
+}
+
+// Eval computes the single-pattern gate function.
+func (t GateType) Eval(in []bool) bool {
+	switch t {
+	case Buf:
+		return in[0]
+	case Not:
+		return !in[0]
+	case And, Nand:
+		v := true
+		for _, b := range in {
+			v = v && b
+		}
+		if t == Nand {
+			return !v
+		}
+		return v
+	case Or, Nor:
+		v := false
+		for _, b := range in {
+			v = v || b
+		}
+		if t == Nor {
+			return !v
+		}
+		return v
+	case Xor, Xnor:
+		v := false
+		for _, b := range in {
+			v = v != b
+		}
+		if t == Xnor {
+			return !v
+		}
+		return v
+	default:
+		panic("netlist: Eval on " + t.String())
+	}
+}
+
+// Gate is one vertex of the netlist. Gates are identified by their dense
+// integer ID, which doubles as the index into Circuit.Gates.
+type Gate struct {
+	ID    int
+	Type  GateType
+	Fanin []int
+	Name  string
+}

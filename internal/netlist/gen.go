@@ -1,0 +1,189 @@
+package netlist
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// C17 builds the ISCAS-85 c17 benchmark: 5 inputs, 2 outputs, 6 NAND
+// gates. It is the standard smoke-test circuit of the test literature.
+func C17() *Circuit {
+	b := NewBuilder("c17")
+	n1 := b.Input("1")
+	n2 := b.Input("2")
+	n3 := b.Input("3")
+	n6 := b.Input("6")
+	n7 := b.Input("7")
+	g10 := b.Gate(Nand, "10", n1, n3)
+	g11 := b.Gate(Nand, "11", n3, n6)
+	g16 := b.Gate(Nand, "16", n2, g11)
+	g19 := b.Gate(Nand, "19", g11, n7)
+	g22 := b.Gate(Nand, "22", g10, g16)
+	g23 := b.Gate(Nand, "23", g16, g19)
+	b.Output(g22)
+	b.Output(g23)
+	c, err := b.Build()
+	if err != nil {
+		panic("netlist: c17: " + err.Error())
+	}
+	return c
+}
+
+// RippleAdder builds an n-bit ripple-carry adder with carry-in: inputs
+// a0..a(n-1), b0..b(n-1), cin; outputs s0..s(n-1), cout. It provides a
+// circuit with a known arithmetic function for oracle-based tests.
+func RippleAdder(n int) *Circuit {
+	if n < 1 {
+		panic("netlist: RippleAdder needs n >= 1")
+	}
+	b := NewBuilder(fmt.Sprintf("adder%d", n))
+	as := make([]int, n)
+	bs := make([]int, n)
+	for i := 0; i < n; i++ {
+		as[i] = b.Input(fmt.Sprintf("a%d", i))
+	}
+	for i := 0; i < n; i++ {
+		bs[i] = b.Input(fmt.Sprintf("b%d", i))
+	}
+	carry := b.Input("cin")
+	for i := 0; i < n; i++ {
+		axb := b.Gate(Xor, fmt.Sprintf("axb%d", i), as[i], bs[i])
+		sum := b.Gate(Xor, fmt.Sprintf("s%d", i), axb, carry)
+		and1 := b.Gate(And, fmt.Sprintf("ca%d", i), axb, carry)
+		and2 := b.Gate(And, fmt.Sprintf("cb%d", i), as[i], bs[i])
+		carry = b.Gate(Or, fmt.Sprintf("c%d", i+1), and1, and2)
+		b.Output(sum)
+	}
+	b.Output(carry)
+	c, err := b.Build()
+	if err != nil {
+		panic("netlist: adder: " + err.Error())
+	}
+	return c
+}
+
+// RandomOptions parameterize Random circuit generation.
+type RandomOptions struct {
+	Inputs  int // number of (pseudo-)primary inputs
+	Gates   int // number of internal gates (excluding inputs)
+	Outputs int // number of (pseudo-)primary outputs
+	// MaxFanin bounds the fanin per gate (default 3, min 2 for
+	// multi-input types).
+	MaxFanin int
+	// Locality biases fanin selection towards recent gates, producing
+	// deeper circuits; 0 picks uniformly (shallow), larger values (e.g.
+	// 8) produce long sensitization paths closer to real control logic.
+	Locality int
+}
+
+// Random generates a pseudo-random combinational circuit from the given
+// seed. The same seed always yields the same circuit. Gate types are
+// drawn with a distribution resembling synthesized control logic (NAND/
+// NOR-heavy with occasional XOR and inverters).
+func Random(seed int64, opt RandomOptions) *Circuit {
+	if opt.Inputs < 1 || opt.Gates < 1 || opt.Outputs < 1 {
+		panic("netlist: Random needs positive Inputs, Gates, Outputs")
+	}
+	if opt.MaxFanin < 2 {
+		opt.MaxFanin = 3
+	}
+	rng := rand.New(rand.NewSource(seed))
+	b := NewBuilder(fmt.Sprintf("rand%d", seed))
+	ids := make([]int, 0, opt.Inputs+opt.Gates)
+	for i := 0; i < opt.Inputs; i++ {
+		ids = append(ids, b.Input(fmt.Sprintf("pi%d", i)))
+	}
+	pick := func() int {
+		n := len(ids)
+		if opt.Locality <= 0 || n <= opt.Locality {
+			return ids[rng.Intn(n)]
+		}
+		// Half the picks come from the most recent Locality*4 signals.
+		if rng.Intn(2) == 0 {
+			window := opt.Locality * 4
+			if window > n {
+				window = n
+			}
+			return ids[n-1-rng.Intn(window)]
+		}
+		return ids[rng.Intn(n)]
+	}
+	types := []GateType{Nand, Nand, Nor, Nor, And, Or, Not, Xor, Buf}
+	for i := 0; i < opt.Gates; i++ {
+		t := types[rng.Intn(len(types))]
+		var fanin []int
+		switch t {
+		case Not, Buf:
+			fanin = []int{pick()}
+		default:
+			k := 2 + rng.Intn(opt.MaxFanin-1)
+			fanin = make([]int, k)
+			for j := range fanin {
+				fanin[j] = pick()
+			}
+		}
+		ids = append(ids, b.Gate(t, fmt.Sprintf("g%d", i), fanin...))
+	}
+	// Every sink (gate nobody reads) must be observable, or its whole
+	// input cone would be untestable dead logic. Distribute all sinks
+	// round-robin over opt.Outputs XOR combiner gates — a structure akin
+	// to the output compaction in front of a MISR.
+	hasReader := make(map[int]bool)
+	for _, g := range b.gates {
+		for _, f := range g.Fanin {
+			hasReader[f] = true
+		}
+	}
+	var sinks []int
+	for _, id := range ids[opt.Inputs:] {
+		if !hasReader[id] {
+			sinks = append(sinks, id)
+		}
+	}
+	groups := make([][]int, opt.Outputs)
+	for i, s := range sinks {
+		groups[i%opt.Outputs] = append(groups[i%opt.Outputs], s)
+	}
+	for i, grp := range groups {
+		if len(grp) == 0 {
+			// Fewer sinks than outputs: observe a random internal gate.
+			grp = []int{ids[opt.Inputs+rng.Intn(opt.Gates)]}
+		}
+		b.Output(b.Gate(Xor, fmt.Sprintf("po%d", i), grp...))
+	}
+	c, err := b.Build()
+	if err != nil {
+		panic("netlist: random: " + err.Error())
+	}
+	return c
+}
+
+// ScanCUT generates the full-scan combinational core of a synthetic CUT
+// whose scan structure mirrors the paper's case-study processor: chains
+// scan chains of chainLen cells each. The circuit has
+// chains*chainLen pseudo-primary inputs and the same number of
+// pseudo-primary outputs (plus a few primary I/Os), with gatesPerFF
+// gates of random logic in between.
+func ScanCUT(seed int64, chains, chainLen, gatesPerFF int) *Circuit {
+	ff := chains * chainLen
+	if ff < 1 {
+		panic("netlist: ScanCUT needs at least one scan cell")
+	}
+	if gatesPerFF < 1 {
+		gatesPerFF = 4
+	}
+	return Random(seed, RandomOptions{
+		Inputs:   ff,
+		Gates:    ff * gatesPerFF,
+		Outputs:  ff,
+		MaxFanin: 3,
+		Locality: 8,
+	})
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

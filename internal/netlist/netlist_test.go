@@ -1,0 +1,258 @@
+package netlist
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestGateTypeEval(t *testing.T) {
+	cases := []struct {
+		t    GateType
+		in   []bool
+		want bool
+	}{
+		{Buf, []bool{true}, true},
+		{Not, []bool{true}, false},
+		{And, []bool{true, true, true}, true},
+		{And, []bool{true, false}, false},
+		{Nand, []bool{true, true}, false},
+		{Or, []bool{false, false}, false},
+		{Or, []bool{false, true}, true},
+		{Nor, []bool{false, false}, true},
+		{Xor, []bool{true, true, true}, true},
+		{Xor, []bool{true, true}, false},
+		{Xnor, []bool{true, false}, false},
+	}
+	for _, c := range cases {
+		if got := c.t.Eval(c.in); got != c.want {
+			t.Errorf("%v.Eval(%v) = %v, want %v", c.t, c.in, got, c.want)
+		}
+	}
+}
+
+// TestEvalWordsMatchesEval cross-checks the 64-way parallel evaluation
+// against the scalar evaluation on every bit position.
+func TestEvalWordsMatchesEval(t *testing.T) {
+	types := []GateType{Buf, Not, And, Nand, Or, Nor, Xor, Xnor}
+	f := func(a, b, c uint64) bool {
+		for _, ty := range types {
+			n := 2
+			if ty == Buf || ty == Not {
+				n = 1
+			}
+			words := [][]uint64{{a}, {a, b}, {a, b, c}}[n-1]
+			if ty != Buf && ty != Not {
+				words = []uint64{a, b, c}
+				n = 3
+			}
+			got := ty.EvalWords(words[:n])
+			for bit := 0; bit < 64; bit++ {
+				in := make([]bool, n)
+				for i := 0; i < n; i++ {
+					in[i] = words[i]>>uint(bit)&1 == 1
+				}
+				want := ty.Eval(in)
+				if (got>>uint(bit)&1 == 1) != want {
+					t.Logf("%v bit %d: words=%v", ty, bit, words[:n])
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestControllingValue(t *testing.T) {
+	if v, ok := And.ControllingValue(); !ok || v {
+		t.Fatal("And controlling value must be 0")
+	}
+	if v, ok := Nor.ControllingValue(); !ok || !v {
+		t.Fatal("Nor controlling value must be 1")
+	}
+	if _, ok := Xor.ControllingValue(); ok {
+		t.Fatal("Xor has no controlling value")
+	}
+}
+
+func TestBuilderValidation(t *testing.T) {
+	b := NewBuilder("bad")
+	in := b.Input("i")
+	b.Gate(Not, "n", in, in) // NOT with two fanins
+	if _, err := b.Build(); err == nil {
+		t.Fatal("invalid NOT accepted")
+	}
+
+	b2 := NewBuilder("empty")
+	if _, err := b2.Build(); err == nil {
+		t.Fatal("circuit without inputs accepted")
+	}
+
+	b3 := NewBuilder("noout")
+	b3.Input("i")
+	if _, err := b3.Build(); err == nil {
+		t.Fatal("circuit without outputs accepted")
+	}
+
+	b4 := NewBuilder("fwd")
+	i4 := b4.Input("i")
+	b4.Gate(And, "g", i4, 99) // forward/out-of-range fanin
+	if _, err := b4.Build(); err == nil {
+		t.Fatal("out-of-range fanin accepted")
+	}
+}
+
+func TestC17Structure(t *testing.T) {
+	c := C17()
+	if c.NumInputs() != 5 || c.NumOutputs() != 2 {
+		t.Fatalf("c17 I/O = %d/%d", c.NumInputs(), c.NumOutputs())
+	}
+	if c.NumGates() != 11 { // 5 inputs + 6 NANDs
+		t.Fatalf("c17 gates = %d, want 11", c.NumGates())
+	}
+	if c.Depth() != 3 {
+		t.Fatalf("c17 depth = %d, want 3", c.Depth())
+	}
+}
+
+func TestLevelsAreTopological(t *testing.T) {
+	c := ScanCUT(7, 4, 8, 4)
+	for _, id := range c.Order() {
+		for _, f := range c.Gates[id].Fanin {
+			if c.Level(f) >= c.Level(id) {
+				t.Fatalf("gate %d level %d not above fanin %d level %d", id, c.Level(id), f, c.Level(f))
+			}
+		}
+	}
+}
+
+func TestConeContainsOutputsOnly(t *testing.T) {
+	c := C17()
+	// Cone of input n3 (id 2): feeds g10 and g11 which feed everything.
+	cone := c.Cone(2)
+	if len(cone) != 6 {
+		t.Fatalf("cone of n3 = %v, want all 6 NANDs", cone)
+	}
+	// Cone must be topologically ordered.
+	for i := 1; i < len(cone); i++ {
+		if c.Level(cone[i-1]) > c.Level(cone[i]) {
+			t.Fatalf("cone not level-ordered: %v", cone)
+		}
+	}
+}
+
+func TestAllFaultsCount(t *testing.T) {
+	c := C17()
+	// 11 gates: 22 stem faults; 6 NANDs with 2 pins each: 24 pin faults.
+	if got := len(AllFaults(c)); got != 46 {
+		t.Fatalf("AllFaults = %d, want 46", got)
+	}
+}
+
+func TestCollapsedFaultsC17(t *testing.T) {
+	c := C17()
+	faults := CollapsedFaults(c)
+	// The canonical collapsed fault count of c17 is 22.
+	if len(faults) != 22 {
+		t.Fatalf("collapsed faults = %d, want 22: %v", len(faults), faults)
+	}
+	// Collapsing must never exceed the uncollapsed universe and the
+	// representatives must be unique.
+	seen := make(map[string]bool)
+	for _, f := range faults {
+		if seen[f.String()] {
+			t.Fatalf("duplicate representative %v", f)
+		}
+		seen[f.String()] = true
+	}
+}
+
+func TestCollapsedFaultsInverterChain(t *testing.T) {
+	b := NewBuilder("chain")
+	in := b.Input("i")
+	x := b.Gate(Not, "n1", in)
+	y := b.Gate(Not, "n2", x)
+	b.Output(y)
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A fanout-free inverter chain collapses to exactly 2 faults.
+	if got := len(CollapsedFaults(c)); got != 2 {
+		t.Fatalf("collapsed = %d, want 2", got)
+	}
+}
+
+func TestRandomDeterministic(t *testing.T) {
+	opt := RandomOptions{Inputs: 10, Gates: 50, Outputs: 5}
+	a := Random(42, opt)
+	b := Random(42, opt)
+	if a.NumGates() != b.NumGates() {
+		t.Fatal("same seed produced different circuits")
+	}
+	for i := range a.Gates {
+		if a.Gates[i].Type != b.Gates[i].Type || len(a.Gates[i].Fanin) != len(b.Gates[i].Fanin) {
+			t.Fatalf("gate %d differs between same-seed circuits", i)
+		}
+	}
+	c := Random(43, opt)
+	same := true
+	for i := range a.Gates {
+		if a.Gates[i].Type != c.Gates[i].Type {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical gate types (suspicious)")
+	}
+}
+
+func TestScanCUTShape(t *testing.T) {
+	c := ScanCUT(1, 10, 7, 4)
+	if c.NumInputs() != 70 || c.NumOutputs() != 70 {
+		t.Fatalf("ScanCUT I/O = %d/%d, want 70/70", c.NumInputs(), c.NumOutputs())
+	}
+	// inputs + internal gates + one XOR combiner per output.
+	if c.NumGates() != 70+70*4+70 {
+		t.Fatalf("ScanCUT gates = %d", c.NumGates())
+	}
+}
+
+func TestStats(t *testing.T) {
+	s := C17().Stats()
+	if s.Name != "c17" || s.Gates != 11 || s.Faults != 22 {
+		t.Fatalf("Stats = %+v", s)
+	}
+}
+
+func TestFaultString(t *testing.T) {
+	if got := (Fault{Gate: 3, Pin: StemPin, Stuck: true}).String(); got != "g3/sa1" {
+		t.Fatalf("String = %q", got)
+	}
+	if got := (Fault{Gate: 3, Pin: 1, Stuck: false}).String(); got != "g3.in1/sa0" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestFaultSite(t *testing.T) {
+	c := C17()
+	d, pin := FaultSite(c, Fault{Gate: 5, Pin: StemPin})
+	if d != 5 || pin != StemPin {
+		t.Fatalf("stem site = %d,%d", d, pin)
+	}
+	g := c.Gates[7] // g16 reads n2 and g11
+	d, pin = FaultSite(c, Fault{Gate: 7, Pin: 1})
+	if d != g.Fanin[1] || pin != 1 {
+		t.Fatalf("pin site = %d,%d", d, pin)
+	}
+}
+
+func TestRippleAdderStructure(t *testing.T) {
+	c := RippleAdder(4)
+	if c.NumInputs() != 9 || c.NumOutputs() != 5 {
+		t.Fatalf("adder I/O = %d/%d", c.NumInputs(), c.NumOutputs())
+	}
+}

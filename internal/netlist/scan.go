@@ -1,0 +1,232 @@
+package netlist
+
+import "fmt"
+
+// SeqBuilder constructs a synchronous sequential design: combinational
+// gates plus D flip-flops. BuildFullScan performs scan insertion,
+// turning every flip-flop (and, as boundary scan, every primary input)
+// into a scan cell and returning the combinational core between scan
+// loads and captures — the CUT model the STUMPS session drives.
+type SeqBuilder struct {
+	name  string
+	nodes []seqNode
+	outs  []int
+	err   error
+}
+
+type seqNode struct {
+	typ   GateType // Input for PIs; DFFs use isFF
+	isFF  bool
+	fanin []int
+	name  string
+}
+
+// NewSeqBuilder returns a builder for a sequential design.
+func NewSeqBuilder(name string) *SeqBuilder { return &SeqBuilder{name: name} }
+
+// Input declares a primary input net and returns its ID.
+func (b *SeqBuilder) Input(name string) int {
+	id := len(b.nodes)
+	b.nodes = append(b.nodes, seqNode{typ: Input, name: name})
+	return id
+}
+
+// DFF declares a D flip-flop and returns the ID of its Q output net.
+// The D input is connected later with ConnectD, permitting feedback
+// loops (Q may feed logic that computes its own next state).
+func (b *SeqBuilder) DFF(name string) int {
+	id := len(b.nodes)
+	b.nodes = append(b.nodes, seqNode{isFF: true, name: name, fanin: []int{-1}})
+	return id
+}
+
+// ConnectD wires net d to the D input of flip-flop ff.
+func (b *SeqBuilder) ConnectD(ff, d int) {
+	if ff < 0 || ff >= len(b.nodes) || !b.nodes[ff].isFF {
+		b.fail(fmt.Errorf("netlist: ConnectD on non-flop %d", ff))
+		return
+	}
+	if d < 0 || d >= len(b.nodes) {
+		b.fail(fmt.Errorf("netlist: ConnectD with invalid net %d", d))
+		return
+	}
+	b.nodes[ff].fanin[0] = d
+}
+
+// Gate adds a combinational gate. Unlike the combinational Builder,
+// fanin may reference any declared net including flip-flop outputs
+// (feedback through state is what makes the design sequential).
+func (b *SeqBuilder) Gate(t GateType, name string, fanin ...int) int {
+	id := len(b.nodes)
+	if t == Input {
+		b.fail(fmt.Errorf("netlist: use Input to declare inputs"))
+	}
+	if len(fanin) == 0 {
+		b.fail(fmt.Errorf("netlist: gate %q has no fanin", name))
+	}
+	if (t == Buf || t == Not) && len(fanin) != 1 {
+		b.fail(fmt.Errorf("netlist: %v gate %q must have exactly one fanin", t, name))
+	}
+	for _, f := range fanin {
+		if f < 0 || f >= id {
+			b.fail(fmt.Errorf("netlist: gate %q: fanin %d undeclared", name, f))
+		}
+	}
+	b.nodes = append(b.nodes, seqNode{typ: t, fanin: append([]int(nil), fanin...), name: name})
+	return id
+}
+
+// Output marks net id as a primary output.
+func (b *SeqBuilder) Output(id int) {
+	if id < 0 || id >= len(b.nodes) {
+		b.fail(fmt.Errorf("netlist: output %d out of range", id))
+		return
+	}
+	b.outs = append(b.outs, id)
+}
+
+func (b *SeqBuilder) fail(err error) {
+	if b.err == nil {
+		b.err = err
+	}
+}
+
+// ScanLayout describes the scan structure produced by BuildFullScan.
+type ScanLayout struct {
+	Chains   int
+	ChainLen int
+	// CellNames labels the scan cells in input order of the full-scan
+	// core: flip-flops first, then boundary-scanned primary inputs,
+	// then "pad" filler cells balancing the chains.
+	CellNames []string
+	// PadCells lists the input positions of the filler cells; they
+	// drive nothing and their faults are structurally undetectable.
+	PadCells []int
+}
+
+// TestableFaults filters a collapsed fault list down to faults not
+// rooted in pad cells.
+func (l ScanLayout) TestableFaults(c *Circuit, faults []Fault) []Fault {
+	pad := make(map[int]bool, len(l.PadCells))
+	for _, p := range l.PadCells {
+		pad[c.Inputs[p]] = true
+	}
+	var out []Fault
+	for _, f := range faults {
+		if f.Pin == StemPin && pad[f.Gate] {
+			continue
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+// BuildFullScan performs scan insertion: every flip-flop becomes a scan
+// cell (pseudo-primary input for its Q, pseudo-primary output for its
+// D), every primary input becomes a boundary-scan cell, and the cells
+// are balanced over nChains equal-length chains (padded with inert
+// filler cells when the count does not divide evenly). The returned
+// circuit is the pure combinational core in scan-cell input order
+// compatible with stumps.Session (Chains = nChains, ChainLen =
+// layout.ChainLen).
+func (b *SeqBuilder) BuildFullScan(nChains int) (*Circuit, ScanLayout, error) {
+	if b.err != nil {
+		return nil, ScanLayout{}, b.err
+	}
+	if nChains < 1 {
+		return nil, ScanLayout{}, fmt.Errorf("netlist: need at least one chain")
+	}
+	var flops, pis []int
+	for id, n := range b.nodes {
+		switch {
+		case n.isFF:
+			if n.fanin[0] < 0 {
+				return nil, ScanLayout{}, fmt.Errorf("netlist: flop %q has unconnected D", n.name)
+			}
+			flops = append(flops, id)
+		case n.typ == Input:
+			pis = append(pis, id)
+		}
+	}
+	if len(flops) == 0 {
+		return nil, ScanLayout{}, fmt.Errorf("netlist: design %q has no flip-flops; use Builder", b.name)
+	}
+	cells := len(flops) + len(pis)
+	chainLen := (cells + nChains - 1) / nChains
+	padded := nChains * chainLen
+
+	cb := NewBuilder(b.name + ".scan")
+	layout := ScanLayout{Chains: nChains, ChainLen: chainLen}
+	// idMap maps sequential net IDs to combinational gate IDs.
+	idMap := make(map[int]int, len(b.nodes))
+	for _, ff := range flops {
+		idMap[ff] = cb.Input(b.nodes[ff].name + ".Q")
+		layout.CellNames = append(layout.CellNames, b.nodes[ff].name)
+	}
+	for _, pi := range pis {
+		idMap[pi] = cb.Input(b.nodes[pi].name)
+		layout.CellNames = append(layout.CellNames, b.nodes[pi].name)
+	}
+	for i := cells; i < padded; i++ {
+		cb.Input(fmt.Sprintf("pad%d", i-cells))
+		layout.CellNames = append(layout.CellNames, fmt.Sprintf("pad%d", i-cells))
+		layout.PadCells = append(layout.PadCells, i)
+	}
+	// Combinational gates in declaration order; fanin of a flop Q reads
+	// its pseudo-primary input.
+	for id, n := range b.nodes {
+		if n.isFF || n.typ == Input {
+			continue
+		}
+		fanin := make([]int, len(n.fanin))
+		for i, f := range n.fanin {
+			mapped, ok := idMap[f]
+			if !ok {
+				return nil, ScanLayout{}, fmt.Errorf("netlist: gate %q reads net %d declared later (feedback must pass through a flop)", n.name, f)
+			}
+			fanin[i] = mapped
+		}
+		idMap[id] = cb.Gate(n.typ, n.name, fanin...)
+	}
+	// Pseudo-primary outputs: each flop's D; then primary outputs.
+	for _, ff := range flops {
+		d := b.nodes[ff].fanin[0]
+		mapped, ok := idMap[d]
+		if !ok {
+			return nil, ScanLayout{}, fmt.Errorf("netlist: flop %q D net unmapped", b.nodes[ff].name)
+		}
+		cb.Output(mapped)
+	}
+	for _, o := range b.outs {
+		mapped, ok := idMap[o]
+		if !ok {
+			return nil, ScanLayout{}, fmt.Errorf("netlist: output net %d unmapped", o)
+		}
+		cb.Output(mapped)
+	}
+	c, err := cb.Build()
+	if err != nil {
+		return nil, ScanLayout{}, err
+	}
+	return c, layout, nil
+}
+
+// Counter builds an n-bit synchronous binary up-counter with enable —
+// a sequential design with a known next-state oracle for tests:
+// state' = state + enable.
+func Counter(n int) *SeqBuilder {
+	b := NewSeqBuilder(fmt.Sprintf("counter%d", n))
+	en := b.Input("en")
+	q := make([]int, n)
+	for i := 0; i < n; i++ {
+		q[i] = b.DFF(fmt.Sprintf("q%d", i))
+	}
+	carry := en
+	for i := 0; i < n; i++ {
+		sum := b.Gate(Xor, fmt.Sprintf("sum%d", i), q[i], carry)
+		carry = b.Gate(And, fmt.Sprintf("cy%d", i), q[i], carry)
+		b.ConnectD(q[i], sum)
+		b.Output(q[i])
+	}
+	return b
+}

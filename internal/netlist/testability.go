@@ -1,0 +1,159 @@
+package netlist
+
+// SCOAP testability analysis (Goldstein 1979): combinational
+// controllability CC0/CC1 (cost of driving a line to 0/1, ≥ 1) and
+// observability CO (cost of propagating a line to an output, ≥ 0).
+// ATPG uses the measures to backtrace towards easy-to-control inputs
+// and to pick easy-to-observe D-frontier gates.
+
+// Testability holds the SCOAP measures of one circuit.
+type Testability struct {
+	CC0 []int // per gate: cost to set 0
+	CC1 []int // per gate: cost to set 1
+	CO  []int // per gate: cost to observe
+}
+
+// maxCost caps the measures; redundant or very deep logic saturates.
+const maxCost = 1 << 28
+
+func satAdd(a, b int) int {
+	s := a + b
+	if s > maxCost || s < 0 {
+		return maxCost
+	}
+	return s
+}
+
+// AnalyzeTestability computes the SCOAP measures for the circuit.
+func AnalyzeTestability(c *Circuit) *Testability {
+	n := c.NumGates()
+	t := &Testability{
+		CC0: make([]int, n),
+		CC1: make([]int, n),
+		CO:  make([]int, n),
+	}
+	// Controllability: forward pass in topological order.
+	for _, id := range c.Inputs {
+		t.CC0[id], t.CC1[id] = 1, 1
+	}
+	for _, id := range c.Order() {
+		g := &c.Gates[id]
+		switch g.Type {
+		case Buf:
+			t.CC0[id] = satAdd(t.CC0[g.Fanin[0]], 1)
+			t.CC1[id] = satAdd(t.CC1[g.Fanin[0]], 1)
+		case Not:
+			t.CC0[id] = satAdd(t.CC1[g.Fanin[0]], 1)
+			t.CC1[id] = satAdd(t.CC0[g.Fanin[0]], 1)
+		case And, Nand:
+			// 0 at output of AND: cheapest single 0 input; 1: all 1s.
+			min0 := maxCost
+			sum1 := 0
+			for _, f := range g.Fanin {
+				if t.CC0[f] < min0 {
+					min0 = t.CC0[f]
+				}
+				sum1 = satAdd(sum1, t.CC1[f])
+			}
+			c0, c1 := satAdd(min0, 1), satAdd(sum1, 1)
+			if g.Type == Nand {
+				c0, c1 = c1, c0
+			}
+			t.CC0[id], t.CC1[id] = c0, c1
+		case Or, Nor:
+			min1 := maxCost
+			sum0 := 0
+			for _, f := range g.Fanin {
+				if t.CC1[f] < min1 {
+					min1 = t.CC1[f]
+				}
+				sum0 = satAdd(sum0, t.CC0[f])
+			}
+			c1, c0 := satAdd(min1, 1), satAdd(sum0, 1)
+			if g.Type == Nor {
+				c0, c1 = c1, c0
+			}
+			t.CC0[id], t.CC1[id] = c0, c1
+		case Xor, Xnor:
+			// Parity: cost of the cheapest assignment achieving each
+			// parity, folded pairwise.
+			c0, c1 := t.CC0[g.Fanin[0]], t.CC1[g.Fanin[0]]
+			for _, f := range g.Fanin[1:] {
+				n0, n1 := t.CC0[f], t.CC1[f]
+				even := minInt(satAdd(c0, n0), satAdd(c1, n1))
+				odd := minInt(satAdd(c0, n1), satAdd(c1, n0))
+				c0, c1 = even, odd
+			}
+			c0, c1 = satAdd(c0, 1), satAdd(c1, 1)
+			if g.Type == Xnor {
+				c0, c1 = c1, c0
+			}
+			t.CC0[id], t.CC1[id] = c0, c1
+		}
+	}
+	// Observability: backward pass in reverse topological order.
+	for i := range t.CO {
+		t.CO[i] = maxCost
+	}
+	for _, id := range c.Outputs {
+		t.CO[id] = 0
+	}
+	order := c.Order()
+	for i := len(order) - 1; i >= 0; i-- {
+		id := order[i]
+		g := &c.Gates[id]
+		if t.CO[id] >= maxCost {
+			continue
+		}
+		for pin, f := range g.Fanin {
+			var cost int
+			switch g.Type {
+			case Buf, Not:
+				cost = satAdd(t.CO[id], 1)
+			case And, Nand:
+				// Side inputs must be non-controlling (1).
+				cost = satAdd(t.CO[id], 1)
+				for p2, f2 := range g.Fanin {
+					if p2 != pin {
+						cost = satAdd(cost, t.CC1[f2])
+					}
+				}
+			case Or, Nor:
+				cost = satAdd(t.CO[id], 1)
+				for p2, f2 := range g.Fanin {
+					if p2 != pin {
+						cost = satAdd(cost, t.CC0[f2])
+					}
+				}
+			case Xor, Xnor:
+				// Side inputs need any definite value; charge the cheaper.
+				cost = satAdd(t.CO[id], 1)
+				for p2, f2 := range g.Fanin {
+					if p2 != pin {
+						cost = satAdd(cost, minInt(t.CC0[f2], t.CC1[f2]))
+					}
+				}
+			}
+			if cost < t.CO[f] {
+				t.CO[f] = cost
+			}
+		}
+	}
+	return t
+}
+
+// Controllability returns the cost of driving gate id to the given
+// value.
+func (t *Testability) Controllability(id int, value bool) int {
+	if value {
+		return t.CC1[id]
+	}
+	return t.CC0[id]
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

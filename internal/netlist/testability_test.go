@@ -1,0 +1,101 @@
+package netlist
+
+import "testing"
+
+func TestSCOAPHandComputed(t *testing.T) {
+	// y = AND(a, b); z = NOT(y). From-PI costs: CC0/CC1(PI) = 1.
+	b := NewBuilder("tiny")
+	a := b.Input("a")
+	bb := b.Input("b")
+	y := b.Gate(And, "y", a, bb)
+	z := b.Gate(Not, "z", y)
+	b.Output(z)
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := AnalyzeTestability(c)
+	// AND: CC0 = min(1,1)+1 = 2; CC1 = 1+1+1 = 3.
+	if ts.CC0[y] != 2 || ts.CC1[y] != 3 {
+		t.Fatalf("AND CC = %d/%d, want 2/3", ts.CC0[y], ts.CC1[y])
+	}
+	// NOT: swapped + 1.
+	if ts.CC0[z] != 4 || ts.CC1[z] != 3 {
+		t.Fatalf("NOT CC = %d/%d, want 4/3", ts.CC0[z], ts.CC1[z])
+	}
+	// Observability: output 0; y through NOT: 0+1; a through AND: CO(y)
+	// + CC1(b) + 1 = 1+1+1 = 3.
+	if ts.CO[z] != 0 || ts.CO[y] != 1 || ts.CO[a] != 3 || ts.CO[bb] != 3 {
+		t.Fatalf("CO = z:%d y:%d a:%d b:%d", ts.CO[z], ts.CO[y], ts.CO[a], ts.CO[bb])
+	}
+	if ts.Controllability(y, false) != 2 || ts.Controllability(y, true) != 3 {
+		t.Fatal("Controllability accessor wrong")
+	}
+}
+
+func TestSCOAPXor(t *testing.T) {
+	// y = XOR(a, b): CC0 = min(1+1, 1+1)+1 = 3; CC1 = 3.
+	b := NewBuilder("x")
+	a := b.Input("a")
+	bb := b.Input("b")
+	y := b.Gate(Xor, "y", a, bb)
+	b.Output(y)
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := AnalyzeTestability(c)
+	if ts.CC0[y] != 3 || ts.CC1[y] != 3 {
+		t.Fatalf("XOR CC = %d/%d, want 3/3", ts.CC0[y], ts.CC1[y])
+	}
+	// Observing a through XOR: CO(y)=0 + min(CC0,CC1)(b)=1 + 1 = 2.
+	if ts.CO[a] != 2 {
+		t.Fatalf("CO(a) = %d, want 2", ts.CO[a])
+	}
+}
+
+// TestSCOAPInvariants: controllability ≥ 1 everywhere, outputs have
+// CO 0, every cone-connected gate has finite observability.
+func TestSCOAPInvariants(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		c := Random(seed, RandomOptions{Inputs: 10, Gates: 80, Outputs: 6})
+		ts := AnalyzeTestability(c)
+		for id := range c.Gates {
+			if ts.CC0[id] < 1 || ts.CC1[id] < 1 {
+				t.Fatalf("seed %d: gate %d CC %d/%d", seed, id, ts.CC0[id], ts.CC1[id])
+			}
+		}
+		for _, id := range c.Outputs {
+			if ts.CO[id] != 0 {
+				t.Fatalf("seed %d: output %d CO %d", seed, id, ts.CO[id])
+			}
+		}
+		// Every output's transitive fanin is observable.
+		for _, out := range c.Outputs {
+			var mark func(int)
+			seen := make(map[int]bool)
+			mark = func(id int) {
+				if seen[id] {
+					return
+				}
+				seen[id] = true
+				if ts.CO[id] >= maxCost {
+					t.Fatalf("seed %d: gate %d feeds output %d but CO saturated", seed, id, out)
+				}
+				for _, f := range c.Gates[id].Fanin {
+					mark(f)
+				}
+			}
+			mark(out)
+		}
+	}
+}
+
+func TestSatAdd(t *testing.T) {
+	if satAdd(maxCost, maxCost) != maxCost {
+		t.Fatal("saturation broken")
+	}
+	if satAdd(2, 3) != 5 {
+		t.Fatal("plain add broken")
+	}
+}

@@ -1,0 +1,225 @@
+// Package objective evaluates the paper's three design objectives
+// (Section III-D) on an implementation: test quality (Eq. 4), shut-off
+// time (Eq. 5) with the non-intrusive transfer time of Eq. (1), and
+// monetary costs (hardware plus distributed pattern memory).
+package objective
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/can"
+	"repro/internal/model"
+)
+
+// Vector bundles the three objective values of one implementation.
+type Vector struct {
+	// CostTotal is the monetary cost to minimize.
+	CostTotal float64
+	// TestQuality is the average stuck-at coverage over allocated ECUs,
+	// in [0,1], to maximize.
+	TestQuality float64
+	// ShutOffMS is the maximum extra awake time in milliseconds, to
+	// minimize. +Inf when a gateway-stored BIST has no mirrorable
+	// functional message bandwidth.
+	ShutOffMS float64
+}
+
+// Minimized returns the vector in all-minimized form
+// (cost, -quality, shut-off) for the MOEA.
+func (v Vector) Minimized() []float64 {
+	return []float64{v.CostTotal, -v.TestQuality, v.ShutOffMS}
+}
+
+// Costs breaks the monetary objective into its components.
+type Costs struct {
+	Hardware float64 // allocated resources
+	BIST     float64 // BIST-capable variant surcharges
+	Memory   float64 // permanent memory for stored BIST data
+}
+
+// Total returns the summed monetary cost.
+func (c Costs) Total() float64 { return c.Hardware + c.BIST + c.Memory }
+
+// MonetaryCosts prices an implementation: every allocated resource at
+// its base cost, the BIST-capable surcharge for each ECU with a
+// selected test task, and the per-resource memory price for stored BIST
+// data. Section III-D: storing the encoded information at the central
+// gateway is less costly because "the same encoded patterns can be used
+// for different ECUs" — gateway-stored data tasks of the same profile
+// (same CUT type, identical pattern set) are therefore priced once,
+// while ECU-local storage is paid per ECU.
+func MonetaryCosts(x *model.Implementation) Costs {
+	var c Costs
+	arch := x.Spec.Arch
+	for _, r := range x.AllocatedResources() {
+		if res := arch.Resource(r); res != nil {
+			c.Hardware += res.Cost
+		}
+	}
+	// Iterate in sorted orders throughout: floating-point accumulation
+	// must not depend on map iteration order, or identical
+	// implementations would score unequal costs between runs.
+	selected := x.SelectedBIST()
+	var bistECUs []model.ResourceID
+	for r := range selected {
+		bistECUs = append(bistECUs, r)
+	}
+	sort.Slice(bistECUs, func(i, j int) bool { return bistECUs[i] < bistECUs[j] })
+	for _, r := range bistECUs {
+		if res := arch.Resource(r); res != nil {
+			c.BIST += res.BISTCost
+		}
+	}
+	gwShared := make(map[int]int64) // profile number -> bytes, stored once
+	for _, t := range x.Spec.App.TasksOfKind(model.KindBISTData) {
+		r, bound := x.Binding[t.ID]
+		if !bound {
+			continue
+		}
+		if r == x.Spec.Gateway {
+			gwShared[t.Profile] = t.MemBytes
+			continue
+		}
+		if res := arch.Resource(r); res != nil {
+			c.Memory += float64(t.MemBytes) / 1024 * res.MemCostPerKB
+		}
+	}
+	if gw := arch.Resource(x.Spec.Gateway); gw != nil {
+		var profiles []int
+		for p := range gwShared {
+			profiles = append(profiles, p)
+		}
+		sort.Ints(profiles)
+		for _, p := range profiles {
+			c.Memory += float64(gwShared[p]) / 1024 * gw.MemCostPerKB
+		}
+	}
+	return c
+}
+
+// TestQuality implements Eq. (4): the summed coverage of the selected
+// BIST test tasks divided by the number of allocated ECUs (the
+// resources eligible for structural test). An implementation without
+// allocated ECUs scores zero.
+func TestQuality(x *model.Implementation) float64 {
+	ecus := 0
+	for _, r := range x.AllocatedResources() {
+		res := x.Spec.Arch.Resource(r)
+		if res != nil && res.Kind == model.KindECU && hostsBoundTask(x, r) {
+			ecus++
+		}
+	}
+	if ecus == 0 {
+		return 0
+	}
+	// Sorted accumulation for run-to-run determinism of the float sum.
+	selected := x.SelectedBIST()
+	var keys []model.ResourceID
+	for r := range selected {
+		keys = append(keys, r)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	sum := 0.0
+	for _, r := range keys {
+		sum += selected[r].Coverage
+	}
+	return sum / float64(ecus)
+}
+
+func hostsBoundTask(x *model.Implementation, r model.ResourceID) bool {
+	for _, br := range x.Binding {
+		if br == r {
+			return true
+		}
+	}
+	return false
+}
+
+// FunctionalFrames returns the CAN frame view of the functional
+// messages sent by tasks bound to ECU r — the message set I of Eq. (1)
+// whose mirrored bandwidth carries the test patterns.
+func FunctionalFrames(x *model.Implementation, r model.ResourceID) []can.Frame {
+	var frames []can.Frame
+	for _, m := range x.Spec.App.Messages() {
+		src := x.Spec.App.Task(m.Src)
+		if src == nil || src.Kind != model.KindFunctional {
+			continue
+		}
+		if x.Binding[m.Src] != r {
+			continue
+		}
+		payload := int(m.SizeBytes)
+		if payload > can.MaxPayload {
+			payload = can.MaxPayload // long messages are segmented
+		}
+		frames = append(frames, can.Frame{
+			ID:       string(m.ID),
+			Priority: m.Priority,
+			Payload:  payload,
+			PeriodMS: m.PeriodMS,
+		})
+	}
+	return frames
+}
+
+// transferBandwidth returns Σ s(c)/p(c) in bytes per millisecond for
+// Eq. (1), using the full message payloads (segmentation preserves the
+// long-run bandwidth of the mirrored slots).
+func transferBandwidth(x *model.Implementation, r model.ResourceID) float64 {
+	bw := 0.0
+	for _, m := range x.Spec.App.Messages() {
+		src := x.Spec.App.Task(m.Src)
+		if src == nil || src.Kind != model.KindFunctional {
+			continue
+		}
+		if x.Binding[m.Src] != r {
+			continue
+		}
+		if m.PeriodMS > 0 {
+			bw += float64(m.SizeBytes) / m.PeriodMS
+		}
+	}
+	return bw
+}
+
+// TransferTimeMS evaluates Eq. (1) for the BIST data task bD serving
+// ECU r: the time to ship s(b^D) bytes over the mirrored functional
+// messages of r. +Inf when the ECU sends no functional messages.
+func TransferTimeMS(x *model.Implementation, bD *model.Task, r model.ResourceID) float64 {
+	bw := transferBandwidth(x, r)
+	if bw <= 0 {
+		return math.Inf(1)
+	}
+	return float64(bD.MemBytes) / bw
+}
+
+// ShutOffTimeMS implements Eq. (5): the maximum over all selected BIST
+// sessions of the session runtime l(b^T), plus the pattern transfer
+// time q when the BIST data task is stored away from the tested ECU. An
+// implementation without BIST has shut-off time 0.
+func ShutOffTimeMS(x *model.Implementation) float64 {
+	worst := 0.0
+	for r, bT := range x.SelectedBIST() {
+		bD := x.Spec.DataTaskFor(bT)
+		t := bT.WCETms
+		if bD != nil {
+			if dataRes, ok := x.Binding[bD.ID]; ok && dataRes != r {
+				t += TransferTimeMS(x, bD, r)
+			}
+		}
+		if t > worst {
+			worst = t
+		}
+	}
+	return worst
+}
+
+// Evaluate computes all three objectives.
+func Evaluate(x *model.Implementation) Vector {
+	return Vector{
+		CostTotal:   MonetaryCosts(x).Total(),
+		TestQuality: TestQuality(x),
+		ShutOffMS:   ShutOffTimeMS(x),
+	}
+}

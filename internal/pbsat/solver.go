@@ -1,0 +1,309 @@
+package pbsat
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Assignment is a model: value per variable, indexed 1..NumVars.
+type Assignment []bool
+
+// Get returns the value of v.
+func (a Assignment) Get(v Var) bool { return a[v-1] }
+
+// Branching supplies the decision order of the DPLL search. It is how
+// SAT-decoding injects the genotype: decisions follow the evolved
+// priorities, so the first model found lies near the genotype.
+type Branching interface {
+	// Next returns the literal to decide next among unassigned
+	// variables; ok=false means "no preference left" and lets the solver
+	// fall back to the first unassigned variable (preferring false, the
+	// cheaper polarity for allocation-style problems).
+	Next(isAssigned func(Var) bool) (Lit, bool)
+}
+
+// PriorityBranching decides variables in descending priority with the
+// stored preferred polarity.
+type PriorityBranching struct {
+	order []Lit // pre-sorted by priority
+	pos   int
+}
+
+// NewPriorityBranching builds a branching from per-variable priorities
+// and preferred values. Variables missing from the maps are left to the
+// solver's fallback.
+func NewPriorityBranching(priority map[Var]float64, preferTrue map[Var]bool) *PriorityBranching {
+	vars := make([]Var, 0, len(priority))
+	for v := range priority {
+		vars = append(vars, v)
+	}
+	sort.Slice(vars, func(i, j int) bool {
+		if priority[vars[i]] != priority[vars[j]] {
+			return priority[vars[i]] > priority[vars[j]]
+		}
+		return vars[i] < vars[j]
+	})
+	order := make([]Lit, len(vars))
+	for i, v := range vars {
+		order[i] = Lit{Var: v, Neg: !preferTrue[v]}
+	}
+	return &PriorityBranching{order: order}
+}
+
+// Next implements Branching.
+func (b *PriorityBranching) Next(isAssigned func(Var) bool) (Lit, bool) {
+	for b.pos < len(b.order) {
+		l := b.order[b.pos]
+		if !isAssigned(l.Var) {
+			return l, true
+		}
+		b.pos++
+	}
+	return Lit{}, false
+}
+
+// Reset rewinds the branching for a fresh Solve call.
+func (b *PriorityBranching) Reset() { b.pos = 0 }
+
+// Result reports the outcome of a Solve call.
+type Result struct {
+	SAT        bool
+	Model      Assignment
+	Conflicts  int
+	Decisions  int
+	Propagated int
+	// Aborted is set when the conflict limit was exceeded before a
+	// verdict; SAT is false in that case but unsatisfiability is NOT
+	// proven.
+	Aborted bool
+}
+
+// Solver runs chronological DPLL with slack-based pseudo-Boolean unit
+// propagation.
+type Solver struct {
+	p *Problem
+	// MaxConflicts bounds the search (0 = 1,000,000).
+	MaxConflicts int
+
+	assign []int8 // 1=true, -1=false, 0=unassigned; index var-1
+	trail  []Var
+
+	// occurs maps each variable to the constraints mentioning it, so
+	// propagation only revisits constraints a new assignment can affect.
+	occurs  [][]int32
+	inQueue []bool  // constraint index -> queued for recheck
+	queue   []int32 // recheck worklist
+}
+
+// NewSolver prepares a solver for the problem.
+func NewSolver(p *Problem) *Solver {
+	s := &Solver{
+		p:            p,
+		MaxConflicts: 1_000_000,
+		assign:       make([]int8, p.NumVars()),
+		occurs:       make([][]int32, p.NumVars()),
+		inQueue:      make([]bool, len(p.constraints)),
+	}
+	for ci := range p.constraints {
+		for _, t := range p.constraints[ci].Terms {
+			v := int(t.Lit.Var) - 1
+			s.occurs[v] = append(s.occurs[v], int32(ci))
+		}
+	}
+	return s
+}
+
+func (s *Solver) value(l Lit) int8 {
+	v := s.assign[l.Var-1]
+	if l.Neg {
+		return -v
+	}
+	return v
+}
+
+func (s *Solver) assignLit(l Lit) {
+	val := int8(1)
+	if l.Neg {
+		val = -1
+	}
+	s.assign[l.Var-1] = val
+	s.trail = append(s.trail, l.Var)
+	// Wake every constraint that mentions the variable.
+	for _, ci := range s.occurs[l.Var-1] {
+		if !s.inQueue[ci] {
+			s.inQueue[ci] = true
+			s.queue = append(s.queue, ci)
+		}
+	}
+}
+
+// enqueueAll schedules every constraint for one initial check.
+func (s *Solver) enqueueAll() {
+	s.queue = s.queue[:0]
+	for ci := range s.p.constraints {
+		s.inQueue[ci] = true
+		s.queue = append(s.queue, int32(ci))
+	}
+}
+
+// propagate runs slack-based unit propagation over the recheck
+// worklist: only constraints touched by fresh assignments are
+// revisited. It returns false on conflict; the queue is drained either
+// way (a conflict clears it, since backtracking re-seeds from the
+// flipped decision's occurrences).
+func (s *Solver) propagate(res *Result) bool {
+	for len(s.queue) > 0 {
+		ci := s.queue[len(s.queue)-1]
+		s.queue = s.queue[:len(s.queue)-1]
+		s.inQueue[ci] = false
+		c := &s.p.constraints[ci]
+		// maxPossible: contribution of all literals not yet false.
+		maxPossible := 0
+		for _, t := range c.Terms {
+			if s.value(t.Lit) >= 0 {
+				maxPossible += t.Coef
+			}
+		}
+		if maxPossible < c.Bound {
+			// Conflict: clear the queue; the caller backtracks and
+			// re-seeds via assignLit of the flipped decision.
+			for _, qi := range s.queue {
+				s.inQueue[qi] = false
+			}
+			s.queue = s.queue[:0]
+			s.inQueue[ci] = false
+			return false
+		}
+		slack := maxPossible - c.Bound
+		for _, t := range c.Terms {
+			if s.value(t.Lit) == 0 && t.Coef > slack {
+				s.assignLit(t.Lit)
+				res.Propagated++
+			}
+		}
+	}
+	return true
+}
+
+// decision is one entry of the chronological decision stack.
+type decision struct {
+	trailLen int
+	lit      Lit
+	flipped  bool
+}
+
+// Solve searches for a model, deciding variables in the order supplied
+// by branch (nil uses plain first-unassigned/false-first).
+func (s *Solver) Solve(branch Branching) Result {
+	res := Result{}
+	for i := range s.assign {
+		s.assign[i] = 0
+	}
+	s.trail = s.trail[:0]
+	s.enqueueAll()
+	if pb, ok := branch.(*PriorityBranching); ok {
+		pb.Reset()
+	}
+	isAssigned := func(v Var) bool { return s.assign[v-1] != 0 }
+
+	var stack []decision
+	maxConf := s.MaxConflicts
+	if maxConf <= 0 {
+		maxConf = 1_000_000
+	}
+
+	for {
+		ok := s.propagate(&res)
+		if ok {
+			l, any := s.nextDecision(branch, isAssigned)
+			if !any {
+				// All variables assigned (or none left to decide): model.
+				res.SAT = true
+				res.Model = make(Assignment, len(s.assign))
+				for i, v := range s.assign {
+					res.Model[i] = v > 0
+				}
+				return res
+			}
+			stack = append(stack, decision{trailLen: len(s.trail), lit: l})
+			s.assignLit(l)
+			res.Decisions++
+			continue
+		}
+		// Conflict: chronological backtracking.
+		res.Conflicts++
+		if res.Conflicts > maxConf {
+			res.Aborted = true
+			return res
+		}
+		flipped := false
+		for len(stack) > 0 {
+			top := &stack[len(stack)-1]
+			// Undo trail past this decision.
+			for len(s.trail) > top.trailLen {
+				v := s.trail[len(s.trail)-1]
+				s.trail = s.trail[:len(s.trail)-1]
+				s.assign[v-1] = 0
+			}
+			if !top.flipped {
+				top.flipped = true
+				top.lit = top.lit.Negated()
+				s.assignLit(top.lit)
+				flipped = true
+				break
+			}
+			stack = stack[:len(stack)-1]
+		}
+		if !flipped {
+			return res // UNSAT
+		}
+	}
+}
+
+// nextDecision consults the branching, falling back to the first
+// unassigned variable with negative polarity.
+func (s *Solver) nextDecision(branch Branching, isAssigned func(Var) bool) (Lit, bool) {
+	if branch != nil {
+		if l, ok := branch.Next(isAssigned); ok {
+			if s.assign[l.Var-1] != 0 {
+				// Branching returned an assigned var despite the filter;
+				// defensive fallback below.
+				panic(fmt.Sprintf("pbsat: branching returned assigned variable x%d", int(l.Var)))
+			}
+			return l, true
+		}
+	}
+	for i, v := range s.assign {
+		if v == 0 {
+			return Lit{Var: Var(i + 1), Neg: true}, true
+		}
+	}
+	return Lit{}, false
+}
+
+// Verify checks a full assignment against every constraint and returns
+// the tags of violated constraints (empty means satisfied).
+func (p *Problem) Verify(a Assignment) []string {
+	var bad []string
+	for i := range p.constraints {
+		c := &p.constraints[i]
+		sum := 0
+		for _, t := range c.Terms {
+			val := a.Get(t.Lit.Var)
+			if t.Lit.Neg {
+				val = !val
+			}
+			if val {
+				sum += t.Coef
+			}
+		}
+		if sum < c.Bound {
+			tag := c.Tag
+			if tag == "" {
+				tag = fmt.Sprintf("constraint#%d", i)
+			}
+			bad = append(bad, tag)
+		}
+	}
+	return bad
+}

@@ -1,0 +1,41 @@
+package report
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/core"
+)
+
+// WriteCSV exports the Pareto front for external plotting: one row per
+// solution with the three objectives and the Fig. 6 memory split.
+// Infinite shut-off times are emitted as the string "inf".
+func WriteCSV(w io.Writer, res *core.Result) error {
+	cw := csv.NewWriter(w)
+	defer cw.Flush()
+	if err := cw.Write([]string{
+		"cost_total", "test_quality", "shutoff_ms", "gateway_bytes", "distributed_bytes",
+	}); err != nil {
+		return err
+	}
+	for _, s := range res.Solutions {
+		ms := core.MemorySplitOf(s)
+		shut := "inf"
+		if !math.IsInf(s.Objectives.ShutOffMS, 1) {
+			shut = fmt.Sprintf("%.6f", s.Objectives.ShutOffMS)
+		}
+		if err := cw.Write([]string{
+			fmt.Sprintf("%.6f", s.Objectives.CostTotal),
+			fmt.Sprintf("%.6f", s.Objectives.TestQuality),
+			shut,
+			fmt.Sprintf("%d", ms.GatewayBytes),
+			fmt.Sprintf("%d", ms.DistributedBytes),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

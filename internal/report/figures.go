@@ -1,0 +1,119 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"repro/internal/bistgen"
+	"repro/internal/core"
+)
+
+// WriteTableI prints profiles in the layout of the paper's Table I.
+func WriteTableI(w io.Writer, profiles []bistgen.Profile) {
+	rows := make([][]string, len(profiles))
+	for i, p := range profiles {
+		rows[i] = []string{
+			fmt.Sprintf("%d", p.Number),
+			fmt.Sprintf("%d", p.PRPs),
+			fmt.Sprintf("%.2f", p.Coverage*100),
+			fmt.Sprintf("%.2f", p.RuntimeMS),
+			fmt.Sprintf("%d", p.DataBytes),
+			p.Target,
+		}
+	}
+	Table(w, []string{"profile", "PRPs", "c [%]", "l [ms]", "s [Bytes]", "target"}, rows)
+}
+
+// WriteFig5 renders the cost-vs-quality Pareto front with the paper's
+// marker convention: '*' for shut-off ≤ threshold, '^' beyond it
+// (Fig. 5 uses ● and ▲ at 20 s).
+func WriteFig5(w io.Writer, res *core.Result, thresholdMS float64) {
+	fast, slow := res.SplitByShutOff(thresholdMS)
+	var pts []Point
+	for _, s := range fast {
+		pts = append(pts, Point{X: s.Objectives.CostTotal, Y: s.Objectives.TestQuality * 100, Marker: '*'})
+	}
+	for _, s := range slow {
+		pts = append(pts, Point{X: s.Objectives.CostTotal, Y: s.Objectives.TestQuality * 100, Marker: '^'})
+	}
+	title := fmt.Sprintf("Fig. 5: %d implementations — monetary costs vs test quality ('*' shut-off <= %.0f s, '^' above)",
+		len(res.Solutions), thresholdMS/1000)
+	Scatter(w, title, "monetary costs", "test quality [%]", pts, 72, 24)
+	fmt.Fprintf(w, "\n  %d implementations with shut-off <= %.0f s, %d above\n",
+		len(fast), thresholdMS/1000, len(slow))
+}
+
+// PickFig6 selects up to n representative Pareto solutions spanning the
+// quality axis (akin to the seven marked implementations of Fig. 6),
+// ordered by ascending test quality.
+func PickFig6(res *core.Result, n int) []core.Solution {
+	if n <= 0 {
+		n = 7
+	}
+	sols := append([]core.Solution(nil), res.Solutions...)
+	// Only diagnostic solutions are interesting here.
+	var withBIST []core.Solution
+	for _, s := range sols {
+		if s.Objectives.TestQuality > 0 {
+			withBIST = append(withBIST, s)
+		}
+	}
+	sort.Slice(withBIST, func(i, j int) bool {
+		return withBIST[i].Objectives.TestQuality < withBIST[j].Objectives.TestQuality
+	})
+	if len(withBIST) <= n {
+		return withBIST
+	}
+	out := make([]core.Solution, 0, n)
+	for k := 0; k < n; k++ {
+		idx := k * (len(withBIST) - 1) / (n - 1)
+		out = append(out, withBIST[idx])
+	}
+	return out
+}
+
+// WriteFig6 prints the gateway-vs-distributed memory table and the
+// log-scale shut-off times of the selected implementations.
+func WriteFig6(w io.Writer, sols []core.Solution) {
+	rows := make([][]string, len(sols))
+	for i, s := range sols {
+		ms := core.MemorySplitOf(s)
+		shut := "inf"
+		if !math.IsInf(ms.ShutOffMS, 1) {
+			shut = fmt.Sprintf("%.3f", ms.ShutOffMS/1000)
+		}
+		logShut := "inf"
+		if ms.ShutOffMS > 0 && !math.IsInf(ms.ShutOffMS, 1) {
+			logShut = fmt.Sprintf("%.2f", math.Log10(ms.ShutOffMS/1000))
+		}
+		rows[i] = []string{
+			fmt.Sprintf("%d", i+1),
+			fmt.Sprintf("%.1f", s.Objectives.TestQuality*100),
+			fmt.Sprintf("%.0f", s.Objectives.CostTotal),
+			fmt.Sprintf("%d", ms.GatewayBytes),
+			fmt.Sprintf("%d", ms.DistributedBytes),
+			shut,
+			logShut,
+		}
+	}
+	fmt.Fprintln(w, "Fig. 6: gateway vs distributed diagnosis memory of the marked implementations")
+	Table(w, []string{"impl", "quality [%]", "costs", "gw mem [B]", "dist mem [B]", "shut-off [s]", "log10(s)"}, rows)
+}
+
+// WriteSummary prints the headline metrics of a run (Section IV-B).
+func WriteSummary(w io.Writer, res *core.Result) {
+	fmt.Fprintf(w, "evaluated implementations: %d in %v (%.1f evals/s)\n",
+		res.Evaluations, res.Elapsed.Round(1_000_000), float64(res.Evaluations)/res.Elapsed.Seconds())
+	fmt.Fprintf(w, "Pareto-optimal implementations: %d\n", len(res.Solutions))
+	base := res.BaselineCost()
+	fmt.Fprintf(w, "baseline (no-BIST) cost: %.1f\n", base)
+	if sol, ok := res.BestQualityWithin(base, 0.037); ok {
+		over := (sol.Objectives.CostTotal/base - 1) * 100
+		fmt.Fprintf(w, "headline: %.1f%% test quality for %.1f%% extra cost (paper: 80.7%% for <3.7%%)\n",
+			sol.Objectives.TestQuality*100, over)
+	} else {
+		fmt.Fprintln(w, "headline: no solution within 3.7% of baseline cost")
+	}
+}

@@ -1,0 +1,126 @@
+// Package report renders exploration results as text: aligned tables,
+// ASCII scatter plots for the paper's Fig. 5 and Fig. 6, and the
+// Table I profile listing.
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Table writes rows under headers with aligned columns.
+func Table(w io.Writer, headers []string, rows [][]string) {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	writeRow(headers)
+	sep := make([]string, len(headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range rows {
+		writeRow(row)
+	}
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// Point is one scatter mark.
+type Point struct {
+	X, Y   float64
+	Marker rune
+}
+
+// Scatter renders an ASCII scatter plot of the points into a
+// width×height character grid with axis annotations. Points sharing a
+// cell keep the marker drawn last.
+func Scatter(w io.Writer, title, xlabel, ylabel string, pts []Point, width, height int) {
+	if width < 10 {
+		width = 60
+	}
+	if height < 5 {
+		height = 20
+	}
+	fmt.Fprintln(w, title)
+	if len(pts) == 0 {
+		fmt.Fprintln(w, "  (no points)")
+		return
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, p := range pts {
+		if math.IsInf(p.X, 0) || math.IsInf(p.Y, 0) || math.IsNaN(p.X) || math.IsNaN(p.Y) {
+			continue
+		}
+		minX, maxX = math.Min(minX, p.X), math.Max(maxX, p.X)
+		minY, maxY = math.Min(minY, p.Y), math.Max(maxY, p.Y)
+	}
+	if minX > maxX {
+		fmt.Fprintln(w, "  (no finite points)")
+		return
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	grid := make([][]rune, height)
+	for r := range grid {
+		grid[r] = make([]rune, width)
+		for c := range grid[r] {
+			grid[r][c] = ' '
+		}
+	}
+	for _, p := range pts {
+		if math.IsInf(p.X, 0) || math.IsInf(p.Y, 0) || math.IsNaN(p.X) || math.IsNaN(p.Y) {
+			continue
+		}
+		col := int((p.X - minX) / (maxX - minX) * float64(width-1))
+		row := height - 1 - int((p.Y-minY)/(maxY-minY)*float64(height-1))
+		grid[row][col] = p.Marker
+	}
+	fmt.Fprintf(w, "  %s\n", ylabel)
+	for r, line := range grid {
+		label := "        "
+		if r == 0 {
+			label = fmt.Sprintf("%8.3g", maxY)
+		} else if r == height-1 {
+			label = fmt.Sprintf("%8.3g", minY)
+		}
+		fmt.Fprintf(w, "%s |%s\n", label, string(line))
+	}
+	fmt.Fprintf(w, "%s +%s\n", strings.Repeat(" ", 8), strings.Repeat("-", width))
+	fmt.Fprintf(w, "%s  %-12.6g%s%12.6g  (%s)\n", strings.Repeat(" ", 8),
+		minX, strings.Repeat(" ", max(0, width-26)), maxX, xlabel)
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

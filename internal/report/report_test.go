@@ -1,0 +1,190 @@
+package report
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/casestudy"
+	"repro/internal/core"
+	"repro/internal/moea"
+)
+
+func TestTableAlignment(t *testing.T) {
+	var b strings.Builder
+	Table(&b, []string{"a", "long-header"}, [][]string{{"1", "2"}, {"333", "4"}})
+	out := b.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "a    long-header") {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "---") {
+		t.Fatalf("separator = %q", lines[1])
+	}
+}
+
+func TestScatterBasics(t *testing.T) {
+	var b strings.Builder
+	pts := []Point{{X: 0, Y: 0, Marker: '*'}, {X: 10, Y: 5, Marker: '^'}}
+	Scatter(&b, "title", "xs", "ys", pts, 40, 10)
+	out := b.String()
+	if !strings.Contains(out, "title") || !strings.Contains(out, "*") || !strings.Contains(out, "^") {
+		t.Fatalf("scatter output missing parts:\n%s", out)
+	}
+	// Infinite points must not crash or be plotted.
+	var b2 strings.Builder
+	Scatter(&b2, "t", "x", "y", []Point{{X: math.Inf(1), Y: 1, Marker: 'x'}}, 40, 10)
+	if !strings.Contains(b2.String(), "no finite points") {
+		t.Fatalf("inf handling:\n%s", b2.String())
+	}
+	var b3 strings.Builder
+	Scatter(&b3, "t", "x", "y", nil, 40, 10)
+	if !strings.Contains(b3.String(), "no points") {
+		t.Fatal("empty handling")
+	}
+}
+
+func TestWriteTableI(t *testing.T) {
+	var b strings.Builder
+	WriteTableI(&b, casestudy.TableI())
+	out := b.String()
+	if !strings.Contains(out, "2399185") || !strings.Contains(out, "99.83") {
+		t.Fatalf("Table I output missing row 1 data:\n%s", out[:200])
+	}
+	if strings.Count(out, "\n") != 38 { // header + sep + 36 rows
+		t.Fatalf("row count wrong:\n%s", out)
+	}
+}
+
+func runSmall(t *testing.T) *core.Result {
+	t.Helper()
+	spec, err := casestudy.Small(3, 4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := core.NewGreedyDecoder(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.NewExplorer(spec, dec).Run(moea.Options{PopSize: 24, Generations: 15, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestWriteFig5AndSummary(t *testing.T) {
+	res := runSmall(t)
+	var b strings.Builder
+	WriteFig5(&b, res, 20_000)
+	if !strings.Contains(b.String(), "Fig. 5") {
+		t.Fatal("missing title")
+	}
+	var s strings.Builder
+	WriteSummary(&s, res)
+	out := s.String()
+	if !strings.Contains(out, "Pareto-optimal implementations") || !strings.Contains(out, "baseline") {
+		t.Fatalf("summary:\n%s", out)
+	}
+}
+
+func TestPickFig6AndWrite(t *testing.T) {
+	res := runSmall(t)
+	sols := PickFig6(res, 7)
+	if len(sols) == 0 {
+		t.Fatal("no Fig.6 solutions")
+	}
+	if len(sols) > 7 {
+		t.Fatalf("picked %d > 7", len(sols))
+	}
+	for i := 1; i < len(sols); i++ {
+		if sols[i].Objectives.TestQuality < sols[i-1].Objectives.TestQuality {
+			t.Fatal("not ordered by quality")
+		}
+	}
+	var b strings.Builder
+	WriteFig6(&b, sols)
+	if !strings.Contains(b.String(), "gw mem [B]") {
+		t.Fatalf("Fig.6 output:\n%s", b.String())
+	}
+}
+
+func TestPickFig6DefaultsAndSmallSets(t *testing.T) {
+	res := runSmall(t)
+	all := PickFig6(res, 0)
+	if len(all) > 7 {
+		t.Fatalf("default pick = %d", len(all))
+	}
+	// n larger than available: returns all with BIST.
+	many := PickFig6(res, 1000)
+	for _, s := range many {
+		if s.Objectives.TestQuality == 0 {
+			t.Fatal("no-BIST solution picked for Fig.6")
+		}
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	res := runSmall(t)
+	var b strings.Builder
+	if err := WriteCSV(&b, res); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != len(res.Solutions)+1 {
+		t.Fatalf("rows = %d, want %d", len(lines), len(res.Solutions)+1)
+	}
+	if !strings.HasPrefix(lines[0], "cost_total,test_quality,shutoff_ms") {
+		t.Fatalf("header = %q", lines[0])
+	}
+	for _, line := range lines[1:] {
+		if n := strings.Count(line, ","); n != 4 {
+			t.Fatalf("row %q has %d commas", line, n)
+		}
+	}
+}
+
+func TestFrontStatsAndKnee(t *testing.T) {
+	res := runSmall(t)
+	st := ComputeFrontStats(res)
+	if st.N != len(res.Solutions) {
+		t.Fatalf("N = %d", st.N)
+	}
+	if st.CostMin > st.CostMedian || st.CostMedian > st.CostMax {
+		t.Fatalf("cost ordering: %+v", st)
+	}
+	if st.QualityMin > st.QualityMax || st.QualityMax > 1 {
+		t.Fatalf("quality stats: %+v", st)
+	}
+	knee, ok := KneePoint(res)
+	if !ok {
+		t.Fatal("no knee")
+	}
+	// The knee must be a member of the front.
+	found := false
+	for _, s := range res.Solutions {
+		if s.Objectives == knee.Objectives {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("knee not on the front")
+	}
+	var b strings.Builder
+	WriteFrontStats(&b, res)
+	if !strings.Contains(b.String(), "knee point") {
+		t.Fatalf("stats output:\n%s", b.String())
+	}
+	// Empty result handled.
+	var e strings.Builder
+	WriteFrontStats(&e, &core.Result{})
+	if !strings.Contains(e.String(), "0 solutions") {
+		t.Fatal("empty handling")
+	}
+	if _, ok := KneePoint(&core.Result{}); ok {
+		t.Fatal("knee on empty front")
+	}
+}

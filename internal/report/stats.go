@@ -1,0 +1,100 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"repro/internal/core"
+)
+
+// FrontStats summarizes the Pareto front per objective.
+type FrontStats struct {
+	N int
+	// Min/Median/Max per objective.
+	CostMin, CostMedian, CostMax          float64
+	QualityMin, QualityMedian, QualityMax float64
+	// Shut-off statistics are computed over finite values only.
+	ShutMinMS, ShutMedianMS, ShutMaxMS float64
+	InfiniteShutOff                    int
+}
+
+// ComputeFrontStats aggregates the solutions of a run.
+func ComputeFrontStats(res *core.Result) FrontStats {
+	st := FrontStats{N: len(res.Solutions)}
+	if st.N == 0 {
+		return st
+	}
+	var costs, quals, shuts []float64
+	for _, s := range res.Solutions {
+		costs = append(costs, s.Objectives.CostTotal)
+		quals = append(quals, s.Objectives.TestQuality)
+		if math.IsInf(s.Objectives.ShutOffMS, 1) {
+			st.InfiniteShutOff++
+		} else {
+			shuts = append(shuts, s.Objectives.ShutOffMS)
+		}
+	}
+	st.CostMin, st.CostMedian, st.CostMax = summarize(costs)
+	st.QualityMin, st.QualityMedian, st.QualityMax = summarize(quals)
+	if len(shuts) > 0 {
+		st.ShutMinMS, st.ShutMedianMS, st.ShutMaxMS = summarize(shuts)
+	}
+	return st
+}
+
+func summarize(v []float64) (min, median, max float64) {
+	sort.Float64s(v)
+	return v[0], v[len(v)/2], v[len(v)-1]
+}
+
+// KneePoint returns the solution with the best marginal
+// quality-per-cost tradeoff: the point maximizing the normalized
+// distance to the (max cost, min quality) anti-ideal corner in the
+// cost/quality plane — a standard single pick when the designer wants
+// "the" compromise implementation.
+func KneePoint(res *core.Result) (core.Solution, bool) {
+	if len(res.Solutions) == 0 {
+		return core.Solution{}, false
+	}
+	st := ComputeFrontStats(res)
+	costSpan := st.CostMax - st.CostMin
+	qualSpan := st.QualityMax - st.QualityMin
+	if costSpan <= 0 {
+		costSpan = 1
+	}
+	if qualSpan <= 0 {
+		qualSpan = 1
+	}
+	best := -math.MaxFloat64
+	var pick core.Solution
+	for _, s := range res.Solutions {
+		dc := (st.CostMax - s.Objectives.CostTotal) / costSpan
+		dq := (s.Objectives.TestQuality - st.QualityMin) / qualSpan
+		score := dc + dq
+		if score > best {
+			best = score
+			pick = s
+		}
+	}
+	return pick, true
+}
+
+// WriteFrontStats prints the aggregate view of a run.
+func WriteFrontStats(w io.Writer, res *core.Result) {
+	st := ComputeFrontStats(res)
+	fmt.Fprintf(w, "front statistics over %d solutions:\n", st.N)
+	if st.N == 0 {
+		return
+	}
+	fmt.Fprintf(w, "  costs:        min %.1f  median %.1f  max %.1f\n", st.CostMin, st.CostMedian, st.CostMax)
+	fmt.Fprintf(w, "  test quality: min %.1f%%  median %.1f%%  max %.1f%%\n",
+		st.QualityMin*100, st.QualityMedian*100, st.QualityMax*100)
+	fmt.Fprintf(w, "  shut-off:     min %.3fs  median %.3fs  max %.3fs  (+%d infinite)\n",
+		st.ShutMinMS/1000, st.ShutMedianMS/1000, st.ShutMaxMS/1000, st.InfiniteShutOff)
+	if knee, ok := KneePoint(res); ok {
+		fmt.Fprintf(w, "  knee point:   %.1f%% quality at cost %.1f, shut-off %.3fs\n",
+			knee.Objectives.TestQuality*100, knee.Objectives.CostTotal, knee.Objectives.ShutOffMS/1000)
+	}
+}

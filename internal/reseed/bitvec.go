@@ -1,0 +1,83 @@
+// Package reseed implements LFSR reseeding — the classic encoding of
+// deterministic test cubes referenced by the paper's STUMPS
+// architecture ("encoded deterministic test data ... reconstructed
+// during test application", Section II): every scan cell receives a
+// GF(2)-linear function of the decompressor LFSR's seed, so a cube with
+// k care bits becomes a system of k linear equations whose solution is
+// a seed of |LFSR| bits. Storing seeds instead of full patterns is what
+// shrinks s(b^D).
+package reseed
+
+import "math/bits"
+
+// BitVec is a little-endian bit vector over GF(2).
+type BitVec []uint64
+
+// NewBitVec returns an all-zero vector holding n bits.
+func NewBitVec(n int) BitVec {
+	return make(BitVec, (n+63)/64)
+}
+
+// Get returns bit i.
+func (v BitVec) Get(i int) bool {
+	return v[i/64]>>(uint(i)%64)&1 == 1
+}
+
+// Set sets bit i to b.
+func (v BitVec) Set(i int, b bool) {
+	if b {
+		v[i/64] |= 1 << (uint(i) % 64)
+	} else {
+		v[i/64] &^= 1 << (uint(i) % 64)
+	}
+}
+
+// Xor adds (XORs) other into v. Both must have equal length.
+func (v BitVec) Xor(other BitVec) {
+	for i := range v {
+		v[i] ^= other[i]
+	}
+}
+
+// And returns the parity of v AND other — the GF(2) inner product.
+func (v BitVec) Dot(other BitVec) bool {
+	var acc uint64
+	for i := range v {
+		acc ^= v[i] & other[i]
+	}
+	return bits.OnesCount64(acc)&1 == 1
+}
+
+// IsZero reports whether every bit is zero.
+func (v BitVec) IsZero() bool {
+	for _, w := range v {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a copy.
+func (v BitVec) Clone() BitVec {
+	return append(BitVec(nil), v...)
+}
+
+// FirstSet returns the index of the lowest set bit, or -1.
+func (v BitVec) FirstSet() int {
+	for i, w := range v {
+		if w != 0 {
+			return i*64 + bits.TrailingZeros64(w)
+		}
+	}
+	return -1
+}
+
+// OnesCount returns the number of set bits.
+func (v BitVec) OnesCount() int {
+	n := 0
+	for _, w := range v {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}

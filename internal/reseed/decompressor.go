@@ -1,0 +1,147 @@
+package reseed
+
+import (
+	"fmt"
+)
+
+// Decompressor is a wide Galois LFSR feeding scan chains through a
+// phase shifter, described symbolically: the value of every scan cell
+// is a GF(2)-linear function of the seed, captured as one coefficient
+// vector per cell.
+type Decompressor struct {
+	Width    int // LFSR width in bits (the seed size)
+	Chains   int
+	ChainLen int
+
+	// taps is the Galois feedback mask (bit i set = state bit i XORs the
+	// shifted-out bit).
+	taps BitVec
+
+	// coeff[chain*ChainLen+pos] is the seed-coefficient vector of scan
+	// cell (chain, pos).
+	coeff []BitVec
+}
+
+// defaultTaps builds a dense feedback polynomial for the given width:
+// x^W + x^(W/2+1) + x^(W/3+1) + x + 1. It is not guaranteed primitive,
+// but maximal period is not required for reseeding — only that the
+// cell coefficient vectors are rich enough to make the equation systems
+// solvable, which the dense tap spread provides.
+func defaultTaps(width int) BitVec {
+	t := NewBitVec(width)
+	t.Set(0, true)
+	t.Set(1, true)
+	if p := width/2 + 1; p < width {
+		t.Set(p, true)
+	}
+	if p := width/3 + 1; p < width {
+		t.Set(p, true)
+	}
+	return t
+}
+
+// phaseMasks derives one dense pseudo-random mask per chain over the
+// LFSR width (splitmix64 stream, mirroring stumps.NewPhaseShifter).
+func phaseMasks(chains, width int) []BitVec {
+	masks := make([]BitVec, chains)
+	x := uint64(0x9E3779B97F4A7C15)
+	next := func() uint64 {
+		x += 0x9E3779B97F4A7C15
+		z := x
+		z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+		z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+		return z ^ (z >> 31)
+	}
+	for c := range masks {
+		m := NewBitVec(width)
+		for w := range m {
+			m[w] = next()
+		}
+		// Trim bits beyond width.
+		if r := width % 64; r != 0 {
+			m[len(m)-1] &= (uint64(1) << uint(r)) - 1
+		}
+		if m.IsZero() {
+			m.Set(0, true)
+		}
+		masks[c] = m
+	}
+	return masks
+}
+
+// NewDecompressor symbolically simulates the decompressor for one full
+// pattern load (ChainLen shift cycles) and records the seed-coefficient
+// vector of every scan cell. Scan cell indexing matches stumps.PRPG:
+// cell (chain, pos) is input chain*ChainLen+pos and is filled at shift
+// cycle pos.
+func NewDecompressor(width, chains, chainLen int) (*Decompressor, error) {
+	if width < 2 {
+		return nil, fmt.Errorf("reseed: width %d too small", width)
+	}
+	if chains < 1 || chainLen < 1 {
+		return nil, fmt.Errorf("reseed: need positive chains and chain length")
+	}
+	d := &Decompressor{
+		Width:    width,
+		Chains:   chains,
+		ChainLen: chainLen,
+		taps:     defaultTaps(width),
+		coeff:    make([]BitVec, chains*chainLen),
+	}
+	masks := phaseMasks(chains, width)
+
+	// state[j] is the coefficient vector of LFSR bit j over the seed.
+	state := make([]BitVec, width)
+	for j := range state {
+		state[j] = NewBitVec(width)
+		state[j].Set(j, true)
+	}
+	tmp := make([]BitVec, width)
+	for s := 0; s < chainLen; s++ {
+		// One Galois step: out = state[W-1]; state' = (state << 1) with
+		// state'[j] = state[j-1] ^ (taps[j] ? out : 0), state'[0] =
+		// taps[0] ? out : 0.
+		out := state[width-1]
+		for j := width - 1; j >= 1; j-- {
+			nv := state[j-1].Clone()
+			if d.taps.Get(j) {
+				nv.Xor(out)
+			}
+			tmp[j] = nv
+		}
+		nv := NewBitVec(width)
+		if d.taps.Get(0) {
+			nv.Xor(out)
+		}
+		tmp[0] = nv
+		copy(state, tmp)
+
+		// Phase shifter: chain c gets parity(state & mask_c).
+		for c := 0; c < chains; c++ {
+			cell := NewBitVec(width)
+			for j := 0; j < width; j++ {
+				if masks[c].Get(j) {
+					cell.Xor(state[j])
+				}
+			}
+			d.coeff[c*chainLen+s] = cell
+		}
+	}
+	return d, nil
+}
+
+// CellCoefficients returns the seed-coefficient vector of scan cell i
+// (read-only).
+func (d *Decompressor) CellCoefficients(i int) BitVec { return d.coeff[i] }
+
+// NumCells returns Chains*ChainLen.
+func (d *Decompressor) NumCells() int { return len(d.coeff) }
+
+// Expand computes the full scan load produced by the given seed.
+func (d *Decompressor) Expand(seed BitVec) []bool {
+	out := make([]bool, len(d.coeff))
+	for i, cv := range d.coeff {
+		out[i] = cv.Dot(seed)
+	}
+	return out
+}

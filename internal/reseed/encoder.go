@@ -1,0 +1,116 @@
+package reseed
+
+import (
+	"fmt"
+
+	"repro/internal/atpg"
+)
+
+// Encoder turns test cubes into LFSR seeds for a fixed decompressor.
+type Encoder struct {
+	D *Decompressor
+}
+
+// NewEncoder builds an encoder over a decompressor of the given width
+// for a chains×chainLen scan structure. Rule of thumb (Könemann): the
+// width should exceed the maximum care-bit count of the cube set by
+// ~20 bits for near-certain solvability.
+func NewEncoder(width, chains, chainLen int) (*Encoder, error) {
+	d, err := NewDecompressor(width, chains, chainLen)
+	if err != nil {
+		return nil, err
+	}
+	return &Encoder{D: d}, nil
+}
+
+// EncodeCube solves for a seed whose expansion matches every care bit
+// of the cube. The cube length must equal the scan cell count.
+func (e *Encoder) EncodeCube(cube atpg.Cube) (BitVec, error) {
+	if len(cube) != e.D.NumCells() {
+		return nil, fmt.Errorf("reseed: cube has %d cells, decompressor %d", len(cube), e.D.NumCells())
+	}
+	sys := newGF2System(e.D.Width)
+	care := 0
+	for i, v := range cube {
+		if v == atpg.X {
+			continue
+		}
+		care++
+		if !sys.add(e.D.CellCoefficients(i), v == atpg.One) {
+			return nil, &ErrUnsolvable{CareBits: care, Width: e.D.Width}
+		}
+	}
+	return sys.solve(), nil
+}
+
+// Verify expands the seed and checks it against the cube's care bits.
+func (e *Encoder) Verify(cube atpg.Cube, seed BitVec) bool {
+	pattern := e.D.Expand(seed)
+	for i, v := range cube {
+		if v == atpg.X {
+			continue
+		}
+		if pattern[i] != (v == atpg.One) {
+			return false
+		}
+	}
+	return true
+}
+
+// Encoded is the outcome of encoding a cube set.
+type Encoded struct {
+	Seeds []BitVec
+	// Unsolvable lists indices of cubes the seed width could not cover;
+	// a production flow stores those as explicit (raw) patterns.
+	Unsolvable []int
+	// SeedBits is the storage for the seeds alone.
+	SeedBits int
+	// RawBits is the storage for the unsolvable cubes at one bit per
+	// scan cell.
+	RawBits int
+}
+
+// TotalBytes returns the combined storage in bytes.
+func (enc Encoded) TotalBytes() int {
+	return (enc.SeedBits+7)/8 + (enc.RawBits+7)/8
+}
+
+// EncodeSet encodes every cube, falling back to raw storage for cubes
+// the width cannot express.
+func (e *Encoder) EncodeSet(cubes []atpg.Cube) (Encoded, error) {
+	out := Encoded{}
+	for i, c := range cubes {
+		seed, err := e.EncodeCube(c)
+		if err != nil {
+			var uns *ErrUnsolvable
+			if asUnsolvable(err, &uns) {
+				out.Unsolvable = append(out.Unsolvable, i)
+				out.RawBits += e.D.NumCells()
+				continue
+			}
+			return Encoded{}, err
+		}
+		out.Seeds = append(out.Seeds, seed)
+		out.SeedBits += e.D.Width
+	}
+	return out, nil
+}
+
+func asUnsolvable(err error, target **ErrUnsolvable) bool {
+	u, ok := err.(*ErrUnsolvable)
+	if ok {
+		*target = u
+	}
+	return ok
+}
+
+// CompressionRatio returns raw-pattern bits divided by encoded bits for
+// n cubes over the encoder's scan structure (the figure of merit quoted
+// for test data compression schemes).
+func (e *Encoder) CompressionRatio(enc Encoded, nCubes int) float64 {
+	encodedBits := enc.SeedBits + enc.RawBits
+	if encodedBits == 0 {
+		return 0
+	}
+	return float64(nCubes*e.D.NumCells()) / float64(encodedBits)
+}

@@ -1,0 +1,32 @@
+package reseed_test
+
+import (
+	"fmt"
+
+	"repro/internal/atpg"
+	"repro/internal/reseed"
+)
+
+// Encoding one deterministic test cube into an LFSR seed: the
+// decompressor regenerates every care bit on chip, so only the seed is
+// stored — the paper's "encoded deterministic test data".
+func ExampleEncoder_EncodeCube() {
+	enc, err := reseed.NewEncoder(32, 2, 4) // 32-bit seed, 8 scan cells
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	cube := atpg.Cube{atpg.One, atpg.X, atpg.Zero, atpg.X, atpg.X, atpg.One, atpg.X, atpg.X}
+	seed, err := enc.EncodeCube(cube)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("cube:", cube)
+	fmt.Println("verified:", enc.Verify(cube, seed))
+	fmt.Printf("stored: %d bits instead of %d\n", enc.D.Width, len(cube))
+	// Output:
+	// cube: 1X0XX1XX
+	// verified: true
+	// stored: 32 bits instead of 8
+}

@@ -1,0 +1,295 @@
+package reseed
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/atpg"
+)
+
+func TestBitVecBasics(t *testing.T) {
+	v := NewBitVec(130)
+	if len(v) != 3 {
+		t.Fatalf("words = %d", len(v))
+	}
+	v.Set(0, true)
+	v.Set(64, true)
+	v.Set(129, true)
+	if !v.Get(0) || !v.Get(64) || !v.Get(129) || v.Get(1) {
+		t.Fatal("Get/Set wrong")
+	}
+	if v.OnesCount() != 3 {
+		t.Fatalf("OnesCount = %d", v.OnesCount())
+	}
+	if v.FirstSet() != 0 {
+		t.Fatalf("FirstSet = %d", v.FirstSet())
+	}
+	v.Set(0, false)
+	if v.FirstSet() != 64 {
+		t.Fatalf("FirstSet = %d", v.FirstSet())
+	}
+	c := v.Clone()
+	c.Xor(v)
+	if !c.IsZero() {
+		t.Fatal("x^x != 0")
+	}
+	if v.IsZero() {
+		t.Fatal("clone aliased")
+	}
+}
+
+func TestDotIsParityOfAnd(t *testing.T) {
+	f := func(a, b uint64) bool {
+		va := BitVec{a}
+		vb := BitVec{b}
+		want := false
+		for i := 0; i < 64; i++ {
+			if va.Get(i) && vb.Get(i) {
+				want = !want
+			}
+		}
+		return va.Dot(vb) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGF2SystemSolve(t *testing.T) {
+	// x0 ^ x1 = 1; x1 = 1 -> x0 = 0, x1 = 1.
+	s := newGF2System(4)
+	e1 := NewBitVec(4)
+	e1.Set(0, true)
+	e1.Set(1, true)
+	if !s.add(e1, true) {
+		t.Fatal("e1 rejected")
+	}
+	e2 := NewBitVec(4)
+	e2.Set(1, true)
+	if !s.add(e2, true) {
+		t.Fatal("e2 rejected")
+	}
+	x := s.solve()
+	if x.Get(0) || !x.Get(1) {
+		t.Fatalf("x = %v", x)
+	}
+	if s.rank() != 2 {
+		t.Fatalf("rank = %d", s.rank())
+	}
+	// Redundant consistent equation accepted.
+	if !s.add(e2.Clone(), true) {
+		t.Fatal("redundant rejected")
+	}
+	// Inconsistent equation rejected: x1 = 0 contradicts x1 = 1.
+	if s.add(e2.Clone(), false) {
+		t.Fatal("inconsistency accepted")
+	}
+}
+
+// TestGF2SystemRandomSolvable builds random consistent systems (from a
+// known solution) and checks the solver reproduces a valid solution.
+func TestGF2SystemRandomSolvable(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for round := 0; round < 100; round++ {
+		width := 8 + rng.Intn(120)
+		secret := NewBitVec(width)
+		for i := 0; i < width; i++ {
+			secret.Set(i, rng.Intn(2) == 1)
+		}
+		s := newGF2System(width)
+		var eqs []row
+		for k := 0; k < width*2; k++ {
+			c := NewBitVec(width)
+			for w := range c {
+				c[w] = rng.Uint64()
+			}
+			if r := width % 64; r != 0 {
+				c[len(c)-1] &= (uint64(1) << uint(r)) - 1
+			}
+			rhs := c.Dot(secret)
+			if !s.add(c, rhs) {
+				t.Fatalf("round %d: consistent equation rejected", round)
+			}
+			eqs = append(eqs, row{coeffs: c, rhs: rhs})
+		}
+		x := s.solve()
+		for i, e := range eqs {
+			if e.coeffs.Dot(x) != e.rhs {
+				t.Fatalf("round %d: equation %d violated by solution", round, i)
+			}
+		}
+	}
+}
+
+func TestDecompressorValidation(t *testing.T) {
+	if _, err := NewDecompressor(1, 4, 4); err == nil {
+		t.Fatal("width 1 accepted")
+	}
+	if _, err := NewDecompressor(32, 0, 4); err == nil {
+		t.Fatal("zero chains accepted")
+	}
+}
+
+func TestDecompressorExpandMatchesCoefficients(t *testing.T) {
+	d, err := NewDecompressor(48, 5, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumCells() != 35 {
+		t.Fatalf("cells = %d", d.NumCells())
+	}
+	rng := rand.New(rand.NewSource(3))
+	for round := 0; round < 20; round++ {
+		seed := NewBitVec(48)
+		for i := 0; i < 48; i++ {
+			seed.Set(i, rng.Intn(2) == 1)
+		}
+		pattern := d.Expand(seed)
+		for i := range pattern {
+			if pattern[i] != d.CellCoefficients(i).Dot(seed) {
+				t.Fatalf("cell %d mismatch", i)
+			}
+		}
+	}
+}
+
+// TestDecompressorLinearity: expanding seed a XOR seed b equals the
+// XOR of the expansions — the property the whole encoding rests on.
+func TestDecompressorLinearity(t *testing.T) {
+	d, err := NewDecompressor(64, 6, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(a, b uint64) bool {
+		sa, sb, sab := BitVec{a}, BitVec{b}, BitVec{a ^ b}
+		pa, pb, pab := d.Expand(sa), d.Expand(sb), d.Expand(sab)
+		for i := range pa {
+			if pab[i] != (pa[i] != pb[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncodeCubeRoundTrip(t *testing.T) {
+	enc, err := NewEncoder(96, 6, 8) // 48 cells, plenty of width
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	for round := 0; round < 50; round++ {
+		cube := make(atpg.Cube, 48)
+		for i := range cube {
+			switch rng.Intn(3) {
+			case 0:
+				cube[i] = atpg.Zero
+			case 1:
+				cube[i] = atpg.One
+			default:
+				cube[i] = atpg.X
+			}
+		}
+		seed, err := enc.EncodeCube(cube)
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if !enc.Verify(cube, seed) {
+			t.Fatalf("round %d: expansion does not match cube", round)
+		}
+	}
+}
+
+func TestEncodeCubeWrongLength(t *testing.T) {
+	enc, err := NewEncoder(64, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := enc.EncodeCube(make(atpg.Cube, 3)); err == nil {
+		t.Fatal("wrong-length cube accepted")
+	}
+}
+
+// TestNarrowWidthFallsBackToRaw: a fully specified cube over more cells
+// than the seed width is (almost surely) unsolvable and must land in
+// the raw fallback of EncodeSet.
+func TestNarrowWidthFallsBackToRaw(t *testing.T) {
+	enc, err := NewEncoder(8, 8, 8) // 64 cells, 8-bit seed
+	if err != nil {
+		t.Fatal(err)
+	}
+	dense := make(atpg.Cube, 64)
+	rng := rand.New(rand.NewSource(5))
+	for i := range dense {
+		dense[i] = atpg.FromBool(rng.Intn(2) == 1)
+	}
+	sparse := make(atpg.Cube, 64)
+	for i := range sparse {
+		sparse[i] = atpg.X
+	}
+	sparse[3] = atpg.One
+
+	out, err := enc.EncodeSet([]atpg.Cube{dense, sparse})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Unsolvable) != 1 || out.Unsolvable[0] != 0 {
+		t.Fatalf("unsolvable = %v", out.Unsolvable)
+	}
+	if len(out.Seeds) != 1 || out.SeedBits != 8 || out.RawBits != 64 {
+		t.Fatalf("encoded = %+v", out)
+	}
+	if out.TotalBytes() != 1+8 {
+		t.Fatalf("TotalBytes = %d", out.TotalBytes())
+	}
+}
+
+// TestCompressionBeatsRawForSparseCubes: lightly specified cubes (the
+// typical late-top-off case) compress far below one bit per cell.
+func TestCompressionBeatsRawForSparseCubes(t *testing.T) {
+	const cells = 400
+	enc, err := NewEncoder(64, 20, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(6))
+	var cubes []atpg.Cube
+	for k := 0; k < 30; k++ {
+		c := make(atpg.Cube, cells)
+		for i := range c {
+			c[i] = atpg.X
+		}
+		for b := 0; b < 20; b++ { // 20 care bits ≪ 64-bit seed
+			c[rng.Intn(cells)] = atpg.FromBool(rng.Intn(2) == 1)
+		}
+		cubes = append(cubes, c)
+	}
+	out, err := enc.EncodeSet(cubes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Unsolvable) != 0 {
+		t.Fatalf("unsolvable sparse cubes: %v", out.Unsolvable)
+	}
+	ratio := enc.CompressionRatio(out, len(cubes))
+	if ratio < 5 {
+		t.Fatalf("compression ratio = %.1f, want > 5x", ratio)
+	}
+	// Every seed must verify.
+	for i, seed := range out.Seeds {
+		if !enc.Verify(cubes[i], seed) {
+			t.Fatalf("seed %d does not reproduce its cube", i)
+		}
+	}
+}
+
+func TestErrUnsolvableMessage(t *testing.T) {
+	e := &ErrUnsolvable{CareBits: 70, Width: 8}
+	if e.Error() == "" {
+		t.Fatal("empty error")
+	}
+}

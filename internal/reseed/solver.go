@@ -1,0 +1,84 @@
+package reseed
+
+import "fmt"
+
+// gf2System is an incremental GF(2) linear system in row-echelon form:
+// each stored row has a unique pivot column.
+type gf2System struct {
+	width  int
+	pivots map[int]row // pivot column -> row
+}
+
+type row struct {
+	coeffs BitVec
+	rhs    bool
+}
+
+func newGF2System(width int) *gf2System {
+	return &gf2System{width: width, pivots: make(map[int]row)}
+}
+
+// add reduces the equation (coeffs · x = rhs) against the basis and
+// inserts it. It returns false on inconsistency (0 = 1); a reduced
+// all-zero row with rhs 0 is redundant and accepted.
+func (s *gf2System) add(coeffs BitVec, rhs bool) bool {
+	c := coeffs.Clone()
+	for {
+		p := c.FirstSet()
+		if p == -1 {
+			return !rhs // 0 = rhs
+		}
+		r, exists := s.pivots[p]
+		if !exists {
+			s.pivots[p] = row{coeffs: c, rhs: rhs}
+			return true
+		}
+		c.Xor(r.coeffs)
+		rhs = rhs != r.rhs
+	}
+}
+
+// solve returns one particular solution (free variables zero).
+// Back-substitution runs from the highest pivot down.
+func (s *gf2System) solve() BitVec {
+	x := NewBitVec(s.width)
+	// Process pivots in descending order so lower-pivot rows see the
+	// already-fixed higher bits.
+	order := make([]int, 0, len(s.pivots))
+	for p := range s.pivots {
+		order = append(order, p)
+	}
+	// Insertion sort descending (pivot counts are small).
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0 && order[j] > order[j-1]; j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	for _, p := range order {
+		r := s.pivots[p]
+		// x_p = rhs XOR Σ_{q>p, coeff q set} x_q.
+		v := r.rhs
+		// Clear the pivot bit, dot the rest with the partial solution.
+		c := r.coeffs.Clone()
+		c.Set(p, false)
+		if c.Dot(x) {
+			v = !v
+		}
+		x.Set(p, v)
+	}
+	return x
+}
+
+// rank returns the number of independent equations absorbed.
+func (s *gf2System) rank() int { return len(s.pivots) }
+
+// ErrUnsolvable reports a cube whose care bits exceed the decompressor
+// seed's expressive power.
+type ErrUnsolvable struct {
+	CareBits int
+	Width    int
+}
+
+func (e *ErrUnsolvable) Error() string {
+	return fmt.Sprintf("reseed: cube with %d care bits unsolvable for seed width %d", e.CareBits, e.Width)
+}

@@ -1,0 +1,203 @@
+package schedule
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/casestudy"
+	"repro/internal/core"
+	"repro/internal/model"
+)
+
+func fixture(t *testing.T, storage int) *model.Implementation {
+	t.Helper()
+	spec, err := casestudy.Small(3, 4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := core.NewGreedyDecoder(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec.StorageChoice = storage
+	g := make([]float64, dec.GenotypeLen())
+	for i := range g {
+		g[i] = 0.9
+	}
+	x, err := dec.Decode(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return x
+}
+
+func TestEventsNeeded(t *testing.T) {
+	cases := []struct {
+		transfer, session, budget float64
+		events                    int
+		ok                        bool
+	}{
+		{0, 5, 10, 1, true},            // local, fits
+		{0, 15, 10, 0, false},          // session exceeds window
+		{4, 5, 10, 1, true},            // transfer+session fit one event
+		{6, 5, 10, 2, true},            // 6 > 10-5: spill into 2nd event
+		{25, 5, 10, 4, true},           // 10+10+(5≤10-5): 3 transfers... checked below
+		{math.Inf(1), 5, 10, 0, false}, // no bandwidth
+		{100, 5, 0, 0, false},          // no window
+	}
+	for i, c := range cases {
+		events, ok := eventsNeeded(c.transfer, c.session, c.budget)
+		if ok != c.ok {
+			t.Errorf("case %d: ok = %v", i, ok)
+			continue
+		}
+		if !ok {
+			continue
+		}
+		if i == 4 {
+			// transfer 25 over windows of 10 with 5 session: events 1..3
+			// remove 10 each until remaining ≤ 5; 25→15→5 ≤ 5 at event 3.
+			if events != 3 {
+				t.Errorf("case 4: events = %d, want 3", events)
+			}
+			continue
+		}
+		if events != c.events {
+			t.Errorf("case %d: events = %d, want %d", i, events, c.events)
+		}
+	}
+}
+
+func TestPeriodicTestLocalIsOneEvent(t *testing.T) {
+	x := fixture(t, 1)
+	// Table I's longest session is 965 ms; a 2 s window fits every one.
+	plan := PeriodicTest(x, 2000)
+	if !plan.Complete {
+		t.Fatalf("plan incomplete: %+v", plan)
+	}
+	if plan.LatencyEvents != 1 {
+		t.Fatalf("latency = %d events", plan.LatencyEvents)
+	}
+	for _, p := range plan.PerECU {
+		if p.TransferMS != 0 || p.Events != 1 || !p.Feasible {
+			t.Fatalf("local plan = %+v", p)
+		}
+	}
+}
+
+func TestPeriodicTestGatewayNeedsManyEvents(t *testing.T) {
+	x := fixture(t, -1)
+	plan := PeriodicTest(x, 2000)
+	if len(plan.PerECU) == 0 {
+		t.Fatal("no sessions planned")
+	}
+	anyMulti := false
+	for _, p := range plan.PerECU {
+		if math.IsInf(p.TransferMS, 1) {
+			continue
+		}
+		if p.Feasible && p.Events > 1 {
+			anyMulti = true
+		}
+	}
+	if plan.Complete && plan.LatencyEvents <= 1 {
+		t.Fatalf("gateway transfer completed in one 2 s window: %+v", plan)
+	}
+	if !anyMulti && plan.Complete {
+		t.Fatal("no multi-event transfer despite gateway storage")
+	}
+}
+
+func TestPeriodicTestTinyWindowInfeasible(t *testing.T) {
+	x := fixture(t, 1)
+	// 1 ms window is below several Table I session runtimes.
+	plan := PeriodicTest(x, 1)
+	if plan.Complete {
+		t.Fatalf("1 ms window reported complete: %+v", plan)
+	}
+}
+
+func TestMinimumBudgetMonotone(t *testing.T) {
+	x := fixture(t, -1)
+	b1 := MinimumBudgetMS(x, 1)
+	b5 := MinimumBudgetMS(x, 5)
+	if math.IsInf(b1, 1) || math.IsInf(b5, 1) {
+		t.Skip("infinite transfer on some ECU")
+	}
+	if b5 > b1 {
+		t.Fatalf("more events must not need a larger window: %v vs %v", b5, b1)
+	}
+	// The found budget must actually work, and a slightly smaller one
+	// must not.
+	if p := PeriodicTest(x, b1*1.001); !p.Complete || p.LatencyEvents > 1 {
+		t.Fatalf("budget %v insufficient: %+v", b1, p)
+	}
+	if p := PeriodicTest(x, b1*0.9); p.Complete && p.LatencyEvents <= 1 {
+		t.Fatalf("budget %v unexpectedly sufficient", b1*0.9)
+	}
+}
+
+func TestPeriodicTestNoBIST(t *testing.T) {
+	spec, err := casestudy.Small(2, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := core.NewGreedyDecoder(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := dec.Decode(make([]float64, dec.GenotypeLen()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := PeriodicTest(x, 1000)
+	if !plan.Complete || plan.LatencyEvents != 0 || len(plan.PerECU) != 0 {
+		t.Fatalf("empty plan = %+v", plan)
+	}
+}
+
+func TestDetectionLatencies(t *testing.T) {
+	plan := Plan{PerECU: []ECUPlan{
+		{ECU: "a", Events: 1, Feasible: true},
+		{ECU: "b", Events: 4, Feasible: true},
+		{ECU: "c", Feasible: false},
+	}}
+	lats := DetectionLatencies(plan)
+	if len(lats) != 2 {
+		t.Fatalf("latencies = %d", len(lats))
+	}
+	// L=1: fault at the only offset 0 -> detected 1 event later.
+	if lats[0].WorstEvents != 1 || lats[0].ExpectedEvents != 1 {
+		t.Fatalf("L=1 latency = %+v", lats[0])
+	}
+	// L=4: worst 7; expected = mean(7,6,5,4) = 5.5.
+	if lats[1].WorstEvents != 7 || lats[1].ExpectedEvents != 5.5 {
+		t.Fatalf("L=4 latency = %+v", lats[1])
+	}
+}
+
+// TestLatencyStorageTradeoff: local storage (1-event cycles) detects
+// faults within at most one drive cycle; gateway storage multiplies the
+// latency by the transfer's event count.
+func TestLatencyStorageTradeoff(t *testing.T) {
+	local := DetectionLatencies(PeriodicTest(fixture(t, 1), 2000))
+	gateway := DetectionLatencies(PeriodicTest(fixture(t, -1), 2000))
+	if len(local) == 0 || len(gateway) == 0 {
+		t.Skip("no latencies")
+	}
+	worst := func(ls []Latency) int {
+		w := 0
+		for _, l := range ls {
+			if l.WorstEvents > w {
+				w = l.WorstEvents
+			}
+		}
+		return w
+	}
+	if worst(local) != 1 {
+		t.Fatalf("local worst latency = %d events", worst(local))
+	}
+	if worst(gateway) <= worst(local) {
+		t.Fatalf("gateway latency %d not above local %d", worst(gateway), worst(local))
+	}
+}

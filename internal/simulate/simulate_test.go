@@ -1,0 +1,323 @@
+package simulate
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/can"
+	"repro/internal/casestudy"
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/objective"
+)
+
+var simBus = can.Bus{BitRate: 500_000}
+
+func TestSimulateBusSingleFrame(t *testing.T) {
+	frames := []can.Frame{{ID: "a", Priority: 1, Payload: 8, PeriodMS: 10}}
+	trace, err := SimulateBus(simBus, frames, 35)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trace) != 4 { // releases at 0, 10, 20, 30
+		t.Fatalf("instances = %d", len(trace))
+	}
+	tx := simBus.TxTimeMS(8)
+	for i, r := range trace {
+		if r.Release != float64(i)*10 {
+			t.Fatalf("release %d = %v", i, r.Release)
+		}
+		if r.Start != r.Release || math.Abs(r.ResponseMS()-tx) > 1e-12 {
+			t.Fatalf("record %d = %+v", i, r)
+		}
+	}
+}
+
+func TestSimulateBusArbitration(t *testing.T) {
+	// Two frames released together: the higher priority goes first, the
+	// lower one waits out the transmission.
+	frames := []can.Frame{
+		{ID: "lo", Priority: 5, Payload: 8, PeriodMS: 100},
+		{ID: "hi", Priority: 1, Payload: 8, PeriodMS: 100},
+	}
+	trace, err := SimulateBus(simBus, frames, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trace) != 2 || trace[0].Frame != "hi" || trace[1].Frame != "lo" {
+		t.Fatalf("trace = %+v", trace)
+	}
+	if trace[1].Start != trace[0].Finish {
+		t.Fatal("no back-to-back arbitration")
+	}
+}
+
+func TestSimulateBusValidation(t *testing.T) {
+	if _, err := SimulateBus(simBus, []can.Frame{{ID: "x", Payload: 8}}, 10); err == nil {
+		t.Fatal("invalid frame accepted")
+	}
+	if _, err := SimulateBus(simBus, nil, -1); err == nil {
+		t.Fatal("negative horizon accepted")
+	}
+}
+
+// TestSimulatedWCRTWithinAnalyticBound: observed response times never
+// exceed the response-time analysis bound.
+func TestSimulatedWCRTWithinAnalyticBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	periods := []float64{5, 10, 20, 50}
+	for round := 0; round < 20; round++ {
+		var frames []can.Frame
+		n := 3 + rng.Intn(6)
+		for i := 0; i < n; i++ {
+			frames = append(frames, can.Frame{
+				ID: string(rune('a' + i)), Priority: 1 + i,
+				Payload:  1 + rng.Intn(8),
+				PeriodMS: periods[rng.Intn(len(periods))],
+			})
+		}
+		bounds, err := can.ResponseTimesByID(simBus, frames)
+		if err != nil {
+			t.Fatal(err)
+		}
+		trace, err := SimulateBus(simBus, frames, 500)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for frame, worst := range WorstResponse(trace) {
+			b := bounds[frame]
+			if b.Schedulable && worst > b.WCRTms+1e-9 {
+				t.Fatalf("round %d: frame %s observed %.4f > bound %.4f", round, frame, worst, b.WCRTms)
+			}
+		}
+	}
+}
+
+// TestMirrorTraceEquivalence is the Section III-B claim at its
+// strongest: swapping an ECU's functional frames for mirrors yields a
+// slot-for-slot identical bus schedule.
+func TestMirrorTraceEquivalence(t *testing.T) {
+	own := []can.Frame{
+		{ID: "c1", Priority: 2, Payload: 8, PeriodMS: 10},
+		{ID: "c2", Priority: 6, Payload: 4, PeriodMS: 20},
+	}
+	others := []can.Frame{
+		{ID: "o1", Priority: 1, Payload: 8, PeriodMS: 10},
+		{ID: "o2", Priority: 4, Payload: 8, PeriodMS: 20},
+		{ID: "o3", Priority: 9, Payload: 8, PeriodMS: 50},
+	}
+	before, err := SimulateBus(simBus, append(append([]can.Frame(nil), own...), others...), 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mirrored := can.Mirror(own, "'")
+	after, err := SimulateBus(simBus, append(append([]can.Frame(nil), mirrored...), others...), 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i := TraceEquivalent(before, after, "'"); i != -1 {
+		t.Fatalf("traces diverge at slot %d: %+v vs %+v", i, before[i], after[i])
+	}
+}
+
+func TestTraceEquivalentDetectsDifference(t *testing.T) {
+	a := []TxRecord{{Frame: "x", Start: 0, Finish: 1}}
+	b := []TxRecord{{Frame: "x", Start: 0, Finish: 2}}
+	if TraceEquivalent(a, b, "'") != 0 {
+		t.Fatal("timing difference missed")
+	}
+	c := []TxRecord{{Frame: "y", Start: 0, Finish: 1}}
+	if TraceEquivalent(a, c, "'") != 0 {
+		t.Fatal("identity difference missed")
+	}
+	if TraceEquivalent(a, append(a, a...), "'") != 1 {
+		t.Fatal("length difference missed")
+	}
+	if TraceEquivalent(a, []TxRecord{{Frame: "x'", Start: 0, Finish: 1}}, "'") != -1 {
+		t.Fatal("mirror identity rejected")
+	}
+}
+
+// shutOffFixture builds a small implementation with all BIST on and
+// the chosen storage mode.
+func shutOffFixture(t *testing.T, storage int) *model.Implementation {
+	t.Helper()
+	spec, err := casestudy.Small(3, 4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := core.NewGreedyDecoder(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec.StorageChoice = storage
+	g := make([]float64, dec.GenotypeLen())
+	for i := range g {
+		g[i] = 0.9
+	}
+	x, err := dec.Decode(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return x
+}
+
+func TestShutOffLocalMatchesAnalytic(t *testing.T) {
+	x := shutOffFixture(t, 1)
+	rep, err := ShutOff(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Traces) == 0 {
+		t.Fatal("no BIST sessions simulated")
+	}
+	// Local storage: simulation equals Eq. (5) exactly (no transfer).
+	if math.Abs(rep.ShutOffMS-rep.AnalyticMS) > 1e-9 {
+		t.Fatalf("sim %.3f vs analytic %.3f", rep.ShutOffMS, rep.AnalyticMS)
+	}
+	for _, tr := range rep.Traces {
+		if tr.TransferMS != 0 || tr.FramesUsed != 0 {
+			t.Fatalf("local trace has transfer: %+v", tr)
+		}
+	}
+}
+
+// TestShutOffGatewayWithinQuantization: the simulated transfer may
+// exceed the fluid Eq. (1) time by at most one slot period per message,
+// and can also complete slightly early (the last frame carries a full
+// payload even if fewer bytes remain).
+func TestShutOffGatewayWithinQuantization(t *testing.T) {
+	x := shutOffFixture(t, -1)
+	rep, err := ShutOff(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsInf(rep.AnalyticMS, 1) {
+		t.Skip("no mirrored bandwidth on some ECU")
+	}
+	for _, tr := range rep.Traces {
+		if tr.TransferMS == 0 {
+			continue
+		}
+		lo, hi := 0.5*tr.AnalyticMS, 1.5*tr.AnalyticMS+200
+		if tr.CompleteMS < lo || tr.CompleteMS > hi {
+			t.Fatalf("ECU %s: simulated %.1f ms outside [%.1f, %.1f] around analytic %.1f",
+				tr.ECU, tr.CompleteMS, lo, hi, tr.AnalyticMS)
+		}
+		if tr.FramesUsed == 0 {
+			t.Fatalf("ECU %s: transfer without frames", tr.ECU)
+		}
+	}
+	// System shut-off dominated by the slowest ECU.
+	worst := 0.0
+	for _, tr := range rep.Traces {
+		if tr.CompleteMS > worst {
+			worst = tr.CompleteMS
+		}
+	}
+	if rep.ShutOffMS != worst {
+		t.Fatalf("ShutOffMS %.1f != max trace %.1f", rep.ShutOffMS, worst)
+	}
+}
+
+// TestShutOffValidatesEq5Ordering: gateway storage simulates strictly
+// slower than local storage on the same genotype — the executable
+// counterpart of the Eq. (5) case split.
+func TestShutOffValidatesEq5Ordering(t *testing.T) {
+	local, err := ShutOff(shutOffFixture(t, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gateway, err := ShutOff(shutOffFixture(t, -1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gateway.ShutOffMS <= local.ShutOffMS {
+		t.Fatalf("gateway %.1f not slower than local %.1f", gateway.ShutOffMS, local.ShutOffMS)
+	}
+}
+
+func TestShutOffNoBIST(t *testing.T) {
+	spec, err := casestudy.Small(2, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := core.NewGreedyDecoder(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := make([]float64, dec.GenotypeLen())
+	x, err := dec.Decode(g) // all genes 0: no BIST anywhere
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := ShutOff(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ShutOffMS != 0 || len(rep.Traces) != 0 {
+		t.Fatalf("report = %+v", rep)
+	}
+	if objective.ShutOffTimeMS(x) != 0 {
+		t.Fatal("analytic disagrees")
+	}
+}
+
+// TestBusyPeriodRTAUpperBoundsHighUtilization: with the exact
+// multi-instance analysis, simulated response times stay below the
+// analytic bound even when some frames are pushed past their period
+// (utilization near but under 1).
+func TestBusyPeriodRTAUpperBoundsHighUtilization(t *testing.T) {
+	// 0.27 ms frames: three at 1 ms + one at 4 ms ≈ 0.88 utilization;
+	// the low-priority frame's WCRT exceeds its own transmission window.
+	frames := []can.Frame{
+		{ID: "a", Priority: 1, Payload: 8, PeriodMS: 1},
+		{ID: "b", Priority: 2, Payload: 8, PeriodMS: 1},
+		{ID: "c", Priority: 3, Payload: 8, PeriodMS: 1},
+		{ID: "d", Priority: 4, Payload: 8, PeriodMS: 4},
+	}
+	bounds, err := can.ResponseTimesByID(simBus, frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsInf(bounds["d"].WCRTms, 1) {
+		t.Fatalf("busy period diverged at utilization < 1: %+v", bounds["d"])
+	}
+	trace, err := SimulateBus(simBus, frames, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for frame, worst := range WorstResponse(trace) {
+		if worst > bounds[frame].WCRTms+1e-9 {
+			t.Fatalf("frame %s observed %.4f > exact bound %.4f", frame, worst, bounds[frame].WCRTms)
+		}
+	}
+	// The bound must be tight-ish for d: within 3 frame times of the
+	// observation (the trace releases everything synchronously, which is
+	// the critical instant here).
+	if bounds["d"].WCRTms > WorstResponse(trace)["d"]+3*simBus.TxTimeMS(8) {
+		t.Fatalf("bound %.4f far above observed %.4f", bounds["d"].WCRTms, WorstResponse(trace)["d"])
+	}
+}
+
+// TestRTADivergesAtOverUtilization: utilization > 1 must yield an
+// infinite WCRT rather than a bogus finite bound.
+func TestRTADivergesAtOverUtilization(t *testing.T) {
+	var frames []can.Frame
+	for i := 0; i < 5; i++ {
+		frames = append(frames, can.Frame{
+			ID: string(rune('a' + i)), Priority: i + 1, Payload: 8, PeriodMS: 1,
+		})
+	}
+	bounds, err := can.ResponseTimesByID(simBus, frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(bounds["e"].WCRTms, 1) {
+		t.Fatalf("lowest priority at 135%% utilization got finite WCRT %v", bounds["e"].WCRTms)
+	}
+	if bounds["e"].Schedulable {
+		t.Fatal("overloaded frame schedulable")
+	}
+}

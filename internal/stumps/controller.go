@@ -1,0 +1,113 @@
+package stumps
+
+import "fmt"
+
+// Phase enumerates the BIST controller's session states. The paper's
+// Section II: "The application of a BIST session requires that a chip
+// enters a special test mode ... the state of the chip has to be
+// restored to a known state before the enclosing ECU can make use of
+// the chip."
+type Phase int
+
+const (
+	// PhaseIdle is functional operation, before or after a session.
+	PhaseIdle Phase = iota
+	// PhaseEnterTest isolates the chip from its functional environment.
+	PhaseEnterTest
+	// PhaseApply shifts and captures the patterns of one diagnostic
+	// window.
+	PhaseApply
+	// PhaseReadSignature unloads the MISR after a window.
+	PhaseReadSignature
+	// PhaseRestore replays the state-restore procedure.
+	PhaseRestore
+	// PhaseDone terminates the session.
+	PhaseDone
+)
+
+// String returns the phase mnemonic.
+func (p Phase) String() string {
+	switch p {
+	case PhaseIdle:
+		return "idle"
+	case PhaseEnterTest:
+		return "enter-test"
+	case PhaseApply:
+		return "apply"
+	case PhaseReadSignature:
+		return "read-signature"
+	case PhaseRestore:
+		return "restore"
+	case PhaseDone:
+		return "done"
+	default:
+		return fmt.Sprintf("Phase(%d)", int(p))
+	}
+}
+
+// PhaseStep is one controller transition with its cycle cost.
+type PhaseStep struct {
+	Phase  Phase
+	Window int // window index for Apply/ReadSignature, -1 otherwise
+	Cycles int
+}
+
+// enterTestCycles and readSignatureCycles model the fixed controller
+// overheads (mode switch and MISR unload).
+const (
+	enterTestCycles     = 16
+	readSignatureCycles = 2
+)
+
+// Controller generates the phase trace of a session: the explicit state
+// machine behind Session.SessionCycles. It exists so that timing
+// claims (Eq. 5 session runtimes) trace back to an executable model
+// rather than a closed-form count alone.
+type Controller struct {
+	Cfg Config
+}
+
+// Trace returns the full phase sequence for a session of nPatterns.
+func (c Controller) Trace(nPatterns int) []PhaseStep {
+	cfg := c.Cfg.withDefaults()
+	steps := []PhaseStep{
+		{Phase: PhaseEnterTest, Window: -1, Cycles: enterTestCycles},
+	}
+	done := 0
+	window := 0
+	for done < nPatterns {
+		n := cfg.WindowPatterns
+		if rest := nPatterns - done; n > rest {
+			n = rest
+		}
+		steps = append(steps,
+			PhaseStep{Phase: PhaseApply, Window: window, Cycles: n * (cfg.ChainLen + 1)},
+			PhaseStep{Phase: PhaseReadSignature, Window: window, Cycles: readSignatureCycles},
+		)
+		done += n
+		window++
+	}
+	steps = append(steps,
+		PhaseStep{Phase: PhaseRestore, Window: -1, Cycles: cfg.RestoreCycles},
+		PhaseStep{Phase: PhaseDone, Window: -1, Cycles: 0},
+	)
+	return steps
+}
+
+// TotalCycles sums the trace.
+func (c Controller) TotalCycles(nPatterns int) int {
+	total := 0
+	for _, s := range c.Trace(nPatterns) {
+		total += s.Cycles
+	}
+	return total
+}
+
+// OverheadCycles returns the controller cycles beyond the raw pattern
+// application counted by Session.SessionCycles (test-mode entry plus
+// per-window signature unloads).
+func (c Controller) OverheadCycles(nPatterns int) int {
+	cfg := c.Cfg.withDefaults()
+	windows := (nPatterns + cfg.WindowPatterns - 1) / cfg.WindowPatterns
+	return enterTestCycles + windows*readSignatureCycles
+}

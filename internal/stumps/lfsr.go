@@ -1,0 +1,136 @@
+// Package stumps implements the STUMPS BIST architecture of the paper's
+// Fig. 1 (Self-Testing Unit using MISR and Parallel Shift register
+// sequence generator, Bardell & McAnney, ITC'82): an LFSR test pattern
+// generator feeding scan chains through a phase shifter, a MISR test
+// response evaluator, intermediate diagnostic signatures, and the fail
+// data collection the paper's diagnosis flow relies on.
+package stumps
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// primitiveTaps maps register widths to Galois feedback masks derived
+// from maximal-length tap tables (Xilinx XAPP052): Fibonacci taps
+// [w, a, b, c] correspond to the primitive characteristic polynomial
+// x^w + x^a + x^b + x^c + 1, whose Galois left-shift feedback mask sets
+// bits a, b, c and 0.
+var primitiveTaps = map[int]uint64{
+	8:  1<<6 | 1<<5 | 1<<4 | 1,    // [8,6,5,4]
+	16: 1<<15 | 1<<13 | 1<<4 | 1,  // [16,15,13,4]
+	24: 1<<23 | 1<<22 | 1<<17 | 1, // [24,23,22,17]
+	32: 1<<22 | 1<<2 | 1<<1 | 1,   // [32,22,2,1]
+	48: 1<<47 | 1<<21 | 1<<20 | 1, // [48,47,21,20]
+	64: 1<<63 | 1<<61 | 1<<60 | 1, // [64,63,61,60]
+}
+
+// PrimitiveTaps returns the maximal-length tap mask for a supported
+// width (8, 16, 24, 32, 48, 64).
+func PrimitiveTaps(width int) (uint64, error) {
+	t, ok := primitiveTaps[width]
+	if !ok {
+		return 0, fmt.Errorf("stumps: no primitive polynomial for width %d", width)
+	}
+	return t, nil
+}
+
+// LFSR is a Galois (internal-XOR) linear feedback shift register.
+type LFSR struct {
+	width int
+	taps  uint64
+	mask  uint64
+	state uint64
+}
+
+// NewLFSR returns an LFSR of the given width with the given taps and
+// seed. A zero seed is mapped to 1 (the all-zero state is a fixed
+// point).
+func NewLFSR(width int, taps, seed uint64) (*LFSR, error) {
+	if width < 2 || width > 64 {
+		return nil, fmt.Errorf("stumps: LFSR width %d outside [2,64]", width)
+	}
+	mask := ^uint64(0)
+	if width < 64 {
+		mask = (uint64(1) << uint(width)) - 1
+	}
+	if taps&mask == 0 {
+		return nil, fmt.Errorf("stumps: LFSR taps empty within width %d", width)
+	}
+	s := seed & mask
+	if s == 0 {
+		s = 1
+	}
+	return &LFSR{width: width, taps: taps & mask, mask: mask, state: s}, nil
+}
+
+// NewMaximalLFSR returns an LFSR with the built-in primitive polynomial
+// for the width.
+func NewMaximalLFSR(width int, seed uint64) (*LFSR, error) {
+	taps, err := PrimitiveTaps(width)
+	if err != nil {
+		return nil, err
+	}
+	return NewLFSR(width, taps, seed)
+}
+
+// State returns the current register contents.
+func (l *LFSR) State() uint64 { return l.state }
+
+// Width returns the register width in bits.
+func (l *LFSR) Width() int { return l.width }
+
+// Step advances the register one clock in Galois (internal-XOR) form
+// and returns the serial output bit (the bit shifted out at the MSB).
+func (l *LFSR) Step() bool {
+	out := l.state>>uint(l.width-1)&1 == 1
+	l.state = (l.state << 1) & l.mask
+	if out {
+		l.state ^= l.taps
+	}
+	return out
+}
+
+// PhaseShifter spreads the LFSR state over many scan chains, breaking
+// the shift correlation between neighboring chains. Chain i receives the
+// parity of the state ANDed with a per-chain spread mask.
+type PhaseShifter struct {
+	masks []uint64
+}
+
+// NewPhaseShifter builds a phase shifter for nChains chains over an
+// LFSR of the given width. The spread masks are dense pseudo-random
+// constants derived from the chain index; they are deterministic so a
+// session can be replayed exactly.
+func NewPhaseShifter(nChains, width int) *PhaseShifter {
+	mask := ^uint64(0)
+	if width < 64 {
+		mask = (uint64(1) << uint(width)) - 1
+	}
+	masks := make([]uint64, nChains)
+	x := uint64(0x9E3779B97F4A7C15)
+	for i := range masks {
+		// splitmix64 step per chain.
+		x += 0x9E3779B97F4A7C15
+		z := x
+		z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+		z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+		z ^= z >> 31
+		m := z & mask
+		if m == 0 {
+			m = 1
+		}
+		masks[i] = m
+	}
+	return &PhaseShifter{masks: masks}
+}
+
+// Outputs returns the per-chain bits for the given LFSR state.
+func (p *PhaseShifter) Outputs(state uint64, dst []bool) {
+	for i, m := range p.masks {
+		dst[i] = bits.OnesCount64(state&m)&1 == 1
+	}
+}
+
+// NumChains returns the number of chains served.
+func (p *PhaseShifter) NumChains() int { return len(p.masks) }

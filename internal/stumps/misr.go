@@ -1,0 +1,76 @@
+package stumps
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// MISR is a multiple-input signature register: a linear compactor that
+// folds one response word per scan cycle into its state. After a test
+// (interval) the state is the signature.
+type MISR struct {
+	width int
+	taps  uint64
+	mask  uint64
+	state uint64
+}
+
+// NewMISR returns a MISR of the given width using the built-in
+// primitive polynomial.
+func NewMISR(width int) (*MISR, error) {
+	taps, err := PrimitiveTaps(width)
+	if err != nil {
+		return nil, err
+	}
+	mask := ^uint64(0)
+	if width < 64 {
+		mask = (uint64(1) << uint(width)) - 1
+	}
+	return &MISR{width: width, taps: taps, mask: mask}, nil
+}
+
+// Reset clears the register to the all-zero state.
+func (m *MISR) Reset() { m.state = 0 }
+
+// Width returns the register width.
+func (m *MISR) Width() int { return m.width }
+
+// Signature returns the current compacted state.
+func (m *MISR) Signature() uint64 { return m.state }
+
+// CompactWord folds one response word (already width-aligned) into the
+// register: the state advances by one LFSR step and XORs the inputs in.
+func (m *MISR) CompactWord(word uint64) {
+	fb := uint64(bits.OnesCount64(m.state&m.taps) & 1)
+	m.state = ((m.state >> 1) | (fb << uint(m.width-1))) & m.mask
+	m.state ^= word & m.mask
+}
+
+// CompactBits folds an arbitrary-length response bit vector into the
+// register by first XOR-folding it to the register width — the spatial
+// compaction in front of the MISR.
+func (m *MISR) CompactBits(resp []bool) {
+	var word uint64
+	for i, b := range resp {
+		if b {
+			word ^= 1 << uint(i%m.width)
+		}
+	}
+	m.CompactWord(word)
+}
+
+// FoldWords XOR-folds per-output 64-pattern words into per-pattern MISR
+// input words: result[p] packs the response bits of pattern p.
+func FoldWords(outputs []uint64, width, nPatterns int) ([]uint64, error) {
+	if width < 1 || width > 64 {
+		return nil, fmt.Errorf("stumps: fold width %d outside [1,64]", width)
+	}
+	res := make([]uint64, nPatterns)
+	for i, w := range outputs {
+		pos := uint(i % width)
+		for p := 0; p < nPatterns; p++ {
+			res[p] ^= (w >> uint(p) & 1) << pos
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,264 @@
+package stumps
+
+import (
+	"fmt"
+
+	"repro/internal/faultsim"
+	"repro/internal/netlist"
+)
+
+// Config parameterizes a STUMPS BIST session.
+type Config struct {
+	Chains   int // number of scan chains
+	ChainLen int // cells per chain (the longest chain dominates timing)
+
+	LFSRWidth int // TPG width; default 32
+	MISRWidth int // TRE width; default 32
+	Seed      uint64
+
+	// WindowPatterns is the number of patterns per diagnostic window: an
+	// intermediate signature is read out (and the MISR reset) after each
+	// window, following the strong-windows self-diagnosis scheme the
+	// paper builds on. Default 32.
+	WindowPatterns int
+
+	// TestClockHz is the scan clock (the paper's CUT runs at 40 MHz).
+	TestClockHz float64
+
+	// RestoreCycles models the state-restore procedure after test
+	// application, before the ECU can resume functional operation.
+	RestoreCycles int
+}
+
+func (c Config) withDefaults() Config {
+	if c.LFSRWidth == 0 {
+		c.LFSRWidth = 32
+	}
+	if c.MISRWidth == 0 {
+		c.MISRWidth = 32
+	}
+	if c.WindowPatterns == 0 {
+		c.WindowPatterns = 32
+	}
+	if c.TestClockHz == 0 {
+		c.TestClockHz = 40e6
+	}
+	return c
+}
+
+// PRPG is the pseudo-random pattern generator of the session: LFSR plus
+// phase shifter expanded through the scan chains. It implements
+// faultsim.PatternSource. The same Config and Seed always replay the
+// same sequence.
+type PRPG struct {
+	lfsr      *LFSR
+	ps        *PhaseShifter
+	chains    int
+	chainLen  int
+	nInputs   int
+	chainBits []bool
+	generated int
+}
+
+// NewPRPG builds the pattern generator for a circuit with
+// cfg.Chains*cfg.ChainLen scan cells.
+func NewPRPG(cfg Config) (*PRPG, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Chains < 1 || cfg.ChainLen < 1 {
+		return nil, fmt.Errorf("stumps: need positive Chains and ChainLen")
+	}
+	l, err := NewMaximalLFSR(cfg.LFSRWidth, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	return &PRPG{
+		lfsr:      l,
+		ps:        NewPhaseShifter(cfg.Chains, cfg.LFSRWidth),
+		chains:    cfg.Chains,
+		chainLen:  cfg.ChainLen,
+		nInputs:   cfg.Chains * cfg.ChainLen,
+		chainBits: make([]bool, cfg.Chains),
+	}, nil
+}
+
+// NumInputs returns the scan cell count the generator fills.
+func (p *PRPG) NumInputs() int { return p.nInputs }
+
+// Generated returns the number of patterns produced so far.
+func (p *PRPG) Generated() int { return p.generated }
+
+// NextPattern shifts one full pattern into the chains: scan cell
+// (chain i, position s) receives the phase-shifter output of chain i at
+// shift cycle s. The pattern is indexed input = chain*chainLen + pos.
+func (p *PRPG) NextPattern() []bool {
+	pat := make([]bool, p.nInputs)
+	for s := 0; s < p.chainLen; s++ {
+		p.lfsr.Step()
+		p.ps.Outputs(p.lfsr.State(), p.chainBits)
+		for c := 0; c < p.chains; c++ {
+			pat[c*p.chainLen+s] = p.chainBits[c]
+		}
+	}
+	p.generated++
+	return pat
+}
+
+// NextBatch implements faultsim.PatternSource.
+func (p *PRPG) NextBatch(n int) faultsim.Batch {
+	if n > 64 {
+		n = 64
+	}
+	if n < 1 {
+		n = 1
+	}
+	words := make([]uint64, p.nInputs)
+	for b := 0; b < n; b++ {
+		pat := p.NextPattern()
+		for i, v := range pat {
+			if v {
+				words[i] |= 1 << uint(b)
+			}
+		}
+	}
+	return faultsim.Batch{Words: words, N: n}
+}
+
+// Session runs STUMPS BIST over a full-scan circuit.
+type Session struct {
+	Circuit *netlist.Circuit
+	Cfg     Config
+}
+
+// NewSession validates that the circuit's input count matches the scan
+// configuration and returns the session.
+func NewSession(c *netlist.Circuit, cfg Config) (*Session, error) {
+	cfg = cfg.withDefaults()
+	if got, want := c.NumInputs(), cfg.Chains*cfg.ChainLen; got != want {
+		return nil, fmt.Errorf("stumps: circuit has %d inputs, scan config supplies %d", got, want)
+	}
+	return &Session{Circuit: c, Cfg: cfg}, nil
+}
+
+// Signatures runs nPatterns pseudo-random patterns and returns the
+// per-window MISR signatures. If fault is non-nil the faulty machine is
+// observed instead of the good one.
+func (s *Session) Signatures(nPatterns int, fault *netlist.Fault) ([]uint64, error) {
+	prpg, err := NewPRPG(s.Cfg)
+	if err != nil {
+		return nil, err
+	}
+	misr, err := NewMISR(s.Cfg.MISRWidth)
+	if err != nil {
+		return nil, err
+	}
+	good := faultsim.NewLogicSim(s.Circuit)
+	var fsim *faultsim.FaultSim
+	if fault != nil {
+		fsim = faultsim.NewFaultSim(s.Circuit, nil)
+	}
+	var sigs []uint64
+	done := 0
+	for done < nPatterns {
+		window := s.Cfg.WindowPatterns
+		if rest := nPatterns - done; window > rest {
+			window = rest
+		}
+		misr.Reset()
+		wdone := 0
+		for wdone < window {
+			n := window - wdone
+			if n > 64 {
+				n = 64
+			}
+			batch := prpg.NextBatch(n)
+			if err := good.Apply(batch); err != nil {
+				return nil, err
+			}
+			out := good.OutputWords()
+			if fault != nil {
+				diff, err := fsim.OutputResponse(*fault, batch)
+				if err != nil {
+					return nil, err
+				}
+				for i := range out {
+					out[i] ^= diff[i]
+				}
+			}
+			words, err := FoldWords(out, s.Cfg.MISRWidth, n)
+			if err != nil {
+				return nil, err
+			}
+			for _, w := range words {
+				misr.CompactWord(w)
+			}
+			wdone += n
+		}
+		sigs = append(sigs, misr.Signature())
+		done += window
+	}
+	return sigs, nil
+}
+
+// FailEntry is one mismatching intermediate signature: the window index
+// identifying the position in the test sequence plus the faulty
+// signature observed.
+type FailEntry struct {
+	Window int
+	Got    uint64
+	Want   uint64
+}
+
+// FailData is the diagnostic payload shipped to the central gateway
+// after a BIST session.
+type FailData struct {
+	Windows int // total windows in the session
+	Entries []FailEntry
+}
+
+// Pass reports a fault-free session.
+func (d FailData) Pass() bool { return len(d.Entries) == 0 }
+
+// SizeBytes returns the transport size of the fail data: two bytes of
+// window index plus the signature per entry.
+func (d FailData) SizeBytes(misrWidth int) int {
+	return len(d.Entries) * (2 + (misrWidth+7)/8)
+}
+
+// RunDiagnostic executes the session against an injected fault and
+// returns the fail data relative to the golden signatures.
+func (s *Session) RunDiagnostic(nPatterns int, fault netlist.Fault) (FailData, error) {
+	golden, err := s.Signatures(nPatterns, nil)
+	if err != nil {
+		return FailData{}, err
+	}
+	faulty, err := s.Signatures(nPatterns, &fault)
+	if err != nil {
+		return FailData{}, err
+	}
+	d := FailData{Windows: len(golden)}
+	for i := range golden {
+		if golden[i] != faulty[i] {
+			d.Entries = append(d.Entries, FailEntry{Window: i, Got: faulty[i], Want: golden[i]})
+		}
+	}
+	return d, nil
+}
+
+// SessionCycles returns the scan clock cycles to apply nPatterns
+// patterns: each pattern needs ChainLen shift cycles plus one capture
+// cycle, plus the state-restore procedure at the end.
+func (s *Session) SessionCycles(nPatterns int) int {
+	return nPatterns*(s.Cfg.ChainLen+1) + s.Cfg.RestoreCycles
+}
+
+// SessionTimeMS returns the session runtime in milliseconds.
+func (s *Session) SessionTimeMS(nPatterns int) float64 {
+	return float64(s.SessionCycles(nPatterns)) / s.Cfg.TestClockHz * 1000
+}
+
+// ResponseDataBytes returns the size of the expected response data
+// (golden intermediate signatures) for a session of nPatterns patterns.
+func (s *Session) ResponseDataBytes(nPatterns int) int {
+	windows := (nPatterns + s.Cfg.WindowPatterns - 1) / s.Cfg.WindowPatterns
+	return windows * ((s.Cfg.MISRWidth + 7) / 8)
+}

@@ -1,0 +1,394 @@
+package stumps
+
+import (
+	"testing"
+
+	"repro/internal/faultsim"
+	"repro/internal/netlist"
+)
+
+func TestLFSRMaximalPeriod(t *testing.T) {
+	l, err := NewMaximalLFSR(8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[uint64]bool)
+	start := l.State()
+	period := 0
+	for {
+		l.Step()
+		period++
+		if l.State() == start {
+			break
+		}
+		if seen[l.State()] {
+			t.Fatalf("LFSR entered a sub-cycle after %d steps", period)
+		}
+		seen[l.State()] = true
+		if period > 1<<9 {
+			t.Fatal("period exceeds 2^9, loop error")
+		}
+	}
+	if period != 255 {
+		t.Fatalf("period = %d, want 255 (maximal for width 8)", period)
+	}
+}
+
+func TestLFSRZeroSeedMapped(t *testing.T) {
+	l, err := NewMaximalLFSR(16, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.State() == 0 {
+		t.Fatal("zero state accepted")
+	}
+}
+
+func TestLFSRValidation(t *testing.T) {
+	if _, err := NewLFSR(1, 1, 1); err == nil {
+		t.Fatal("width 1 accepted")
+	}
+	if _, err := NewLFSR(16, 0, 1); err == nil {
+		t.Fatal("empty taps accepted")
+	}
+	if _, err := PrimitiveTaps(13); err == nil {
+		t.Fatal("unsupported width accepted")
+	}
+}
+
+func TestPhaseShifterDecorrelates(t *testing.T) {
+	ps := NewPhaseShifter(16, 32)
+	if ps.NumChains() != 16 {
+		t.Fatal("chain count wrong")
+	}
+	l, _ := NewMaximalLFSR(32, 12345)
+	// Count agreements between chain 0 and chain 1 over many cycles —
+	// they must not be perfectly correlated or anti-correlated.
+	agree := 0
+	bitsOut := make([]bool, 16)
+	const n = 2048
+	for i := 0; i < n; i++ {
+		l.Step()
+		ps.Outputs(l.State(), bitsOut)
+		if bitsOut[0] == bitsOut[1] {
+			agree++
+		}
+	}
+	if agree < n/4 || agree > 3*n/4 {
+		t.Fatalf("chains 0/1 agree %d of %d — correlated phase shifter", agree, n)
+	}
+}
+
+func TestMISRDistinguishesResponses(t *testing.T) {
+	m, err := NewMISR(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.CompactBits([]bool{true, false, true})
+	a := m.Signature()
+	m.Reset()
+	if m.Signature() != 0 {
+		t.Fatal("Reset did not clear")
+	}
+	m.CompactBits([]bool{true, false, false})
+	b := m.Signature()
+	if a == b {
+		t.Fatal("different responses produced equal signatures")
+	}
+}
+
+func TestMISRLinearity(t *testing.T) {
+	// MISR is linear: compacting x then y from reset equals compacting
+	// (x, y) — and the signature of equal streams is equal.
+	m1, _ := NewMISR(16)
+	m2, _ := NewMISR(16)
+	stream := []uint64{0xDEAD, 0xBEEF, 0x1234, 0x0, 0xFFFF}
+	for _, w := range stream {
+		m1.CompactWord(w)
+		m2.CompactWord(w)
+	}
+	if m1.Signature() != m2.Signature() {
+		t.Fatal("equal streams, different signatures")
+	}
+}
+
+func TestFoldWords(t *testing.T) {
+	// Two outputs, 3 patterns: output0 = 0b101, output1 = 0b011.
+	words, err := FoldWords([]uint64{0b101, 0b011}, 8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pattern 0: out0=1,out1=1 -> bits 0,1 set = 0b11.
+	// Pattern 1: out0=0,out1=1 -> 0b10. Pattern 2: out0=1 -> 0b01.
+	want := []uint64{0b11, 0b10, 0b01}
+	for i := range want {
+		if words[i] != want[i] {
+			t.Fatalf("FoldWords = %b, want %b", words, want)
+		}
+	}
+	if _, err := FoldWords(nil, 0, 1); err == nil {
+		t.Fatal("bad width accepted")
+	}
+}
+
+func TestPRPGDeterministic(t *testing.T) {
+	cfg := Config{Chains: 4, ChainLen: 5, Seed: 99}
+	a, err := NewPRPG(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := NewPRPG(cfg)
+	for i := 0; i < 10; i++ {
+		pa, pb := a.NextPattern(), b.NextPattern()
+		for j := range pa {
+			if pa[j] != pb[j] {
+				t.Fatalf("pattern %d differs at bit %d", i, j)
+			}
+		}
+	}
+	if a.Generated() != 10 || a.NumInputs() != 20 {
+		t.Fatalf("bookkeeping: generated=%d inputs=%d", a.Generated(), a.NumInputs())
+	}
+}
+
+func TestPRPGBatchMatchesPatterns(t *testing.T) {
+	cfg := Config{Chains: 3, ChainLen: 4, Seed: 7}
+	a, _ := NewPRPG(cfg)
+	b, _ := NewPRPG(cfg)
+	batch := a.NextBatch(5)
+	if batch.N != 5 {
+		t.Fatalf("batch N = %d", batch.N)
+	}
+	for p := 0; p < 5; p++ {
+		pat := b.NextPattern()
+		for i, v := range pat {
+			if (batch.Words[i]>>uint(p)&1 == 1) != v {
+				t.Fatalf("batch bit (%d,%d) mismatch", p, i)
+			}
+		}
+	}
+}
+
+func TestPRPGValidation(t *testing.T) {
+	if _, err := NewPRPG(Config{Chains: 0, ChainLen: 5}); err == nil {
+		t.Fatal("zero chains accepted")
+	}
+}
+
+func sessionCircuit(t *testing.T) (*netlist.Circuit, Config) {
+	t.Helper()
+	cfg := Config{Chains: 6, ChainLen: 8, Seed: 3, WindowPatterns: 16, RestoreCycles: 100}
+	c := netlist.ScanCUT(21, cfg.Chains, cfg.ChainLen, 4)
+	return c, cfg
+}
+
+func TestSessionGoldenReproducible(t *testing.T) {
+	c, cfg := sessionCircuit(t)
+	s, err := NewSession(c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := s.Signatures(64, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := s.Signatures(64, nil)
+	if len(a) != 4 {
+		t.Fatalf("windows = %d, want 4", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("golden signatures not reproducible")
+		}
+	}
+}
+
+func TestSessionRejectsWrongShape(t *testing.T) {
+	c := netlist.C17()
+	if _, err := NewSession(c, Config{Chains: 10, ChainLen: 10}); err == nil {
+		t.Fatal("mismatched scan config accepted")
+	}
+}
+
+func TestRunDiagnosticDetectsFault(t *testing.T) {
+	c, cfg := sessionCircuit(t)
+	s, err := NewSession(c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find a fault that random patterns detect, using the fault
+	// simulator as ground truth.
+	faults := netlist.CollapsedFaults(c)
+	fs := faultsim.NewFaultSim(c, faults)
+	prpg, _ := NewPRPG(cfg)
+	if _, err := fs.RunCoverage(prpg, 128); err != nil {
+		t.Fatal(err)
+	}
+	dets := fs.Detections()
+	if len(dets) == 0 {
+		t.Fatal("no detectable fault found")
+	}
+	fault := dets[0].Fault
+
+	fd, err := s.RunDiagnostic(128, fault)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fd.Pass() {
+		t.Fatalf("fault %v invisible in fail data", fault)
+	}
+	if fd.Windows != 8 {
+		t.Fatalf("windows = %d, want 8", fd.Windows)
+	}
+	for _, e := range fd.Entries {
+		if e.Got == e.Want {
+			t.Fatal("entry without difference")
+		}
+		if e.Window < 0 || e.Window >= fd.Windows {
+			t.Fatalf("window index %d out of range", e.Window)
+		}
+	}
+	if fd.SizeBytes(s.Cfg.MISRWidth) != len(fd.Entries)*6 {
+		t.Fatalf("SizeBytes = %d with %d entries", fd.SizeBytes(s.Cfg.MISRWidth), len(fd.Entries))
+	}
+}
+
+func TestFaultFreeSessionPasses(t *testing.T) {
+	c, cfg := sessionCircuit(t)
+	s, _ := NewSession(c, cfg)
+	golden, err := s.Signatures(96, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, _ := s.Signatures(96, nil)
+	for i := range golden {
+		if golden[i] != again[i] {
+			t.Fatal("fault-free run mismatches golden")
+		}
+	}
+}
+
+func TestSessionTiming(t *testing.T) {
+	c, cfg := sessionCircuit(t)
+	cfg.TestClockHz = 40e6
+	s, _ := NewSession(c, cfg)
+	// 1000 patterns * (8+1) cycles + 100 restore = 9100 cycles at 40 MHz.
+	if got := s.SessionCycles(1000); got != 9100 {
+		t.Fatalf("cycles = %d", got)
+	}
+	ms := s.SessionTimeMS(1000)
+	want := 9100.0 / 40e6 * 1000
+	if diff := ms - want; diff > 1e-12 || diff < -1e-12 {
+		t.Fatalf("time = %v, want %v", ms, want)
+	}
+	// 96 patterns in windows of 16 -> 6 windows * 4 bytes.
+	if got := s.ResponseDataBytes(96); got != 24 {
+		t.Fatalf("ResponseDataBytes = %d", got)
+	}
+}
+
+// TestSignatureAliasingRare estimates the MISR aliasing rate: over many
+// detectable faults, the share whose fail data is empty (signature
+// aliasing) must be small — the property that makes signature-based
+// diagnosis viable.
+func TestSignatureAliasingRare(t *testing.T) {
+	c, cfg := sessionCircuit(t)
+	s, _ := NewSession(c, cfg)
+	faults := netlist.CollapsedFaults(c)
+	fs := faultsim.NewFaultSim(c, faults)
+	prpg, _ := NewPRPG(cfg)
+	if _, err := fs.RunCoverage(prpg, 128); err != nil {
+		t.Fatal(err)
+	}
+	dets := fs.Detections()
+	if len(dets) < 20 {
+		t.Skipf("only %d detected faults", len(dets))
+	}
+	aliased := 0
+	for _, d := range dets {
+		fd, err := s.RunDiagnostic(128, d.Fault)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fd.Pass() {
+			aliased++
+		}
+	}
+	if rate := float64(aliased) / float64(len(dets)); rate > 0.05 {
+		t.Fatalf("aliasing rate %.3f over %d faults", rate, len(dets))
+	}
+}
+
+func TestControllerTraceConsistentWithSession(t *testing.T) {
+	c, cfg := sessionCircuit(t)
+	s, err := NewSession(c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl := Controller{Cfg: cfg}
+	for _, n := range []int{1, 16, 64, 100} {
+		// The explicit FSM equals the closed-form count plus its declared
+		// overheads.
+		want := s.SessionCycles(n) + ctrl.OverheadCycles(n)
+		if got := ctrl.TotalCycles(n); got != want {
+			t.Fatalf("n=%d: trace %d cycles, closed form + overhead %d", n, got, want)
+		}
+	}
+}
+
+func TestControllerTraceShape(t *testing.T) {
+	cfg := Config{Chains: 4, ChainLen: 8, WindowPatterns: 16, RestoreCycles: 50}
+	trace := Controller{Cfg: cfg}.Trace(40) // windows of 16,16,8
+	if trace[0].Phase != PhaseEnterTest {
+		t.Fatalf("first phase %v", trace[0].Phase)
+	}
+	applies, reads := 0, 0
+	for i, s := range trace {
+		switch s.Phase {
+		case PhaseApply:
+			applies++
+			if trace[i+1].Phase != PhaseReadSignature || trace[i+1].Window != s.Window {
+				t.Fatalf("apply %d not followed by its signature read", s.Window)
+			}
+		case PhaseReadSignature:
+			reads++
+		}
+	}
+	if applies != 3 || reads != 3 {
+		t.Fatalf("applies=%d reads=%d, want 3 windows", applies, reads)
+	}
+	if trace[len(trace)-2].Phase != PhaseRestore || trace[len(trace)-1].Phase != PhaseDone {
+		t.Fatalf("tail phases wrong: %v %v", trace[len(trace)-2].Phase, trace[len(trace)-1].Phase)
+	}
+	// The last window applies only 8 patterns.
+	if trace[5].Cycles != 8*(cfg.ChainLen+1) {
+		t.Fatalf("last window cycles = %d", trace[5].Cycles)
+	}
+	if PhaseApply.String() != "apply" || PhaseIdle.String() != "idle" {
+		t.Fatal("phase strings wrong")
+	}
+}
+
+// TestLFSRMaximalPeriod16 exhaustively verifies the width-16 primitive
+// polynomial: period 2^16 − 1.
+func TestLFSRMaximalPeriod16(t *testing.T) {
+	l, err := NewMaximalLFSR(16, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := l.State()
+	period := 0
+	for {
+		l.Step()
+		period++
+		if l.State() == start {
+			break
+		}
+		if period > 1<<17 {
+			t.Fatal("runaway period")
+		}
+	}
+	if period != 1<<16-1 {
+		t.Fatalf("period = %d, want %d", period, 1<<16-1)
+	}
+}
