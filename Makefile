@@ -1,0 +1,35 @@
+# Mirrors .github/workflows/ci.yml exactly, so the pipeline is
+# reproducible locally: `make ci` runs what the PR gates run.
+
+GO ?= go
+
+.PHONY: ci build fmt-check vet test race bench-smoke bench
+
+ci: build fmt-check vet test race bench-smoke
+
+build:
+	$(GO) build ./...
+
+fmt-check:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:" >&2; echo "$$out" >&2; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The concurrent packages: sharded fault simulation, the MOEA worker
+# pool, and the explorer that drives it.
+race:
+	$(GO) test -race ./internal/faultsim/ ./internal/moea/ ./internal/core/
+
+bench-smoke:
+	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
+
+# Full benchmark sweep (not part of ci; slow).
+bench:
+	$(GO) test -run=NONE -bench=. ./...

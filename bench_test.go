@@ -3,6 +3,7 @@ package repro
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"repro/internal/atpg"
@@ -258,6 +259,35 @@ func BenchmarkFaultSimulation(b *testing.B) {
 		if _, err := fs.RunCoverage(prpg, 256); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkFaultSimParallel sweeps the fault-list worker count on a
+// Table-I-scale case-study CUT (the bistprof default: 10 chains × 12
+// cells, 4 gates per cell) so the sharded speedup is visible in the
+// bench trajectory. Detections are byte-identical across the sweep; see
+// TestFaultSimWorkerSweep.
+func BenchmarkFaultSimParallel(b *testing.B) {
+	cut := netlist.ScanCUT(5, 10, 12, 4)
+	faults := netlist.CollapsedFaults(cut)
+	cfg := stumps.Config{Chains: 10, ChainLen: 12, Seed: 17}
+	workerCounts := []int{1, 2, 4}
+	if n := runtime.GOMAXPROCS(0); n != 1 && n != 2 && n != 4 {
+		workerCounts = append(workerCounts, n)
+	}
+	for _, w := range workerCounts {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				fs := faultsim.NewFaultSim(cut, faults).SetWorkers(w)
+				prpg, err := stumps.NewPRPG(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := fs.RunCoverage(prpg, 2048); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -6,7 +6,7 @@
 // Usage:
 //
 //	bistprof [-chains 10] [-chainlen 12] [-gates-per-ff 4] [-seed 5]
-//	         [-levels 64,256,1024,4096] [-scale] [-paper]
+//	         [-levels 64,256,1024,4096] [-scale] [-paper] [-workers N]
 //
 // -paper skips measurement and prints the embedded Table I instead.
 package main
@@ -15,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 
@@ -36,6 +37,7 @@ func main() {
 		paper      = flag.Bool("paper", false, "print the embedded paper Table I and exit")
 		reseedW    = flag.Int("reseed", 0, "size deterministic data with an LFSR-reseeding encoder of this seed width (0 = heuristic)")
 		transition = flag.Bool("transition", false, "additionally measure broadside transition-fault coverage")
+		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "goroutines sharding each grading fault simulation; profiles are identical for any value (default: all cores)")
 	)
 	flag.Parse()
 
@@ -57,7 +59,7 @@ func main() {
 	fmt.Printf("synthetic CUT: %d gates, %d scan cells (%d chains x %d), %d collapsed faults\n\n",
 		stats.Gates, cut.NumInputs(), *chains, *chainLen, stats.Faults)
 
-	gen, err := bistgen.New(cut, bistgen.Options{Scan: cfg, MaxBacktracks: 150, ReseedWidth: *reseedW, MeasureTransition: *transition})
+	gen, err := bistgen.New(cut, bistgen.Options{Scan: cfg, MaxBacktracks: 150, ReseedWidth: *reseedW, MeasureTransition: *transition, Workers: *workers})
 	if err != nil {
 		fatal(err)
 	}

@@ -6,14 +6,20 @@
 //
 //	eedse [-evals 100000] [-pop 128] [-seed 1] [-profiles 36]
 //	      [-decoder greedy|sat] [-threshold 20] [-fig5] [-fig6] [-summary]
+//	      [-workers N] [-measured]
 //
 // Without -fig5/-fig6/-summary all three reports are printed.
+//
+// -workers defaults to runtime.GOMAXPROCS(0) so candidate evaluation
+// (and, with -measured, fault-simulation grading) uses every core;
+// results are deterministic and identical for any worker count.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 
@@ -42,7 +48,8 @@ func main() {
 		optimizer = flag.String("optimizer", "nsga2", "optimizer: nsga2 or random (ablation)")
 		sbst      = flag.String("sbst", "off", "SBST alternative: off, add (BIST+SBST) or only")
 		fd        = flag.Int("fd", 0, "future-architecture variant: CAN FD buses with this container payload (e.g. 64; 0 = classic CAN)")
-		workers   = flag.Int("workers", 1, "parallel evaluation goroutines")
+		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "parallel evaluation goroutines for MOEA candidate evaluation and (with -measured) fault-simulation grading; results are identical for any value (default: all cores)")
+		measured  = flag.Bool("measured", false, "characterize BIST profiles on a synthetic CUT with real fault simulation instead of the embedded Table I")
 		csvPath   = flag.String("csv", "", "write the Pareto front as CSV to this file")
 		epsilon   = flag.String("epsilon", "", "comma-separated \u03b5-archive box sizes per objective (cost,-quality,shutoff_ms)")
 	)
@@ -61,7 +68,7 @@ func main() {
 		spec, err = model.ReadJSON(f)
 		f.Close()
 	} else {
-		spec, err = buildSpec(*small, *profiles, *sbst, *fd)
+		spec, err = buildSpec(*small, *profiles, *sbst, *fd, *measured, *workers)
 	}
 	if err != nil {
 		fatal(err)
@@ -165,14 +172,17 @@ func main() {
 	}
 }
 
-func buildSpec(small bool, profiles int, sbst string, fd int) (*model.Specification, error) {
+func buildSpec(small bool, profiles int, sbst string, fd int, measured bool, workers int) (*model.Specification, error) {
 	if small {
-		if sbst != "off" || fd != 0 {
-			return nil, fmt.Errorf("-sbst/-fd require the full case study")
+		if sbst != "off" || fd != 0 || measured {
+			return nil, fmt.Errorf("-sbst/-fd/-measured require the full case study")
 		}
 		return casestudy.Small(3, profiles, 7)
 	}
 	opts := casestudy.Options{ProfilesPerECU: profiles, FDPayload: fd}
+	if measured {
+		opts.Measured = &casestudy.MeasuredOptions{Workers: workers}
+	}
 	switch sbst {
 	case "off":
 	case "add":

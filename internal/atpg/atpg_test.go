@@ -2,6 +2,7 @@ package atpg
 
 import (
 	"math/rand"
+	"reflect"
 	"testing"
 	"testing/quick"
 
@@ -237,6 +238,27 @@ func TestGenerateAllAdder(t *testing.T) {
 	cov := ts.Coverage(len(faults))
 	if cov < 0.99 {
 		t.Fatalf("adder coverage = %v (aborted %d, redundant %d)", cov, len(ts.Aborted), len(ts.Redundant))
+	}
+}
+
+// TestGenerateAllWorkersDeterministic: the test set produced with
+// sharded fault-dropping between PODEM targets must match the serial
+// one exactly — cube order, patterns, detection count and care bits.
+func TestGenerateAllWorkersDeterministic(t *testing.T) {
+	c := netlist.Random(21, netlist.RandomOptions{Inputs: 12, Gates: 150, Outputs: 10})
+	faults := netlist.CollapsedFaults(c)
+	serial, err := GenerateAllWorkers(c, faults, rand.New(rand.NewSource(4)), 200, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := GenerateAllWorkers(c, faults, rand.New(rand.NewSource(4)), 200, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatalf("test sets differ between workers=1 and workers=8:\nserial:   detected=%d cubes=%d care=%d\nparallel: detected=%d cubes=%d care=%d",
+			serial.Detected, len(serial.Cubes), serial.CareBits,
+			parallel.Detected, len(parallel.Cubes), parallel.CareBits)
 	}
 }
 

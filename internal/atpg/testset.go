@@ -40,12 +40,22 @@ func (ts *TestSet) Coverage(n int) float64 {
 // fault dropping: after each generated cube is X-filled and fault-
 // simulated, every fault it detects is removed before the next target
 // is chosen. This mirrors the standard deterministic top-off flow of
-// mixed-mode BIST.
+// mixed-mode BIST. The grading fault simulation between PODEM targets
+// uses the default worker count (GOMAXPROCS); use GenerateAllWorkers
+// to pin it.
 //
 // The rng fills don't-care positions (deterministic for a fixed seed).
 func GenerateAll(c *netlist.Circuit, faults []netlist.Fault, rng *rand.Rand, maxBacktracks int) (*TestSet, error) {
+	return GenerateAllWorkers(c, faults, rng, maxBacktracks, 0)
+}
+
+// GenerateAllWorkers is GenerateAll with an explicit worker count for
+// the fault-dropping simulation between PODEM targets (0 = GOMAXPROCS,
+// 1 = serial). The generated test set is identical for every worker
+// count.
+func GenerateAllWorkers(c *netlist.Circuit, faults []netlist.Fault, rng *rand.Rand, maxBacktracks, workers int) (*TestSet, error) {
 	gen := NewGenerator(c, maxBacktracks)
-	fs := faultsim.NewFaultSim(c, faults)
+	fs := faultsim.NewFaultSim(c, faults).SetWorkers(workers)
 	detected := make(map[netlist.Fault]bool, len(faults))
 	ts := &TestSet{}
 	for _, target := range faults {

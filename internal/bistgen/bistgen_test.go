@@ -110,6 +110,33 @@ func TestCharacterizeDeterministic(t *testing.T) {
 	}
 }
 
+// TestCharacterizeWorkersDeterministic: the whole characterization
+// pipeline (pseudo-random grading, transition grading and the fault
+// dropping inside PODEM top-off) must yield identical profiles for
+// serial and sharded grading.
+func TestCharacterizeWorkersDeterministic(t *testing.T) {
+	cfg := stumps.Config{Chains: 8, ChainLen: 10, Seed: 17, WindowPatterns: 32, RestoreCycles: 200, TestClockHz: 40e6}
+	c := netlist.ScanCUT(5, cfg.Chains, cfg.ChainLen, 4)
+	run := func(workers int) []Profile {
+		g, err := New(c, Options{Scan: cfg, MaxBacktracks: 150, MeasureTransition: true, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ps, err := g.Characterize([]int{64, 256}, DefaultTargets())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ps
+	}
+	serial := run(1)
+	parallel := run(8)
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Fatalf("profile %d differs between Workers=1 and Workers=8:\n%+v\n%+v", i, serial[i], parallel[i])
+		}
+	}
+}
+
 func TestCharacterizeRejectsEmpty(t *testing.T) {
 	g := testGenerator(t)
 	if _, err := g.Characterize(nil, DefaultTargets()); err == nil {

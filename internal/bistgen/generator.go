@@ -28,6 +28,12 @@ type Options struct {
 	// phase against the broadside transition fault universe and records
 	// per-level coverage in Profile.TransitionCov.
 	MeasureTransition bool
+	// Workers shards every grading fault simulation (pseudo-random
+	// phase, transition phase, and the fault dropping between PODEM
+	// top-off targets) across this many goroutines. 0 means
+	// runtime.GOMAXPROCS(0); 1 forces serial. Profiles are identical
+	// for every worker count.
+	Workers int
 }
 
 // Generator characterizes BIST profiles for one circuit.
@@ -79,7 +85,7 @@ type cubeStep struct {
 // faults and records the cumulative detection count after each cube.
 func (g *Generator) topoff(remaining []netlist.Fault, alreadyDetected int, fillSeed int64) ([]cubeStep, error) {
 	gen := atpg.NewGenerator(g.circuit, g.opt.MaxBacktracks)
-	fs := faultsim.NewFaultSim(g.circuit, remaining)
+	fs := faultsim.NewFaultSim(g.circuit, remaining).SetWorkers(g.opt.Workers)
 	rng := rand.New(rand.NewSource(fillSeed))
 	detected := make(map[netlist.Fault]bool, len(remaining))
 	var steps []cubeStep
@@ -128,7 +134,7 @@ func (g *Generator) Characterize(prpLevels []int, targets []TargetSpec) ([]Profi
 
 	// Phase 1: one pseudo-random fault simulation run to the deepest
 	// level, recording first-detection pattern indices.
-	fs := faultsim.NewFaultSim(g.circuit, g.faults)
+	fs := faultsim.NewFaultSim(g.circuit, g.faults).SetWorkers(g.opt.Workers)
 	prpg, err := stumps.NewPRPG(g.opt.Scan)
 	if err != nil {
 		return nil, err
@@ -148,7 +154,7 @@ func (g *Generator) Characterize(prpLevels []int, targets []TargetSpec) ([]Profi
 	if g.opt.MeasureTransition {
 		tfaults := faultsim.AllTransitionFaults(g.circuit)
 		transTotal = len(tfaults)
-		tsim := faultsim.NewTransitionSim(g.circuit, tfaults)
+		tsim := faultsim.NewTransitionSim(g.circuit, tfaults).SetWorkers(g.opt.Workers)
 		tprpg, err := stumps.NewPRPG(g.opt.Scan)
 		if err != nil {
 			return nil, err

@@ -16,6 +16,11 @@ type Options struct {
 	ProfilesPerECU int
 	// Profiles overrides the profile set (default: TableI()).
 	Profiles []bistgen.Profile
+	// Measured, when non-nil and Profiles is nil, characterizes the
+	// profile set on a synthetic scan CUT with real fault simulation
+	// (MeasuredProfiles) instead of using the embedded Table I. Its
+	// Workers field shards the grading simulations.
+	Measured *MeasuredOptions
 	// Seed drives the deterministic pseudo-random assignment of mapping
 	// options and message periods.
 	Seed int64
@@ -71,6 +76,13 @@ var messagePeriods = []float64{10, 20, 50, 100}
 
 // Build constructs the specification of the paper's case study.
 func Build(opt Options) (*model.Specification, error) {
+	if opt.Profiles == nil && opt.Measured != nil {
+		profiles, err := MeasuredProfiles(*opt.Measured)
+		if err != nil {
+			return nil, err
+		}
+		opt.Profiles = profiles
+	}
 	opt = opt.withDefaults()
 	rng := rand.New(rand.NewSource(opt.Seed))
 

@@ -1,0 +1,70 @@
+package casestudy
+
+import (
+	"fmt"
+
+	"repro/internal/bistgen"
+	"repro/internal/netlist"
+	"repro/internal/stumps"
+)
+
+// MeasuredOptions parameterize on-the-fly BIST profile characterization
+// for a case study: instead of the paper's embedded Table I, the
+// profiles are measured on a synthetic full-scan CUT with real LFSR
+// fault simulation and PODEM top-off (package bistgen).
+type MeasuredOptions struct {
+	// Chains, ChainLen, GatesPerFF size the synthetic CUT (defaults
+	// 8 scan chains × 10 cells, 4 gates per cell).
+	Chains, ChainLen, GatesPerFF int
+	// Seed drives circuit generation (default 5).
+	Seed int64
+	// PRPLevels are the pseudo-random pattern counts to characterize
+	// (default {64, 256, 1024}); each level yields the four Table I
+	// target variants.
+	PRPLevels []int
+	// Workers shards the grading fault simulations (see
+	// bistgen.Options.Workers): 0 = GOMAXPROCS, 1 = serial.
+	Workers int
+}
+
+func (m MeasuredOptions) withDefaults() MeasuredOptions {
+	if m.Chains <= 0 {
+		m.Chains = 8
+	}
+	if m.ChainLen <= 0 {
+		m.ChainLen = 10
+	}
+	if m.GatesPerFF <= 0 {
+		m.GatesPerFF = 4
+	}
+	if m.Seed == 0 {
+		m.Seed = 5
+	}
+	if len(m.PRPLevels) == 0 {
+		m.PRPLevels = []int{64, 256, 1024}
+	}
+	return m
+}
+
+// MeasuredProfiles characterizes BIST profiles on a synthetic scan CUT
+// and returns them in Table I order, ready for Options.Profiles. The
+// result is deterministic for fixed options, independent of Workers.
+func MeasuredProfiles(m MeasuredOptions) ([]bistgen.Profile, error) {
+	m = m.withDefaults()
+	cfg := stumps.Config{
+		Chains: m.Chains, ChainLen: m.ChainLen, Seed: 17,
+		WindowPatterns: 32, RestoreCycles: 200, TestClockHz: 40e6,
+	}
+	cut := netlist.ScanCUT(m.Seed, m.Chains, m.ChainLen, m.GatesPerFF)
+	gen, err := bistgen.New(cut, bistgen.Options{
+		Scan: cfg, MaxBacktracks: 150, Workers: m.Workers,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("casestudy: measured profiles: %w", err)
+	}
+	profiles, err := gen.Characterize(m.PRPLevels, bistgen.DefaultTargets())
+	if err != nil {
+		return nil, fmt.Errorf("casestudy: measured profiles: %w", err)
+	}
+	return profiles, nil
+}

@@ -129,19 +129,17 @@ func CandidateBridges(c *netlist.Circuit, n int, seed int64) []Bridge {
 }
 
 // BridgeSim runs parallel-pattern bridging fault simulation with fault
-// dropping, analogous to FaultSim.
+// dropping, analogous to FaultSim, including the same deterministic
+// worker sharding of the bridge list.
 type BridgeSim struct {
-	c    *netlist.Circuit
-	good *LogicSim
+	c       *netlist.Circuit
+	good    *LogicSim
+	pool    *overlayPool
+	workers int
 
 	remaining []Bridge
 	detected  []BridgeDetection
 	seen      int
-
-	faulty  []uint64
-	isSet   []bool
-	touched []int
-	scratch []uint64
 }
 
 // BridgeDetection records the first detection of a bridge.
@@ -150,16 +148,26 @@ type BridgeDetection struct {
 	Pattern int
 }
 
-// NewBridgeSim returns a simulator over the target bridge list.
+// NewBridgeSim returns a simulator over the target bridge list with the
+// default worker count (runtime.GOMAXPROCS(0)).
 func NewBridgeSim(c *netlist.Circuit, bridges []Bridge) *BridgeSim {
+	good := NewLogicSim(c)
 	return &BridgeSim{
 		c:         c,
-		good:      NewLogicSim(c),
+		good:      good,
+		pool:      newOverlayPool(c, good),
 		remaining: append([]Bridge(nil), bridges...),
-		faulty:    make([]uint64, c.NumGates()),
-		isSet:     make([]bool, c.NumGates()),
-		scratch:   make([]uint64, 8),
 	}
+}
+
+// SetWorkers fixes the shard count per batch; n <= 0 restores the
+// GOMAXPROCS default. Results are identical for every worker count.
+func (bs *BridgeSim) SetWorkers(n int) *BridgeSim {
+	if n < 0 {
+		n = 0
+	}
+	bs.workers = n
+	return bs
 }
 
 // TotalBridges returns the size of the target list.
@@ -180,78 +188,62 @@ func (bs *BridgeSim) Detections() []BridgeDetection {
 }
 
 // SimulateBatch simulates one batch against the remaining bridges,
-// dropping detected ones.
+// dropping detected ones. Shard results merge in shard order, keeping
+// any worker count byte-identical to the serial sweep.
 func (bs *BridgeSim) SimulateBatch(b Batch) ([]BridgeDetection, error) {
 	if err := bs.good.Apply(b); err != nil {
 		return nil, err
 	}
 	valid := b.ValidMask()
-	var news []BridgeDetection
-	kept := bs.remaining[:0]
-	for _, br := range bs.remaining {
-		diff := bs.outputDiff(br, valid)
-		if diff != 0 {
-			d := BridgeDetection{Bridge: br, Pattern: bs.seen + bits.TrailingZeros64(diff)}
-			news = append(news, d)
-			bs.detected = append(bs.detected, d)
-		} else {
-			kept = append(kept, br)
+	nw := shardWorkers(bs.workers, len(bs.remaining))
+	ovs := bs.pool.take(nw)
+
+	shardDet := make([][]BridgeDetection, nw)
+	shardKept := make([][]Bridge, nw)
+	runShards(len(bs.remaining), nw, func(w, lo, hi int) {
+		ov := ovs[w]
+		var det []BridgeDetection
+		var kept []Bridge
+		for _, br := range bs.remaining[lo:hi] {
+			diff := bridgeDiff(ov, br, valid)
+			if diff != 0 {
+				det = append(det, BridgeDetection{Bridge: br, Pattern: bs.seen + bits.TrailingZeros64(diff)})
+			} else {
+				kept = append(kept, br)
+			}
 		}
+		shardDet[w] = det
+		shardKept[w] = kept
+	})
+
+	var news []BridgeDetection
+	keptAll := bs.remaining[:0]
+	for w := 0; w < nw; w++ {
+		news = append(news, shardDet[w]...)
+		keptAll = append(keptAll, shardKept[w]...)
 	}
-	bs.remaining = kept
+	bs.detected = append(bs.detected, news...)
+	bs.remaining = keptAll
 	bs.seen += b.N
 	return news, nil
 }
 
-// outputDiff propagates the bridged values through the merged fanout
-// cones and ORs the per-output difference masks.
+// outputDiff computes the detection mask of a single bridge against
+// the currently applied batch, on the pool's first overlay.
 func (bs *BridgeSim) outputDiff(br Bridge, valid uint64) uint64 {
-	for _, id := range bs.touched {
-		bs.isSet[id] = false
-	}
-	bs.touched = bs.touched[:0]
-	set := func(id int, v uint64) {
-		if !bs.isSet[id] {
-			bs.isSet[id] = true
-			bs.touched = append(bs.touched, id)
-		}
-		bs.faulty[id] = v
-	}
-	get := func(id int) uint64 {
-		if bs.isSet[id] {
-			return bs.faulty[id]
-		}
-		return bs.good.Value(id)
-	}
-	fa, fb := br.faultyValues(bs.good.Value(br.A), bs.good.Value(br.B))
-	set(br.A, fa)
-	set(br.B, fb)
+	return bridgeDiff(bs.pool.take(1)[0], br, valid)
+}
 
-	// Merge both cones in level order.
-	cone := mergeCones(bs.c, br.A, br.B)
-	for _, id := range cone {
-		g := &bs.c.Gates[id]
-		if len(g.Fanin) > len(bs.scratch) {
-			bs.scratch = make([]uint64, len(g.Fanin))
-		}
-		in := bs.scratch[:len(g.Fanin)]
-		changed := false
-		for i, src := range g.Fanin {
-			in[i] = get(src)
-			if bs.isSet[src] {
-				changed = true
-			}
-		}
-		if !changed {
-			continue
-		}
-		set(id, g.Type.EvalWords(in))
-	}
-	var acc uint64
-	for _, id := range bs.c.Outputs {
-		acc |= (get(id) ^ bs.good.Value(id)) & valid
-	}
-	return acc
+// bridgeDiff injects the bridged values of both nets into the overlay,
+// propagates the merged fanout cones and ORs the per-output difference
+// masks.
+func bridgeDiff(ov *overlay, br Bridge, valid uint64) uint64 {
+	ov.reset()
+	fa, fb := br.faultyValues(ov.good.Value(br.A), ov.good.Value(br.B))
+	ov.set(br.A, fa)
+	ov.set(br.B, fb)
+	ov.propagate(mergeCones(ov.c, br.A, br.B))
+	return ov.outputDiffMask(valid)
 }
 
 // mergeCones returns the union of both fanout cones in ascending level

@@ -13,35 +13,46 @@ type Detection struct {
 }
 
 // FaultSim runs serial-fault, parallel-pattern stuck-at simulation with
-// fault dropping: each batch first simulates the good machine, then
-// resimulates only the fanout cone of each still-undetected fault.
+// fault dropping: each batch first simulates the good machine once,
+// then resimulates only the fanout cone of each still-undetected fault.
+// With Workers > 1 the fault list is sharded into contiguous chunks
+// evaluated concurrently, each worker on its own overlay; shard results
+// are merged in shard order, so detections, first-detection pattern
+// indices and coverage are byte-identical for any worker count.
 type FaultSim struct {
-	c    *netlist.Circuit
-	good *LogicSim
+	c       *netlist.Circuit
+	good    *LogicSim
+	pool    *overlayPool
+	workers int
 
 	remaining []netlist.Fault
 	detected  []Detection
 	seen      int // total patterns consumed
-
-	// faulty is the overlay value array reused across faults; touched
-	// tracks which entries are valid for the current fault.
-	faulty  []uint64
-	touched []int
-	isSet   []bool
-	scratch []uint64
 }
 
 // NewFaultSim returns a fault simulator over the given target fault
-// list (typically netlist.CollapsedFaults).
+// list (typically netlist.CollapsedFaults). It defaults to
+// runtime.GOMAXPROCS(0) workers; use SetWorkers to override.
 func NewFaultSim(c *netlist.Circuit, faults []netlist.Fault) *FaultSim {
+	good := NewLogicSim(c)
 	return &FaultSim{
 		c:         c,
-		good:      NewLogicSim(c),
+		good:      good,
+		pool:      newOverlayPool(c, good),
 		remaining: append([]netlist.Fault(nil), faults...),
-		faulty:    make([]uint64, c.NumGates()),
-		isSet:     make([]bool, c.NumGates()),
-		scratch:   make([]uint64, 8),
 	}
+}
+
+// SetWorkers fixes the number of fault-list shards evaluated
+// concurrently per batch. n <= 0 restores the default of
+// runtime.GOMAXPROCS(0). The returned receiver allows chaining off the
+// constructor. Results are identical for every worker count.
+func (fs *FaultSim) SetWorkers(n int) *FaultSim {
+	if n < 0 {
+		n = 0
+	}
+	fs.workers = n
+	return fs
 }
 
 // TotalFaults returns the size of the target fault list.
@@ -80,108 +91,39 @@ func (fs *FaultSim) SimulateBatch(b Batch) ([]Detection, error) {
 		return nil, err
 	}
 	valid := b.ValidMask()
-	var newDet []Detection
-	kept := fs.remaining[:0]
-	for _, f := range fs.remaining {
-		diff := fs.outputDiff(f, valid)
-		if diff != 0 {
-			d := Detection{Fault: f, Pattern: fs.seen + bits.TrailingZeros64(diff)}
-			newDet = append(newDet, d)
-			fs.detected = append(fs.detected, d)
-		} else {
-			kept = append(kept, f)
+	nw := shardWorkers(fs.workers, len(fs.remaining))
+	ovs := fs.pool.take(nw)
+
+	// Per-shard results, merged below in ascending shard order so the
+	// outcome matches the serial fault-list sweep exactly.
+	shardDet := make([][]Detection, nw)
+	shardKept := make([][]netlist.Fault, nw)
+	runShards(len(fs.remaining), nw, func(w, lo, hi int) {
+		ov := ovs[w]
+		var det []Detection
+		var kept []netlist.Fault
+		for _, f := range fs.remaining[lo:hi] {
+			diff := ov.stuckDiff(f, valid)
+			if diff != 0 {
+				det = append(det, Detection{Fault: f, Pattern: fs.seen + bits.TrailingZeros64(diff)})
+			} else {
+				kept = append(kept, f)
+			}
 		}
+		shardDet[w] = det
+		shardKept[w] = kept
+	})
+
+	var newDet []Detection
+	keptAll := fs.remaining[:0]
+	for w := 0; w < nw; w++ {
+		newDet = append(newDet, shardDet[w]...)
+		keptAll = append(keptAll, shardKept[w]...)
 	}
-	fs.remaining = kept
+	fs.detected = append(fs.detected, newDet...)
+	fs.remaining = keptAll
 	fs.seen += b.N
 	return newDet, nil
-}
-
-// outputDiff returns the OR over all outputs of good-vs-faulty
-// difference masks for fault f under the currently applied batch.
-func (fs *FaultSim) outputDiff(f netlist.Fault, valid uint64) uint64 {
-	per := fs.perOutputDiff(f, valid)
-	var acc uint64
-	for _, d := range per {
-		acc |= d
-	}
-	return acc
-}
-
-// perOutputDiff computes, for each circuit output, the pattern mask on
-// which fault f flips that output, under the currently applied batch.
-func (fs *FaultSim) perOutputDiff(f netlist.Fault, valid uint64) []uint64 {
-	stuckWord := uint64(0)
-	if f.Stuck {
-		stuckWord = ^uint64(0)
-	}
-	// Reset overlay from the previous fault.
-	for _, id := range fs.touched {
-		fs.isSet[id] = false
-	}
-	fs.touched = fs.touched[:0]
-
-	set := func(id int, v uint64) {
-		if !fs.isSet[id] {
-			fs.isSet[id] = true
-			fs.touched = append(fs.touched, id)
-		}
-		fs.faulty[id] = v
-	}
-	get := func(id int) uint64 {
-		if fs.isSet[id] {
-			return fs.faulty[id]
-		}
-		return fs.good.Value(id)
-	}
-
-	var coneRoot int
-	if f.Pin == netlist.StemPin {
-		set(f.Gate, stuckWord)
-		coneRoot = f.Gate
-	} else {
-		// Only the reader gate sees the stuck value on one pin.
-		g := &fs.c.Gates[f.Gate]
-		if len(g.Fanin) > len(fs.scratch) {
-			fs.scratch = make([]uint64, len(g.Fanin))
-		}
-		in := fs.scratch[:len(g.Fanin)]
-		for i, src := range g.Fanin {
-			if i == f.Pin {
-				in[i] = stuckWord
-			} else {
-				in[i] = fs.good.Value(src)
-			}
-		}
-		set(f.Gate, g.Type.EvalWords(in))
-		coneRoot = f.Gate
-	}
-
-	// Propagate through the fanout cone in topological order.
-	for _, id := range fs.c.Cone(coneRoot) {
-		g := &fs.c.Gates[id]
-		if len(g.Fanin) > len(fs.scratch) {
-			fs.scratch = make([]uint64, len(g.Fanin))
-		}
-		in := fs.scratch[:len(g.Fanin)]
-		changed := false
-		for i, src := range g.Fanin {
-			in[i] = get(src)
-			if fs.isSet[src] {
-				changed = true
-			}
-		}
-		if !changed {
-			continue
-		}
-		set(id, g.Type.EvalWords(in))
-	}
-
-	out := make([]uint64, len(fs.c.Outputs))
-	for i, id := range fs.c.Outputs {
-		out[i] = (get(id) ^ fs.good.Value(id)) & valid
-	}
-	return out
 }
 
 // OutputResponse returns, for fault f, the per-output difference masks
@@ -192,12 +134,14 @@ func (fs *FaultSim) OutputResponse(f netlist.Fault, b Batch) ([]uint64, error) {
 	if err := fs.good.Apply(b); err != nil {
 		return nil, err
 	}
-	return fs.perOutputDiff(f, b.ValidMask()), nil
+	ov := fs.pool.take(1)[0]
+	ov.reset()
+	ov.propagate(fs.c.Cone(ov.injectStuck(f)))
+	return ov.perOutputDiff(b.ValidMask()), nil
 }
 
-// RunCoverage feeds batches from gen until limit patterns are consumed
-// or the fault list is exhausted, recording coverage after every batch.
-// It returns (patternsConsumed, coverage) pairs at batch granularity.
+// CoveragePoint is one (patterns consumed, coverage) sample recorded at
+// batch granularity by RunCoverage.
 type CoveragePoint struct {
 	Patterns int
 	Coverage float64

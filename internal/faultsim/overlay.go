@@ -1,0 +1,205 @@
+package faultsim
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/netlist"
+)
+
+// overlay is the per-worker faulty-machine scratch state layered over a
+// shared good-machine simulation: a sparse value overlay (faulty/isSet)
+// with a touched list for O(cone) reset between faults. Every worker of
+// a sharded simulation owns one overlay; the good-machine LogicSim is
+// shared read-only while shards run.
+type overlay struct {
+	c       *netlist.Circuit
+	good    *LogicSim
+	faulty  []uint64
+	isSet   []bool
+	touched []int
+	scratch []uint64
+}
+
+// newOverlay returns an overlay over the circuit's good machine.
+func newOverlay(c *netlist.Circuit, good *LogicSim) *overlay {
+	return &overlay{
+		c:       c,
+		good:    good,
+		faulty:  make([]uint64, c.NumGates()),
+		isSet:   make([]bool, c.NumGates()),
+		scratch: make([]uint64, 8),
+	}
+}
+
+// reset clears the overlay entries touched by the previous fault.
+func (ov *overlay) reset() {
+	for _, id := range ov.touched {
+		ov.isSet[id] = false
+	}
+	ov.touched = ov.touched[:0]
+}
+
+func (ov *overlay) set(id int, v uint64) {
+	if !ov.isSet[id] {
+		ov.isSet[id] = true
+		ov.touched = append(ov.touched, id)
+	}
+	ov.faulty[id] = v
+}
+
+func (ov *overlay) get(id int) uint64 {
+	if ov.isSet[id] {
+		return ov.faulty[id]
+	}
+	return ov.good.Value(id)
+}
+
+// injectStuck loads stuck-at fault f into the overlay and returns the
+// cone root to propagate from. A stem fault forces the driver value; a
+// pin (branch) fault is visible only to the reader gate, whose output
+// is re-evaluated with the stuck value on that one pin.
+func (ov *overlay) injectStuck(f netlist.Fault) int {
+	stuckWord := uint64(0)
+	if f.Stuck {
+		stuckWord = ^uint64(0)
+	}
+	if f.Pin == netlist.StemPin {
+		ov.set(f.Gate, stuckWord)
+		return f.Gate
+	}
+	g := &ov.c.Gates[f.Gate]
+	if len(g.Fanin) > len(ov.scratch) {
+		ov.scratch = make([]uint64, len(g.Fanin))
+	}
+	in := ov.scratch[:len(g.Fanin)]
+	for i, src := range g.Fanin {
+		if i == f.Pin {
+			in[i] = stuckWord
+		} else {
+			in[i] = ov.good.Value(src)
+		}
+	}
+	ov.set(f.Gate, g.Type.EvalWords(in))
+	return f.Gate
+}
+
+// propagate re-evaluates the given fanout cone (ascending level order)
+// against the overlay, extending the overlay with every changed gate.
+func (ov *overlay) propagate(cone []int) {
+	for _, id := range cone {
+		g := &ov.c.Gates[id]
+		if len(g.Fanin) > len(ov.scratch) {
+			ov.scratch = make([]uint64, len(g.Fanin))
+		}
+		in := ov.scratch[:len(g.Fanin)]
+		changed := false
+		for i, src := range g.Fanin {
+			in[i] = ov.get(src)
+			if ov.isSet[src] {
+				changed = true
+			}
+		}
+		if !changed {
+			continue
+		}
+		ov.set(id, g.Type.EvalWords(in))
+	}
+}
+
+// stuckDiff resets the overlay, injects stuck-at fault f, propagates
+// its fanout cone and returns the OR over all outputs of the
+// good-vs-faulty difference mask, restricted to valid patterns.
+func (ov *overlay) stuckDiff(f netlist.Fault, valid uint64) uint64 {
+	ov.reset()
+	root := ov.injectStuck(f)
+	ov.propagate(ov.c.Cone(root))
+	return ov.outputDiffMask(valid)
+}
+
+// outputDiffMask ORs the good-vs-faulty difference over all outputs,
+// masked to the valid patterns.
+func (ov *overlay) outputDiffMask(valid uint64) uint64 {
+	var acc uint64
+	for _, id := range ov.c.Outputs {
+		acc |= (ov.get(id) ^ ov.good.Value(id)) & valid
+	}
+	return acc
+}
+
+// perOutputDiff allocates and returns the per-output difference masks.
+func (ov *overlay) perOutputDiff(valid uint64) []uint64 {
+	out := make([]uint64, len(ov.c.Outputs))
+	for i, id := range ov.c.Outputs {
+		out[i] = (ov.get(id) ^ ov.good.Value(id)) & valid
+	}
+	return out
+}
+
+// overlayPool lazily grows a set of per-worker overlays over one shared
+// good machine. It is the "shared worker pool" state of a simulator:
+// overlay w is always handed to shard w, so a fault is evaluated by the
+// same scratch arrays regardless of how other shards progress.
+type overlayPool struct {
+	c    *netlist.Circuit
+	good *LogicSim
+	ovs  []*overlay
+}
+
+func newOverlayPool(c *netlist.Circuit, good *LogicSim) *overlayPool {
+	return &overlayPool{c: c, good: good}
+}
+
+// take grows the pool to n overlays and returns them. It must be
+// called before shards launch — growth is not concurrency-safe.
+func (p *overlayPool) take(n int) []*overlay {
+	for len(p.ovs) < n {
+		p.ovs = append(p.ovs, newOverlay(p.c, p.good))
+	}
+	return p.ovs[:n]
+}
+
+// minFaultsPerShard is the smallest shard worth a goroutine: below it
+// the spawn/join overhead dominates the cone resimulation work.
+const minFaultsPerShard = 32
+
+// shardWorkers returns the number of shards to use for n faults given
+// the configured worker count (0 or less means GOMAXPROCS).
+func shardWorkers(workers, n int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if max := (n + minFaultsPerShard - 1) / minFaultsPerShard; workers > max {
+		workers = max
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// runShards splits n items into contiguous chunks, one per worker, and
+// runs fn(worker, lo, hi) for each — concurrently when workers > 1.
+// fn must only touch worker-local state plus the item range [lo, hi);
+// shard w always covers the same range for a given (n, workers), and
+// the caller merges shard results in ascending shard order, which is
+// what keeps sharded runs byte-identical to serial ones.
+func runShards(n, workers int, fn func(w, lo, hi int)) {
+	if workers <= 1 || n == 0 {
+		fn(0, 0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo, hi := w*n/workers, (w+1)*n/workers
+		if lo == hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			fn(w, lo, hi)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,229 @@
+package faultsim
+
+import (
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/netlist"
+)
+
+// parallelTestCircuit is a random circuit large enough that every
+// worker count in the determinism sweeps actually shards (its collapsed
+// fault list is several hundred faults).
+func parallelTestCircuit(seed int64) *netlist.Circuit {
+	return netlist.Random(seed, netlist.RandomOptions{Inputs: 16, Gates: 300, Outputs: 12})
+}
+
+// feedBatches drives sim over several random batches from a fixed seed,
+// returning per-batch detection counts so mid-run fault dropping is
+// exercised and compared across worker counts.
+func feedBatches(t *testing.T, nIn int, simulate func(Batch) int) []int {
+	t.Helper()
+	src := &randomSource{nIn: nIn, rng: rand.New(rand.NewSource(7))}
+	var counts []int
+	for i := 0; i < 6; i++ {
+		counts = append(counts, simulate(src.NextBatch(64)))
+	}
+	return counts
+}
+
+// TestFaultSimParallelDeterminism: Workers=8 must produce byte-identical
+// detections (fault, first-detection pattern index), remaining list and
+// coverage to Workers=1, including the fault dropping between batches.
+func TestFaultSimParallelDeterminism(t *testing.T) {
+	c := parallelTestCircuit(11)
+	faults := netlist.CollapsedFaults(c)
+	if len(faults) < 4*minFaultsPerShard {
+		t.Fatalf("fault list too small to shard: %d", len(faults))
+	}
+	serial := NewFaultSim(c, faults).SetWorkers(1)
+	parallel := NewFaultSim(c, faults).SetWorkers(8)
+
+	sCounts := feedBatches(t, c.NumInputs(), func(b Batch) int {
+		d, err := serial.SimulateBatch(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return len(d)
+	})
+	pCounts := feedBatches(t, c.NumInputs(), func(b Batch) int {
+		d, err := parallel.SimulateBatch(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return len(d)
+	})
+	if !reflect.DeepEqual(sCounts, pCounts) {
+		t.Fatalf("per-batch detection counts differ: serial %v parallel %v", sCounts, pCounts)
+	}
+	if !reflect.DeepEqual(serial.Detections(), parallel.Detections()) {
+		t.Fatal("detection lists differ between Workers=1 and Workers=8")
+	}
+	if !reflect.DeepEqual(serial.Remaining(), parallel.Remaining()) {
+		t.Fatal("remaining fault lists differ between Workers=1 and Workers=8")
+	}
+	if serial.Coverage() != parallel.Coverage() {
+		t.Fatalf("coverage differs: %v vs %v", serial.Coverage(), parallel.Coverage())
+	}
+	if serial.Coverage() == 0 || serial.Coverage() == 1 {
+		t.Fatalf("degenerate coverage %v cannot witness determinism", serial.Coverage())
+	}
+}
+
+// TestFaultSimWorkerSweep checks every worker count from 1 to 2×cores
+// against the serial reference on full coverage curves.
+func TestFaultSimWorkerSweep(t *testing.T) {
+	c := parallelTestCircuit(12)
+	faults := netlist.CollapsedFaults(c)
+	run := func(workers int) ([]CoveragePoint, []Detection) {
+		fs := NewFaultSim(c, faults).SetWorkers(workers)
+		pts, err := fs.RunCoverage(&randomSource{nIn: c.NumInputs(), rng: rand.New(rand.NewSource(3))}, 512)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pts, fs.Detections()
+	}
+	wantPts, wantDet := run(1)
+	for _, w := range []int{2, 3, 4, 8, 16} {
+		pts, det := run(w)
+		if !reflect.DeepEqual(pts, wantPts) {
+			t.Fatalf("Workers=%d coverage curve differs", w)
+		}
+		if !reflect.DeepEqual(det, wantDet) {
+			t.Fatalf("Workers=%d detections differ", w)
+		}
+	}
+}
+
+// TestBridgeSimParallelDeterminism mirrors the stuck-at determinism
+// check for the bridging model.
+func TestBridgeSimParallelDeterminism(t *testing.T) {
+	c := parallelTestCircuit(13)
+	bridges := CandidateBridges(c, 200, 5)
+	if len(bridges) < 2*minFaultsPerShard {
+		t.Fatalf("bridge list too small to shard: %d", len(bridges))
+	}
+	serial := NewBridgeSim(c, bridges).SetWorkers(1)
+	parallel := NewBridgeSim(c, bridges).SetWorkers(8)
+	feedBatches(t, c.NumInputs(), func(b Batch) int {
+		d, err := serial.SimulateBatch(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return len(d)
+	})
+	feedBatches(t, c.NumInputs(), func(b Batch) int {
+		d, err := parallel.SimulateBatch(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return len(d)
+	})
+	if !reflect.DeepEqual(serial.Detections(), parallel.Detections()) {
+		t.Fatal("bridge detection lists differ between Workers=1 and Workers=8")
+	}
+	if serial.Coverage() != parallel.Coverage() {
+		t.Fatalf("bridge coverage differs: %v vs %v", serial.Coverage(), parallel.Coverage())
+	}
+}
+
+// TestTransitionSimParallelDeterminism mirrors the stuck-at determinism
+// check for the broadside transition model, whose launch/capture
+// pairing additionally spans batch boundaries.
+func TestTransitionSimParallelDeterminism(t *testing.T) {
+	c := parallelTestCircuit(14)
+	faults := AllTransitionFaults(c)
+	if len(faults) < 4*minFaultsPerShard {
+		t.Fatalf("transition fault list too small to shard: %d", len(faults))
+	}
+	serial := NewTransitionSim(c, faults).SetWorkers(1)
+	parallel := NewTransitionSim(c, faults).SetWorkers(8)
+	feedBatches(t, c.NumInputs(), func(b Batch) int {
+		d, err := serial.SimulateBatch(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return len(d)
+	})
+	feedBatches(t, c.NumInputs(), func(b Batch) int {
+		d, err := parallel.SimulateBatch(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return len(d)
+	})
+	if !reflect.DeepEqual(serial.Detections(), parallel.Detections()) {
+		t.Fatal("transition detection lists differ between Workers=1 and Workers=8")
+	}
+	if serial.Coverage() != parallel.Coverage() {
+		t.Fatalf("transition coverage differs: %v vs %v", serial.Coverage(), parallel.Coverage())
+	}
+}
+
+// TestSimsConcurrentUnderRace runs all three simulators concurrently on
+// a shared immutable circuit with default (GOMAXPROCS) workers. It
+// exists for the CI -race job: any unsynchronized sharing inside the
+// worker pool or across simulators trips the race detector here.
+func TestSimsConcurrentUnderRace(t *testing.T) {
+	c := parallelTestCircuit(15)
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func(kind int) {
+			defer wg.Done()
+			src := &randomSource{nIn: c.NumInputs(), rng: rand.New(rand.NewSource(int64(kind)))}
+			switch kind {
+			case 0:
+				fs := NewFaultSim(c, netlist.CollapsedFaults(c))
+				for j := 0; j < 4; j++ {
+					if _, err := fs.SimulateBatch(src.NextBatch(64)); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			case 1:
+				bs := NewBridgeSim(c, CandidateBridges(c, 120, 9))
+				for j := 0; j < 4; j++ {
+					if _, err := bs.SimulateBatch(src.NextBatch(64)); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			default:
+				ts := NewTransitionSim(c, AllTransitionFaults(c))
+				for j := 0; j < 4; j++ {
+					if _, err := ts.SimulateBatch(src.NextBatch(64)); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+// TestShardWorkersBounds pins the shard sizing policy: never more
+// shards than pay for their goroutine, never fewer than one.
+func TestShardWorkersBounds(t *testing.T) {
+	cases := []struct {
+		workers, n, want int
+	}{
+		{1, 1000, 1},
+		{4, 1000, 4},
+		{4, 0, 1},
+		{4, 1, 1},
+		{4, minFaultsPerShard + 1, 2},
+		{1000, 4 * minFaultsPerShard, 4},
+	}
+	for _, c := range cases {
+		if got := shardWorkers(c.workers, c.n); got != c.want {
+			t.Errorf("shardWorkers(%d, %d) = %d, want %d", c.workers, c.n, got, c.want)
+		}
+	}
+	if got := shardWorkers(0, 1<<20); got < 1 {
+		t.Errorf("default workers = %d", got)
+	}
+}

@@ -46,9 +46,15 @@ type TransitionDetection struct {
 
 // TransitionSim runs broadside transition fault simulation over a
 // pattern sequence: consecutive patterns form launch/capture pairs
-// (pattern q pairs with q−1, including across batch boundaries).
+// (pattern q pairs with q−1, including across batch boundaries). Like
+// FaultSim it shards the fault list across workers with a
+// deterministic shard-order merge.
 type TransitionSim struct {
-	fs        *FaultSim // reused for the stuck-value propagation engine
+	c       *netlist.Circuit
+	good    *LogicSim
+	pool    *overlayPool
+	workers int
+
 	remaining []TransitionFault
 	detected  []TransitionDetection
 	seen      int
@@ -57,13 +63,27 @@ type TransitionSim struct {
 	prevBit  []uint64 // per gate: value of the last pattern of the previous batch (bit 0)
 }
 
-// NewTransitionSim returns a simulator over the target fault list.
+// NewTransitionSim returns a simulator over the target fault list with
+// the default worker count (runtime.GOMAXPROCS(0)).
 func NewTransitionSim(c *netlist.Circuit, faults []TransitionFault) *TransitionSim {
+	good := NewLogicSim(c)
 	return &TransitionSim{
-		fs:        NewFaultSim(c, nil),
+		c:         c,
+		good:      good,
+		pool:      newOverlayPool(c, good),
 		remaining: append([]TransitionFault(nil), faults...),
 		prevBit:   make([]uint64, c.NumGates()),
 	}
+}
+
+// SetWorkers fixes the shard count per batch; n <= 0 restores the
+// GOMAXPROCS default. Results are identical for every worker count.
+func (ts *TransitionSim) SetWorkers(n int) *TransitionSim {
+	if n < 0 {
+		n = 0
+	}
+	ts.workers = n
+	return ts
 }
 
 // TotalFaults returns the target list size.
@@ -87,7 +107,7 @@ func (ts *TransitionSim) Detections() []TransitionDetection {
 // pattern of the very first batch has no launch partner and cannot
 // detect anything.
 func (ts *TransitionSim) SimulateBatch(b Batch) ([]TransitionDetection, error) {
-	if err := ts.fs.good.Apply(b); err != nil {
+	if err := ts.good.Apply(b); err != nil {
 		return nil, err
 	}
 	valid := b.ValidMask()
@@ -96,40 +116,56 @@ func (ts *TransitionSim) SimulateBatch(b Batch) ([]TransitionDetection, error) {
 	if !ts.havePrev {
 		validPairs &^= 1
 	}
+	nw := shardWorkers(ts.workers, len(ts.remaining))
+	ovs := ts.pool.take(nw)
+
+	shardDet := make([][]TransitionDetection, nw)
+	shardKept := make([][]TransitionFault, nw)
+	runShards(len(ts.remaining), nw, func(w, lo, hi int) {
+		ov := ovs[w]
+		var det []TransitionDetection
+		var kept []TransitionFault
+		for _, f := range ts.remaining[lo:hi] {
+			v := ts.good.Value(f.Gate)
+			shifted := v<<1 | ts.prevBit[f.Gate]
+			var act uint64
+			if f.Rise {
+				act = ^shifted & v
+			} else {
+				act = shifted & ^v
+			}
+			act &= validPairs
+			if act == 0 {
+				kept = append(kept, f)
+				continue
+			}
+			// A slow transition leaves the stale value on the net during the
+			// capture pattern: stuck-at-(¬new value) restricted to activated
+			// captures.
+			stuck := netlist.Fault{Gate: f.Gate, Pin: netlist.StemPin, Stuck: !f.Rise}
+			d := ov.stuckDiff(stuck, act)
+			if d != 0 {
+				det = append(det, TransitionDetection{Fault: f, Pattern: ts.seen + bits.TrailingZeros64(d)})
+			} else {
+				kept = append(kept, f)
+			}
+		}
+		shardDet[w] = det
+		shardKept[w] = kept
+	})
+
 	var news []TransitionDetection
-	kept := ts.remaining[:0]
-	for _, f := range ts.remaining {
-		v := ts.fs.good.Value(f.Gate)
-		shifted := v<<1 | ts.prevBit[f.Gate]
-		var act uint64
-		if f.Rise {
-			act = ^shifted & v
-		} else {
-			act = shifted & ^v
-		}
-		act &= validPairs
-		if act == 0 {
-			kept = append(kept, f)
-			continue
-		}
-		// A slow transition leaves the stale value on the net during the
-		// capture pattern: stuck-at-(¬new value) restricted to activated
-		// captures.
-		stuck := netlist.Fault{Gate: f.Gate, Pin: netlist.StemPin, Stuck: !f.Rise}
-		det := ts.fs.outputDiff(stuck, act)
-		if det != 0 {
-			d := TransitionDetection{Fault: f, Pattern: ts.seen + bits.TrailingZeros64(det)}
-			news = append(news, d)
-			ts.detected = append(ts.detected, d)
-		} else {
-			kept = append(kept, f)
-		}
+	keptAll := ts.remaining[:0]
+	for w := 0; w < nw; w++ {
+		news = append(news, shardDet[w]...)
+		keptAll = append(keptAll, shardKept[w]...)
 	}
-	ts.remaining = kept
+	ts.detected = append(ts.detected, news...)
+	ts.remaining = keptAll
 	// Carry the last pattern's value into the next batch.
 	last := uint(b.N - 1)
 	for id := range ts.prevBit {
-		ts.prevBit[id] = ts.fs.good.Value(id) >> last & 1
+		ts.prevBit[id] = ts.good.Value(id) >> last & 1
 	}
 	ts.havePrev = true
 	ts.seen += b.N
