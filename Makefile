@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: ci build fmt-check vet test race bench-smoke bench
+.PHONY: ci build fmt-check vet test race bench-smoke bench bench-json
 
 ci: build fmt-check vet test race bench-smoke
 
@@ -23,9 +23,10 @@ test:
 	$(GO) test ./...
 
 # The concurrent packages: sharded fault simulation, the MOEA worker
-# pool, and the explorer that drives it.
+# pool, the explorer that drives it, and the shared decode/propagation
+# state behind the pooled per-worker decoder.
 race:
-	$(GO) test -race ./internal/faultsim/ ./internal/moea/ ./internal/core/
+	$(GO) test -race ./internal/faultsim/ ./internal/moea/ ./internal/core/ ./internal/pbsat/ ./internal/encode/
 
 bench-smoke:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
@@ -33,3 +34,13 @@ bench-smoke:
 # Full benchmark sweep (not part of ci; slow).
 bench:
 	$(GO) test -run=NONE -bench=. ./...
+
+# Machine-readable throughput report: the evaluation-pipeline benchmarks
+# (decode+evaluate, DSE worker sweep, end-to-end Fig. 5 run) as JSON.
+# CI uploads BENCH_2.json as an artifact; locally, raise BENCHTIME for
+# stable numbers (e.g. `make bench-json BENCHTIME=2s`).
+BENCHTIME ?= 1x
+bench-json:
+	$(GO) test -run=NONE -bench 'DecodeEvaluate|DSEParallel|EvalThroughput|Fig5_DSE' \
+		-benchmem -benchtime=$(BENCHTIME) . | $(GO) run ./cmd/benchjson -out BENCH_2.json
+	@echo "wrote BENCH_2.json"

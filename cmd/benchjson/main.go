@@ -1,0 +1,141 @@
+// Command benchjson converts `go test -bench -benchmem` output on stdin
+// into a JSON benchmark report, so CI can archive throughput numbers
+// (evals/sec, ns/decode, allocs/decode) as a machine-readable artifact
+// and regressions show up as diffs instead of buried log lines.
+//
+// Usage:
+//
+//	go test -run=NONE -bench 'Decode|DSE' -benchmem . | benchjson -out BENCH_2.json
+//
+// Non-benchmark lines are ignored, so the full `go test` output can be
+// piped through unfiltered.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed benchmark result line.
+type Benchmark struct {
+	Name       string  `json:"name"`
+	Procs      int     `json:"procs"`
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	// BytesPerOp/AllocsPerOp are present only with -benchmem.
+	BytesPerOp  *int64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *int64 `json:"allocs_per_op,omitempty"`
+	// Custom holds b.ReportMetric values, e.g. "evals/s".
+	Custom map[string]float64 `json:"custom,omitempty"`
+}
+
+// Report is the top-level JSON document.
+type Report struct {
+	GoOS       string      `json:"goos,omitempty"`
+	GoArch     string      `json:"goarch,omitempty"`
+	Package    string      `json:"pkg,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("out", "", "write the JSON report to this file (default stdout)")
+	flag.Parse()
+
+	rep := Report{Benchmarks: []Benchmark{}}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			rep.GoOS = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			rep.GoArch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "pkg:"):
+			rep.Package = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "cpu:"):
+			rep.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			if b, ok := parseLine(line); ok {
+				rep.Benchmarks = append(rep.Benchmarks, b)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fatal(err)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fatal(err)
+	}
+}
+
+// parseLine parses one result line of the standard benchmark format,
+//
+//	BenchmarkName-8  100  123456 ns/op  42 B/op  7 allocs/op  987 evals/s
+//
+// returning ok=false for lines that do not parse (e.g. bare benchmark
+// names echoed with -v).
+func parseLine(line string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 3 {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: fields[0], Procs: 1}
+	if i := strings.LastIndex(b.Name, "-"); i > 0 {
+		if p, err := strconv.Atoi(b.Name[i+1:]); err == nil {
+			b.Procs = p
+			b.Name = b.Name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b.Iterations = iters
+	// The remainder is value/unit pairs.
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			b.NsPerOp = val
+		case "B/op":
+			v := int64(val)
+			b.BytesPerOp = &v
+		case "allocs/op":
+			v := int64(val)
+			b.AllocsPerOp = &v
+		default:
+			if b.Custom == nil {
+				b.Custom = make(map[string]float64)
+			}
+			b.Custom[unit] = val
+		}
+	}
+	return b, true
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,45 @@
+package main
+
+import "testing"
+
+func TestParseLine(t *testing.T) {
+	b, ok := parseLine("BenchmarkDecodeEvaluate-8   	     100	  11221911 ns/op	 1322868 B/op	   23290 allocs/op")
+	if !ok {
+		t.Fatal("line rejected")
+	}
+	if b.Name != "BenchmarkDecodeEvaluate" || b.Procs != 8 || b.Iterations != 100 {
+		t.Fatalf("parsed %+v", b)
+	}
+	if b.NsPerOp != 11221911 {
+		t.Fatalf("ns/op = %v", b.NsPerOp)
+	}
+	if b.BytesPerOp == nil || *b.BytesPerOp != 1322868 || b.AllocsPerOp == nil || *b.AllocsPerOp != 23290 {
+		t.Fatalf("mem stats %+v", b)
+	}
+}
+
+func TestParseLineCustomMetric(t *testing.T) {
+	b, ok := parseLine("BenchmarkDSEParallel/workers=4-8	       2	 512000000 ns/op	     9321 evals/s")
+	if !ok {
+		t.Fatal("line rejected")
+	}
+	if b.Name != "BenchmarkDSEParallel/workers=4" {
+		t.Fatalf("name %q", b.Name)
+	}
+	if b.Custom["evals/s"] != 9321 {
+		t.Fatalf("custom = %v", b.Custom)
+	}
+}
+
+func TestParseLineRejectsNonResults(t *testing.T) {
+	for _, line := range []string{
+		"BenchmarkDecodeEvaluate-8",        // -v echo, no fields
+		"Benchmark bogus text",             // non-numeric iteration count
+		"ok  	repro	1.2s",                  // summary line
+		"BenchmarkX-8 12 notanumber ns/op", // bad value
+	} {
+		if _, ok := parseLine(line); ok {
+			t.Fatalf("line %q accepted", line)
+		}
+	}
+}

@@ -6,7 +6,7 @@
 //
 //	eedse [-evals 100000] [-pop 128] [-seed 1] [-profiles 36]
 //	      [-decoder greedy|sat] [-threshold 20] [-fig5] [-fig6] [-summary]
-//	      [-workers N] [-measured]
+//	      [-workers N] [-measured] [-cpuprofile dse.pprof] [-memprofile heap.pprof]
 //
 // Without -fig5/-fig6/-summary all three reports are printed.
 //
@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -52,6 +53,8 @@ func main() {
 		measured  = flag.Bool("measured", false, "characterize BIST profiles on a synthetic CUT with real fault simulation instead of the embedded Table I")
 		csvPath   = flag.String("csv", "", "write the Pareto front as CSV to this file")
 		epsilon   = flag.String("epsilon", "", "comma-separated \u03b5-archive box sizes per objective (cost,-quality,shutoff_ms)")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the exploration to this file")
+		memProf   = flag.String("memprofile", "", "write a heap profile (taken after the exploration) to this file")
 	)
 	flag.Parse()
 	if !*fig5 && !*fig6 && !*summary {
@@ -125,6 +128,17 @@ func main() {
 	}
 	fmt.Printf("exploring %s with %s decoder (%s, storage=%s, sbst=%s): pop=%d generations=%d (~%d evaluations)\n\n",
 		name, *decoder, *optimizer, *storage, *sbst, *pop, gens, *pop+*pop*gens)
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		defer pprof.StopCPUProfile()
+	}
 	ex := core.NewExplorer(spec, dec)
 	var res *core.Result
 	switch *optimizer {
@@ -144,6 +158,19 @@ func main() {
 	}
 	if err != nil {
 		fatal(err)
+	}
+	if *memProf != "" {
+		f, ferr := os.Create(*memProf)
+		if ferr != nil {
+			fatal(ferr)
+		}
+		runtime.GC() // capture the steady state, not transient garbage
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
 	}
 	if *csvPath != "" {
 		f, err := os.Create(*csvPath)

@@ -412,6 +412,47 @@ func TestParallelExplorationRaceFree(t *testing.T) {
 	}
 }
 
+// TestExplorerWorkerSweepDeterministic is the acceptance gate for the
+// pooled SAT decoder states: the same seed must produce the identical
+// Pareto front at every worker count. Each worker checks a DecoderState
+// out of the pool, so this sweep exercises reuse across distinct
+// genotype streams.
+func TestExplorerWorkerSweepDeterministic(t *testing.T) {
+	spec, err := casestudy.Small(3, 4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := NewSATDecoder(spec, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := NewExplorer(spec, dec)
+	ex.Verify = true
+	var ref *Result
+	for _, w := range []int{1, 2, 4} {
+		res, err := ex.Run(moea.Options{PopSize: 16, Generations: 8, Seed: 11, Workers: w})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if res.EvalsPerSec() <= 0 {
+			t.Fatalf("workers=%d: throughput accounting missing (%v evals in %v)", w, res.Evaluations, res.Elapsed)
+		}
+		if ref == nil {
+			ref = res
+			continue
+		}
+		if len(res.Solutions) != len(ref.Solutions) {
+			t.Fatalf("workers=%d: front size %d, want %d", w, len(res.Solutions), len(ref.Solutions))
+		}
+		for i := range res.Solutions {
+			if res.Solutions[i].Objectives != ref.Solutions[i].Objectives {
+				t.Fatalf("workers=%d: solution %d = %+v, want %+v",
+					w, i, res.Solutions[i].Objectives, ref.Solutions[i].Objectives)
+			}
+		}
+	}
+}
+
 // TestSATDecoderFullCaseStudy builds the complete constraint system of
 // the paper's case study (reduced to 4 profiles per ECU) and decodes a
 // few genotypes through the PB solver — the paper's own evaluation

@@ -6,6 +6,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/encode"
 	"repro/internal/model"
@@ -27,6 +28,11 @@ type SATDecoder struct {
 	Enc *encode.Encoding
 	// MaxConflicts bounds the per-decode search (0 = solver default).
 	MaxConflicts int
+
+	// states pools one DecoderState (solver + branching + scratch) per
+	// concurrently decoding MOEA worker, so steady-state decodes neither
+	// allocate solver indexes nor contend on shared state.
+	states sync.Pool
 }
 
 // NewSATDecoder builds the encoding for the specification.
@@ -41,9 +47,18 @@ func NewSATDecoder(spec *model.Specification, tmax int) (*SATDecoder, error) {
 // GenotypeLen implements Decoder.
 func (d *SATDecoder) GenotypeLen() int { return d.Enc.GenotypeLen() }
 
-// Decode implements Decoder.
+// Decode implements Decoder. It is safe for concurrent use: each
+// concurrent caller checks a DecoderState out of the pool for the
+// duration of the decode.
 func (d *SATDecoder) Decode(genotype []float64) (*model.Implementation, error) {
-	x, _, err := d.Enc.SolveWithGenotype(genotype, d.MaxConflicts)
+	st, _ := d.states.Get().(*encode.DecoderState)
+	if st == nil {
+		// Lazy so that struct-literal construction (without NewSATDecoder)
+		// still gets pooling.
+		st = d.Enc.NewDecoderState()
+	}
+	x, _, err := st.Decode(genotype, d.MaxConflicts)
+	d.states.Put(st)
 	if err != nil {
 		return nil, fmt.Errorf("core: SAT decode: %w", err)
 	}

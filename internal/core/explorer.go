@@ -79,20 +79,7 @@ func (e *Explorer) Run(opt moea.Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	res := &Result{
-		Evaluations:    mres.Evaluations,
-		Elapsed:        time.Since(start),
-		DecodeFailures: int(e.decodeFailures.Load()),
-	}
-	for _, ind := range mres.Archive {
-		if sol, ok := ind.Payload.(Solution); ok {
-			res.Solutions = append(res.Solutions, sol)
-		}
-	}
-	sort.Slice(res.Solutions, func(i, j int) bool {
-		return res.Solutions[i].Objectives.CostTotal < res.Solutions[j].Objectives.CostTotal
-	})
-	return res, nil
+	return e.collect(mres, start), nil
 }
 
 // RunRandom explores with uniform random sampling instead of NSGA-II —
@@ -104,6 +91,15 @@ func (e *Explorer) RunRandom(evals int, seed int64) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	return e.collect(mres, start), nil
+}
+
+// collect turns an optimizer result into the exploration Result: it
+// extracts the Solution payloads from the archive, sorts them by
+// ascending cost, and stamps the throughput accounting. Both entry
+// points (NSGA-II and random search) report through here so evaluation
+// counts and timings mean the same thing everywhere.
+func (e *Explorer) collect(mres *moea.Result, start time.Time) *Result {
 	res := &Result{
 		Evaluations:    mres.Evaluations,
 		Elapsed:        time.Since(start),
@@ -117,7 +113,16 @@ func (e *Explorer) RunRandom(evals int, seed int64) (*Result, error) {
 	sort.Slice(res.Solutions, func(i, j int) bool {
 		return res.Solutions[i].Objectives.CostTotal < res.Solutions[j].Objectives.CostTotal
 	})
-	return res, nil
+	return res
+}
+
+// EvalsPerSec returns the evaluation throughput of the run, or 0 for an
+// empty or unmeasured run.
+func (r *Result) EvalsPerSec() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Evaluations) / r.Elapsed.Seconds()
 }
 
 // SplitByShutOff partitions the solutions at the given shut-off

@@ -16,6 +16,7 @@ func (e *Encoding) GenotypeLen() int { return len(e.mapOrder) }
 // specification order) into the SAT-decoding decision order: the gene
 // magnitude is the priority, values ≥ 0.5 prefer binding the edge.
 // Routing variables are left to propagation and the solver fallback.
+// For the allocation-free per-worker path, use DecoderState instead.
 func (e *Encoding) Branching(genotype []float64) (pbsat.Branching, error) {
 	if len(genotype) != len(e.mapOrder) {
 		return nil, fmt.Errorf("encode: genotype length %d, want %d", len(genotype), len(e.mapOrder))
@@ -37,8 +38,88 @@ func (e *Encoding) Branching(genotype []float64) (pbsat.Branching, error) {
 	return pbsat.NewPriorityBranching(prio, pref), nil
 }
 
+// DecoderState is the reusable per-worker decode pipeline: one PB
+// solver, one dense branching and the route-extraction scratch, all
+// retained across Decode calls so the steady-state decode→implementation
+// path stops reconstructing solver indexes and priority maps per
+// genotype. A DecoderState is not safe for concurrent use; give each
+// MOEA worker its own (core.SATDecoder pools them).
+type DecoderState struct {
+	enc    *Encoding
+	solver *pbsat.Solver
+	branch *pbsat.PriorityBranching
+	prio   []float64
+	pref   []bool
+	// Route-extraction scratch, indexed by time step τ.
+	byTau  []model.ResourceID
+	tauSet []bool
+}
+
+// NewDecoderState builds a decode pipeline for the encoding. The
+// returned state owns its solver; Decode results remain valid after the
+// next call except for Result.Model, which aliases solver memory.
+func (e *Encoding) NewDecoderState() *DecoderState {
+	// The dense branching addresses mapping variables as 1..len(mapOrder);
+	// allocMappingVars allocates them first, so this holds by
+	// construction — verify once rather than trusting it silently.
+	for i, m := range e.mapOrder {
+		if e.mapVars[m] != pbsat.Var(i+1) {
+			panic(fmt.Sprintf("encode: mapping variable %v is x%d, want x%d", m, e.mapVars[m], i+1))
+		}
+	}
+	return &DecoderState{
+		enc:    e,
+		solver: pbsat.NewSolver(e.Problem),
+		branch: pbsat.NewDensePriorityBranching(len(e.mapOrder)),
+		prio:   make([]float64, len(e.mapOrder)),
+		pref:   make([]bool, len(e.mapOrder)),
+		byTau:  make([]model.ResourceID, e.TMax),
+		tauSet: make([]bool, e.TMax),
+	}
+}
+
+// Decode runs the full SAT-decoding pipeline — genotype → branching →
+// solver → implementation — reusing the state's solver and buffers.
+// maxConflicts bounds the search (0 = solver default). The returned
+// Result's Model aliases solver memory and is invalidated by the next
+// Decode on the same state.
+func (d *DecoderState) Decode(genotype []float64, maxConflicts int) (*model.Implementation, *pbsat.Result, error) {
+	e := d.enc
+	if len(genotype) != len(e.mapOrder) {
+		return nil, nil, fmt.Errorf("encode: genotype length %d, want %d", len(genotype), len(e.mapOrder))
+	}
+	for i, g := range genotype {
+		c := g - 0.5
+		if c < 0 {
+			c = -c
+		}
+		d.prio[i] = c
+		d.pref[i] = g >= 0.5
+	}
+	d.branch.SetDense(d.prio, d.pref)
+	d.solver.MaxConflicts = maxConflicts // 0 restores the solver default
+	res := d.solver.Solve(d.branch)
+	if !res.SAT {
+		return nil, &res, fmt.Errorf("encode: no feasible implementation found (aborted=%v, conflicts=%d)", res.Aborted, res.Conflicts)
+	}
+	x, err := e.decodeAssignment(res.Model, d.byTau, d.tauSet)
+	if err != nil {
+		return nil, &res, err
+	}
+	return x, &res, nil
+}
+
 // Decode reconstructs the implementation from a satisfying assignment.
 func (e *Encoding) Decode(a pbsat.Assignment) (*model.Implementation, error) {
+	return e.decodeAssignment(a, make([]model.ResourceID, e.TMax), make([]bool, e.TMax))
+}
+
+// decodeAssignment reconstructs the implementation, routing every bound
+// destination of each active message. The routing-chain encoding of
+// [17] is unicast and Build rejects multicast messages, so the inner
+// loop runs once per message — but each destination is still handled
+// explicitly rather than silently assuming Dst[0].
+func (e *Encoding) decodeAssignment(a pbsat.Assignment, byTau []model.ResourceID, tauSet []bool) (*model.Implementation, error) {
 	x := model.NewImplementation(e.Spec)
 	for _, m := range e.mapOrder {
 		if a.Get(e.mapVars[m]) {
@@ -49,45 +130,52 @@ func (e *Encoding) Decode(a pbsat.Assignment) (*model.Implementation, error) {
 		if !x.Bound(msg.Src) {
 			continue
 		}
-		dst := msg.Dst[0]
-		if !x.Bound(dst) {
-			continue
+		for _, dst := range msg.Dst {
+			if !x.Bound(dst) {
+				continue
+			}
+			route, err := e.extractRoute(a, msg, x.Binding[msg.Src], x.Binding[dst], byTau, tauSet)
+			if err != nil {
+				return nil, err
+			}
+			x.SetRoute(msg.ID, dst, route)
 		}
-		route, err := e.extractRoute(a, msg, x.Binding[msg.Src], x.Binding[dst])
-		if err != nil {
-			return nil, err
-		}
-		x.SetRoute(msg.ID, dst, route)
 	}
 	return x, nil
 }
 
 // extractRoute walks the c_rτ assignment from the sender resource until
-// the receiver resource is reached.
-func (e *Encoding) extractRoute(a pbsat.Assignment, msg *model.Message, srcRes, dstRes model.ResourceID) (model.Route, error) {
-	byTau := make(map[int]model.ResourceID)
+// the receiver resource is reached, reading the per-message step index
+// (sorted by τ) instead of scanning the global step-variable map.
+func (e *Encoding) extractRoute(a pbsat.Assignment, msg *model.Message, srcRes, dstRes model.ResourceID, byTau []model.ResourceID, tauSet []bool) (model.Route, error) {
+	for i := range tauSet {
+		tauSet[i] = false
+	}
 	maxTau := -1
-	for key, v := range e.stepVar {
-		if key.msg != msg.ID || !a.Get(v) {
+	for _, se := range e.msgSteps[msg.ID] {
+		if !a.Get(se.v) {
 			continue
 		}
-		if prev, dup := byTau[key.tau]; dup {
-			return model.Route{}, fmt.Errorf("encode: message %q has two resources (%q,%q) at step %d", msg.ID, prev, key.res, key.tau)
+		if se.tau == maxTau { // entries are τ-sorted: equal τ means duplicate
+			return model.Route{}, fmt.Errorf("encode: message %q has two resources (%q,%q) at step %d", msg.ID, byTau[se.tau], se.res, se.tau)
 		}
-		byTau[key.tau] = key.res
-		if key.tau > maxTau {
-			maxTau = key.tau
+		byTau[se.tau] = se.res
+		tauSet[se.tau] = true
+		maxTau = se.tau
+	}
+	if maxTau < 0 || !tauSet[0] || byTau[0] != srcRes {
+		start := model.ResourceID("")
+		if maxTau >= 0 && tauSet[0] {
+			start = byTau[0]
 		}
+		return model.Route{}, fmt.Errorf("encode: message %q route starts at %q, sender at %q", msg.ID, start, srcRes)
 	}
-	if byTau[0] != srcRes {
-		return model.Route{}, fmt.Errorf("encode: message %q route starts at %q, sender at %q", msg.ID, byTau[0], srcRes)
-	}
-	var hops []model.ResourceID
+	hops := make([]model.ResourceID, 0, maxTau+1)
 	for tau := 0; tau <= maxTau; tau++ {
-		r, ok := byTau[tau]
-		if !ok {
+		if !tauSet[tau] {
 			break // chain ended
 		}
+		r := byTau[tau]
 		hops = append(hops, r)
 		if r == dstRes {
 			return model.Route{Hops: hops}, nil
@@ -118,25 +206,11 @@ func (e *Encoding) Stats() Stats {
 
 // SolveWithGenotype runs the full SAT-decoding pipeline: genotype →
 // branching → solver → implementation. maxConflicts bounds the search
-// (0 = solver default).
+// (0 = solver default). It builds a fresh DecoderState per call; hot
+// loops should hold a DecoderState (or core.SATDecoder, which pools
+// them) instead.
 func (e *Encoding) SolveWithGenotype(genotype []float64, maxConflicts int) (*model.Implementation, *pbsat.Result, error) {
-	br, err := e.Branching(genotype)
-	if err != nil {
-		return nil, nil, err
-	}
-	s := pbsat.NewSolver(e.Problem)
-	if maxConflicts > 0 {
-		s.MaxConflicts = maxConflicts
-	}
-	res := s.Solve(br)
-	if !res.SAT {
-		return nil, &res, fmt.Errorf("encode: no feasible implementation found (aborted=%v, conflicts=%d)", res.Aborted, res.Conflicts)
-	}
-	x, err := e.Decode(res.Model)
-	if err != nil {
-		return nil, &res, err
-	}
-	return x, &res, nil
+	return e.NewDecoderState().Decode(genotype, maxConflicts)
 }
 
 // MappingOrder exposes the deterministic mapping-edge order backing the

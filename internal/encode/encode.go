@@ -30,6 +30,19 @@ type Encoding struct {
 	mapOrder []model.Mapping // deterministic genotype order
 	routeVar map[routeKey]pbsat.Var
 	stepVar  map[stepKey]pbsat.Var
+
+	// msgSteps groups the step variables of each message, sorted by
+	// (tau, resource), so route extraction walks a short dense slice
+	// instead of scanning the whole stepVar map per message.
+	msgSteps map[model.MessageID][]stepEntry
+}
+
+// stepEntry is one (resource, time-step) routing variable of a message
+// in the msgSteps index.
+type stepEntry struct {
+	res model.ResourceID
+	tau int
+	v   pbsat.Var
 }
 
 type routeKey struct {
@@ -89,6 +102,7 @@ func Build(spec *model.Specification, tmax int, opts ...Option) (*Encoding, erro
 	}
 	e.allocMappingVars()
 	e.allocRoutingVars()
+	e.indexSteps()
 	e.addTaskConstraints()
 	e.addRoutingConstraints()
 	e.addDiagnosisConstraints()
@@ -141,6 +155,24 @@ func (e *Encoding) allocRoutingVars() {
 				e.stepVar[stepKey{msg.ID, r.ID, tau}] = e.Problem.NewVar(fmt.Sprintf("c:%s@%s.t%d", msg.ID, r.ID, tau))
 			}
 		}
+	}
+}
+
+// indexSteps builds the per-message step-variable index from the
+// allocated stepVar map, sorted by (tau, resource) so decode-time route
+// walks are deterministic and allocation-free.
+func (e *Encoding) indexSteps() {
+	e.msgSteps = make(map[model.MessageID][]stepEntry, len(e.Spec.App.Messages()))
+	for key, v := range e.stepVar {
+		e.msgSteps[key.msg] = append(e.msgSteps[key.msg], stepEntry{res: key.res, tau: key.tau, v: v})
+	}
+	for _, entries := range e.msgSteps {
+		sort.Slice(entries, func(i, j int) bool {
+			if entries[i].tau != entries[j].tau {
+				return entries[i].tau < entries[j].tau
+			}
+			return entries[i].res < entries[j].res
+		})
 	}
 }
 

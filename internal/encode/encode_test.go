@@ -2,6 +2,8 @@ package encode
 
 import (
 	"math/rand"
+	"reflect"
+	"strings"
 	"testing"
 
 	"repro/internal/model"
@@ -103,13 +105,97 @@ func TestBuildStats(t *testing.T) {
 	}
 }
 
+// TestBuildRejectsMulticast pins the chosen multi-destination policy:
+// the routing-chain encoding is unicast, so Build rejects multicast
+// messages loudly at encoding time (naming the message) instead of
+// Decode silently routing to the first destination only.
 func TestBuildRejectsMulticast(t *testing.T) {
 	spec := buildSpec(t)
 	if err := spec.App.AddMessage(&model.Message{ID: "mc", Src: "t1", Dst: []model.TaskID{"t2", "bR"}, SizeBytes: 1, PeriodMS: 10}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Build(spec, 0); err == nil {
+	_, err := Build(spec, 0)
+	if err == nil {
 		t.Fatal("multicast accepted")
+	}
+	if !strings.Contains(err.Error(), "mc") || !strings.Contains(err.Error(), "unicast") {
+		t.Fatalf("error %q does not name the multicast message and the unicast restriction", err)
+	}
+}
+
+// TestDecodeRoutesEveryDestination pins the Decode side of the policy:
+// the implementation carries one route per bound destination of every
+// active message — none is silently skipped — and each route runs from
+// the sender's resource to that destination's resource.
+func TestDecodeRoutesEveryDestination(t *testing.T) {
+	e, err := Build(buildSpec(t), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := make([]float64, e.GenotypeLen())
+	for i := range g {
+		g[i] = 0.5
+	}
+	x, _, err := e.SolveWithGenotype(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, msg := range e.Spec.App.Messages() {
+		if !x.Bound(msg.Src) {
+			continue
+		}
+		for _, dst := range msg.Dst {
+			if !x.Bound(dst) {
+				continue
+			}
+			route, ok := x.Routing[msg.ID][dst]
+			if !ok {
+				t.Fatalf("message %q has no route towards %q", msg.ID, dst)
+			}
+			if len(route.Hops) == 0 || route.Hops[0] != x.Binding[msg.Src] || route.Hops[len(route.Hops)-1] != x.Binding[dst] {
+				t.Fatalf("message %q route %v does not run %q→%q", msg.ID, route, x.Binding[msg.Src], x.Binding[dst])
+			}
+		}
+	}
+}
+
+// TestDecoderStateReuseMatchesFresh pins the per-worker reuse contract:
+// one DecoderState decoding a stream of genotypes must produce exactly
+// the implementations a fresh pipeline produces — state reuse is a
+// throughput optimization, never a behavioral one.
+func TestDecoderStateReuseMatchesFresh(t *testing.T) {
+	e, err := Build(buildSpec(t), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := e.NewDecoderState()
+	rng := rand.New(rand.NewSource(42))
+	for round := 0; round < 50; round++ {
+		g := make([]float64, e.GenotypeLen())
+		for i := range g {
+			g[i] = rng.Float64()
+		}
+		got, gotRes, err := st.Decode(g, 0)
+		if err != nil {
+			t.Fatalf("round %d: reused decode: %v", round, err)
+		}
+		want, wantRes, err := e.SolveWithGenotype(g, 0)
+		if err != nil {
+			t.Fatalf("round %d: fresh decode: %v", round, err)
+		}
+		if gotRes.Decisions != wantRes.Decisions || gotRes.Conflicts != wantRes.Conflicts {
+			t.Fatalf("round %d: search stats (d=%d c=%d) vs fresh (d=%d c=%d)",
+				round, gotRes.Decisions, gotRes.Conflicts, wantRes.Decisions, wantRes.Conflicts)
+		}
+		if !reflect.DeepEqual(got.Binding, want.Binding) {
+			t.Fatalf("round %d: bindings differ:\n%v\n%v", round, got.Binding, want.Binding)
+		}
+		if !reflect.DeepEqual(got.Allocation, want.Allocation) {
+			t.Fatalf("round %d: allocations differ", round)
+		}
+		if !reflect.DeepEqual(got.Routing, want.Routing) {
+			t.Fatalf("round %d: routings differ", round)
+		}
 	}
 }
 

@@ -1,0 +1,156 @@
+package objective
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/model"
+)
+
+// specIndex is the static evaluation index of one specification: the
+// parts of every objective that do not depend on the implementation,
+// computed once and shared by all evaluations (and all MOEA workers).
+// It removes the per-evaluation rescans that dominated the old
+// objective code — the O(resources × bindings) hostsBoundTask walk and
+// the O(ECUs × messages) functional-bandwidth scan.
+type specIndex struct {
+	// funcMsgs lists the bandwidth-carrying functional messages in the
+	// deterministic application order (sorted by message ID) with the
+	// quotient s(c)/p(c) of Eq. (1) precomputed. A single pass over this
+	// slice yields every resource's mirrored bandwidth; each resource
+	// accumulates exactly the subsequence it would have accumulated in
+	// the old filtered rescan, in the same order, so the floating-point
+	// sums are bit-identical.
+	funcMsgs []funcMsg
+	// bistData snapshots the BIST data tasks, sorted by task ID.
+	bistData []*model.Task
+	// isECU marks the resources of ECU kind, replacing a Resource()
+	// lookup plus kind check per allocated resource.
+	isECU map[model.ResourceID]bool
+}
+
+type funcMsg struct {
+	src model.TaskID
+	bw  float64 // SizeBytes / PeriodMS, bytes per millisecond
+}
+
+// indexCache maps *model.Specification → *specIndex. Specifications are
+// immutable once evaluation starts (everywhere in this repository they
+// are built up front and then explored), so the index is valid for the
+// lifetime of the specification pointer.
+var indexCache sync.Map
+
+func indexOf(s *model.Specification) *specIndex {
+	if v, ok := indexCache.Load(s); ok {
+		return v.(*specIndex)
+	}
+	idx := &specIndex{isECU: make(map[model.ResourceID]bool)}
+	for _, m := range s.App.Messages() {
+		src := s.App.Task(m.Src)
+		if src == nil || src.Kind != model.KindFunctional {
+			continue
+		}
+		if m.PeriodMS <= 0 {
+			continue // contributes no bandwidth
+		}
+		idx.funcMsgs = append(idx.funcMsgs, funcMsg{src: m.Src, bw: float64(m.SizeBytes) / m.PeriodMS})
+	}
+	idx.bistData = s.App.TasksOfKind(model.KindBISTData)
+	for _, r := range s.Arch.Resources() {
+		if r.Kind == model.KindECU {
+			idx.isECU[r.ID] = true
+		}
+	}
+	v, _ := indexCache.LoadOrStore(s, idx)
+	return v.(*specIndex)
+}
+
+// bistSel is one selected BIST test task with the ECU it tests.
+type bistSel struct {
+	r model.ResourceID
+	t *model.Task
+}
+
+// evalScratch holds the per-evaluation working memory, pooled so that
+// concurrent evaluations neither share state nor reallocate it.
+type evalScratch struct {
+	bw       map[model.ResourceID]float64 // mirrored bandwidth per resource
+	used     map[model.ResourceID]bool    // resources hosting ≥1 bound task
+	gwShared map[int]int64                // gateway-stored bytes per profile
+	alloc    []model.ResourceID
+	sel      []bistSel
+	profiles []int
+}
+
+var scratchPool = sync.Pool{New: func() any {
+	return &evalScratch{
+		bw:       make(map[model.ResourceID]float64),
+		used:     make(map[model.ResourceID]bool),
+		gwShared: make(map[int]int64),
+	}
+}}
+
+func getScratch() *evalScratch { return scratchPool.Get().(*evalScratch) }
+
+func putScratch(sc *evalScratch) {
+	clear(sc.bw)
+	clear(sc.used)
+	clear(sc.gwShared)
+	sc.alloc = sc.alloc[:0]
+	sc.sel = sc.sel[:0]
+	sc.profiles = sc.profiles[:0]
+	scratchPool.Put(sc)
+}
+
+// fillBandwidths computes every resource's mirrored functional
+// bandwidth in one pass over the index (see specIndex.funcMsgs for why
+// the sums are bit-identical to per-resource rescans).
+func fillBandwidths(x *model.Implementation, idx *specIndex, bw map[model.ResourceID]float64) {
+	for _, fm := range idx.funcMsgs {
+		if r, ok := x.Binding[fm.src]; ok {
+			bw[r] += fm.bw
+		}
+	}
+}
+
+// fillSelected collects the selected BIST test tasks sorted by tested
+// ECU — the deterministic iteration order the old SelectedBIST-plus-
+// sorted-keys code established — without allocating a fresh map.
+func fillSelected(x *model.Implementation, sc *evalScratch) []bistSel {
+	for tid, r := range x.Binding {
+		t := x.Spec.App.Task(tid)
+		if t != nil && t.Kind == model.KindBISTTest {
+			sc.sel = append(sc.sel, bistSel{r: r, t: t})
+		}
+	}
+	sort.Slice(sc.sel, func(i, j int) bool {
+		if sc.sel[i].r != sc.sel[j].r {
+			return sc.sel[i].r < sc.sel[j].r
+		}
+		return sc.sel[i].t.ID < sc.sel[j].t.ID
+	})
+	// The encoding selects at most one test task per ECU; if an
+	// unconstrained implementation carries more, keep the last per ECU
+	// (deterministically, unlike the map-based code it replaces).
+	out := sc.sel[:0]
+	for i, s := range sc.sel {
+		if i+1 < len(sc.sel) && sc.sel[i+1].r == s.r {
+			continue
+		}
+		out = append(out, s)
+	}
+	sc.sel = out
+	return out
+}
+
+// fillAllocated collects the allocated resources sorted by ID into the
+// scratch slice — AllocatedResources without the per-call allocation.
+func fillAllocated(x *model.Implementation, sc *evalScratch) []model.ResourceID {
+	for r, on := range x.Allocation {
+		if on {
+			sc.alloc = append(sc.alloc, r)
+		}
+	}
+	sort.Slice(sc.alloc, func(i, j int) bool { return sc.alloc[i] < sc.alloc[j] })
+	return sc.alloc
+}

@@ -2,6 +2,14 @@
 // (Section III-D) on an implementation: test quality (Eq. 4), shut-off
 // time (Eq. 5) with the non-intrusive transfer time of Eq. (1), and
 // monetary costs (hardware plus distributed pattern memory).
+//
+// Evaluation is the MOEA's inner loop, so the implementation-independent
+// parts of every objective (functional message bandwidths, task-kind
+// snapshots, resource kinds) live in a per-specification static index
+// built once and shared by all workers, and the per-evaluation working
+// memory is pooled (see index.go). The floating-point accumulation
+// orders of the original per-objective rescans are preserved exactly, so
+// identical implementations score bit-identical objective vectors.
 package objective
 
 import (
@@ -50,35 +58,37 @@ func (c Costs) Total() float64 { return c.Hardware + c.BIST + c.Memory }
 // (same CUT type, identical pattern set) are therefore priced once,
 // while ECU-local storage is paid per ECU.
 func MonetaryCosts(x *model.Implementation) Costs {
+	idx := indexOf(x.Spec)
+	sc := getScratch()
+	c := monetaryCosts(x, idx, fillAllocated(x, sc), fillSelected(x, sc), sc)
+	putScratch(sc)
+	return c
+}
+
+// monetaryCosts prices the implementation from pre-collected sorted
+// views. Iteration stays in sorted orders throughout: floating-point
+// accumulation must not depend on map iteration order, or identical
+// implementations would score unequal costs between runs.
+func monetaryCosts(x *model.Implementation, idx *specIndex, alloc []model.ResourceID, sel []bistSel, sc *evalScratch) Costs {
 	var c Costs
 	arch := x.Spec.Arch
-	for _, r := range x.AllocatedResources() {
+	for _, r := range alloc {
 		if res := arch.Resource(r); res != nil {
 			c.Hardware += res.Cost
 		}
 	}
-	// Iterate in sorted orders throughout: floating-point accumulation
-	// must not depend on map iteration order, or identical
-	// implementations would score unequal costs between runs.
-	selected := x.SelectedBIST()
-	var bistECUs []model.ResourceID
-	for r := range selected {
-		bistECUs = append(bistECUs, r)
-	}
-	sort.Slice(bistECUs, func(i, j int) bool { return bistECUs[i] < bistECUs[j] })
-	for _, r := range bistECUs {
-		if res := arch.Resource(r); res != nil {
+	for _, s := range sel {
+		if res := arch.Resource(s.r); res != nil {
 			c.BIST += res.BISTCost
 		}
 	}
-	gwShared := make(map[int]int64) // profile number -> bytes, stored once
-	for _, t := range x.Spec.App.TasksOfKind(model.KindBISTData) {
+	for _, t := range idx.bistData {
 		r, bound := x.Binding[t.ID]
 		if !bound {
 			continue
 		}
 		if r == x.Spec.Gateway {
-			gwShared[t.Profile] = t.MemBytes
+			sc.gwShared[t.Profile] = t.MemBytes // stored once per profile
 			continue
 		}
 		if res := arch.Resource(r); res != nil {
@@ -86,13 +96,12 @@ func MonetaryCosts(x *model.Implementation) Costs {
 		}
 	}
 	if gw := arch.Resource(x.Spec.Gateway); gw != nil {
-		var profiles []int
-		for p := range gwShared {
-			profiles = append(profiles, p)
+		for p := range sc.gwShared {
+			sc.profiles = append(sc.profiles, p)
 		}
-		sort.Ints(profiles)
-		for _, p := range profiles {
-			c.Memory += float64(gwShared[p]) / 1024 * gw.MemCostPerKB
+		sort.Ints(sc.profiles)
+		for _, p := range sc.profiles {
+			c.Memory += float64(sc.gwShared[p]) / 1024 * gw.MemCostPerKB
 		}
 	}
 	return c
@@ -103,37 +112,41 @@ func MonetaryCosts(x *model.Implementation) Costs {
 // resources eligible for structural test). An implementation without
 // allocated ECUs scores zero.
 func TestQuality(x *model.Implementation) float64 {
+	idx := indexOf(x.Spec)
+	sc := getScratch()
+	alloc := fillAllocated(x, sc)
+	sel := fillSelected(x, sc)
+	fillUsed(x, sc.used)
+	q := testQuality(idx, alloc, sel, sc.used)
+	putScratch(sc)
+	return q
+}
+
+func testQuality(idx *specIndex, alloc []model.ResourceID, sel []bistSel, used map[model.ResourceID]bool) float64 {
 	ecus := 0
-	for _, r := range x.AllocatedResources() {
-		res := x.Spec.Arch.Resource(r)
-		if res != nil && res.Kind == model.KindECU && hostsBoundTask(x, r) {
+	for _, r := range alloc {
+		if idx.isECU[r] && used[r] {
 			ecus++
 		}
 	}
 	if ecus == 0 {
 		return 0
 	}
-	// Sorted accumulation for run-to-run determinism of the float sum.
-	selected := x.SelectedBIST()
-	var keys []model.ResourceID
-	for r := range selected {
-		keys = append(keys, r)
-	}
-	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	// sel is sorted by ECU ID — the same accumulation order as the
+	// map-plus-sorted-keys code this replaces.
 	sum := 0.0
-	for _, r := range keys {
-		sum += selected[r].Coverage
+	for _, s := range sel {
+		sum += s.t.Coverage
 	}
 	return sum / float64(ecus)
 }
 
-func hostsBoundTask(x *model.Implementation, r model.ResourceID) bool {
-	for _, br := range x.Binding {
-		if br == r {
-			return true
-		}
+// fillUsed marks every resource hosting at least one bound task — one
+// pass over the bindings instead of one pass per allocated resource.
+func fillUsed(x *model.Implementation, used map[model.ResourceID]bool) {
+	for _, r := range x.Binding {
+		used[r] = true
 	}
-	return false
 }
 
 // FunctionalFrames returns the CAN frame view of the functional
@@ -165,19 +178,15 @@ func FunctionalFrames(x *model.Implementation, r model.ResourceID) []can.Frame {
 
 // transferBandwidth returns Σ s(c)/p(c) in bytes per millisecond for
 // Eq. (1), using the full message payloads (segmentation preserves the
-// long-run bandwidth of the mirrored slots).
+// long-run bandwidth of the mirrored slots). The walk over the indexed
+// functional messages visits r's messages in the same order as the old
+// full-message rescan, so the sum is bit-identical.
 func transferBandwidth(x *model.Implementation, r model.ResourceID) float64 {
+	idx := indexOf(x.Spec)
 	bw := 0.0
-	for _, m := range x.Spec.App.Messages() {
-		src := x.Spec.App.Task(m.Src)
-		if src == nil || src.Kind != model.KindFunctional {
-			continue
-		}
-		if x.Binding[m.Src] != r {
-			continue
-		}
-		if m.PeriodMS > 0 {
-			bw += float64(m.SizeBytes) / m.PeriodMS
+	for _, fm := range idx.funcMsgs {
+		if x.Binding[fm.src] == r {
+			bw += fm.bw
 		}
 	}
 	return bw
@@ -199,13 +208,27 @@ func TransferTimeMS(x *model.Implementation, bD *model.Task, r model.ResourceID)
 // time q when the BIST data task is stored away from the tested ECU. An
 // implementation without BIST has shut-off time 0.
 func ShutOffTimeMS(x *model.Implementation) float64 {
+	idx := indexOf(x.Spec)
+	sc := getScratch()
+	sel := fillSelected(x, sc)
+	fillBandwidths(x, idx, sc.bw)
+	worst := shutOffTimeMS(x, sel, sc.bw)
+	putScratch(sc)
+	return worst
+}
+
+func shutOffTimeMS(x *model.Implementation, sel []bistSel, bw map[model.ResourceID]float64) float64 {
 	worst := 0.0
-	for r, bT := range x.SelectedBIST() {
-		bD := x.Spec.DataTaskFor(bT)
-		t := bT.WCETms
+	for _, s := range sel {
+		bD := x.Spec.DataTaskFor(s.t)
+		t := s.t.WCETms
 		if bD != nil {
-			if dataRes, ok := x.Binding[bD.ID]; ok && dataRes != r {
-				t += TransferTimeMS(x, bD, r)
+			if dataRes, ok := x.Binding[bD.ID]; ok && dataRes != s.r {
+				if b := bw[s.r]; b > 0 {
+					t += float64(bD.MemBytes) / b
+				} else {
+					t = math.Inf(1)
+				}
 			}
 		}
 		if t > worst {
@@ -215,11 +238,20 @@ func ShutOffTimeMS(x *model.Implementation) float64 {
 	return worst
 }
 
-// Evaluate computes all three objectives.
+// Evaluate computes all three objectives, sharing one scratch checkout
+// and the pre-collected sorted views across them.
 func Evaluate(x *model.Implementation) Vector {
-	return Vector{
-		CostTotal:   MonetaryCosts(x).Total(),
-		TestQuality: TestQuality(x),
-		ShutOffMS:   ShutOffTimeMS(x),
+	idx := indexOf(x.Spec)
+	sc := getScratch()
+	alloc := fillAllocated(x, sc)
+	sel := fillSelected(x, sc)
+	fillUsed(x, sc.used)
+	fillBandwidths(x, idx, sc.bw)
+	v := Vector{
+		CostTotal:   monetaryCosts(x, idx, alloc, sel, sc).Total(),
+		TestQuality: testQuality(idx, alloc, sel, sc.used),
+		ShutOffMS:   shutOffTimeMS(x, sel, sc.bw),
 	}
+	putScratch(sc)
+	return v
 }

@@ -23,9 +23,11 @@ type Branching interface {
 }
 
 // PriorityBranching decides variables in descending priority with the
-// stored preferred polarity.
+// stored preferred polarity. A zero PriorityBranching is empty; (re)fill
+// it with SetDense to reuse its buffers across decodes.
 type PriorityBranching struct {
-	order []Lit // pre-sorted by priority
+	order []Lit     // sorted by priority desc, then variable asc
+	prio  []float64 // priority per order entry, co-sorted with order
 	pos   int
 }
 
@@ -33,21 +35,63 @@ type PriorityBranching struct {
 // and preferred values. Variables missing from the maps are left to the
 // solver's fallback.
 func NewPriorityBranching(priority map[Var]float64, preferTrue map[Var]bool) *PriorityBranching {
-	vars := make([]Var, 0, len(priority))
+	b := &PriorityBranching{
+		order: make([]Lit, 0, len(priority)),
+		prio:  make([]float64, 0, len(priority)),
+	}
 	for v := range priority {
-		vars = append(vars, v)
+		b.order = append(b.order, Lit{Var: v, Neg: !preferTrue[v]})
+		b.prio = append(b.prio, priority[v])
 	}
-	sort.Slice(vars, func(i, j int) bool {
-		if priority[vars[i]] != priority[vars[j]] {
-			return priority[vars[i]] > priority[vars[j]]
-		}
-		return vars[i] < vars[j]
-	})
-	order := make([]Lit, len(vars))
-	for i, v := range vars {
-		order[i] = Lit{Var: v, Neg: !preferTrue[v]}
+	b.sortOrder()
+	return b
+}
+
+// NewDensePriorityBranching returns an empty branching with buffers
+// sized for n variables, ready for SetDense.
+func NewDensePriorityBranching(n int) *PriorityBranching {
+	return &PriorityBranching{
+		order: make([]Lit, 0, n),
+		prio:  make([]float64, 0, n),
 	}
-	return &PriorityBranching{order: order}
+}
+
+// SetDense rebuilds the decision order in place from dense per-variable
+// slices: entry i holds the priority and preferred polarity of variable
+// i+1. It reuses the branching's buffers, so steady-state calls do not
+// allocate. The resulting order matches NewPriorityBranching on maps
+// with the same contents: priority descending, ties by variable index.
+func (b *PriorityBranching) SetDense(priority []float64, preferTrue []bool) {
+	b.order = b.order[:0]
+	b.prio = b.prio[:0]
+	for i, p := range priority {
+		b.order = append(b.order, Lit{Var: Var(i + 1), Neg: !preferTrue[i]})
+		b.prio = append(b.prio, p)
+	}
+	b.sortOrder()
+	b.pos = 0
+}
+
+// sortOrder establishes the deterministic decision order: priority
+// descending, ties broken by ascending variable index.
+func (b *PriorityBranching) sortOrder() {
+	sort.Sort((*byPriority)(b))
+}
+
+// byPriority sorts order/prio together; it aliases PriorityBranching so
+// the sorter interface value never allocates per call.
+type byPriority PriorityBranching
+
+func (s *byPriority) Len() int { return len(s.order) }
+func (s *byPriority) Less(i, j int) bool {
+	if s.prio[i] != s.prio[j] {
+		return s.prio[i] > s.prio[j]
+	}
+	return s.order[i].Var < s.order[j].Var
+}
+func (s *byPriority) Swap(i, j int) {
+	s.order[i], s.order[j] = s.order[j], s.order[i]
+	s.prio[i], s.prio[j] = s.prio[j], s.prio[i]
 }
 
 // Next implements Branching.
@@ -67,7 +111,10 @@ func (b *PriorityBranching) Reset() { b.pos = 0 }
 
 // Result reports the outcome of a Solve call.
 type Result struct {
-	SAT        bool
+	SAT bool
+	// Model is the satisfying assignment. It aliases a buffer owned by
+	// the solver and is only valid until the next Solve call on the same
+	// Solver; copy it to retain it longer.
 	Model      Assignment
 	Conflicts  int
 	Decisions  int
@@ -78,8 +125,22 @@ type Result struct {
 	Aborted bool
 }
 
-// Solver runs chronological DPLL with slack-based pseudo-Boolean unit
-// propagation.
+// occurrence is one (constraint, term) incidence of a variable, carrying
+// everything the counter update needs: which constraint to touch, the
+// term's weight, and the assignment sign under which the term's literal
+// becomes false (-1 for a positive literal, +1 for a negated one).
+type occurrence struct {
+	ci        int32
+	coef      int32
+	falseWhen int8
+}
+
+// Solver runs chronological DPLL with counter-based pseudo-Boolean unit
+// propagation: each constraint's maximum achievable sum is maintained
+// incrementally on assign/unassign instead of being recomputed from its
+// terms on every visit. A Solver is reusable: Solve resets all search
+// state, so one Solver amortizes its index structures over many calls
+// (the SAT-decoding hot loop). It is not safe for concurrent use.
 type Solver struct {
 	p *Problem
 	// MaxConflicts bounds the search (0 = 1,000,000).
@@ -88,28 +149,59 @@ type Solver struct {
 	assign []int8 // 1=true, -1=false, 0=unassigned; index var-1
 	trail  []Var
 
-	// occurs maps each variable to the constraints mentioning it, so
-	// propagation only revisits constraints a new assignment can affect.
-	occurs  [][]int32
+	// occs maps each variable to its (constraint, coef, polarity)
+	// incidences, so an assignment updates exactly the counters it
+	// affects — and wakes only constraints whose slack shrank.
+	occs [][]occurrence
+
+	// maxPossible[ci] is the current Σ coef over terms whose literal is
+	// not yet false; initMax is its all-unassigned reset template.
+	maxPossible []int64
+	initMax     []int64
+	bounds      []int64 // per-constraint bound, densely packed
+	maxCoef     []int64 // largest term weight, to skip no-op scans
+
 	inQueue []bool  // constraint index -> queued for recheck
 	queue   []int32 // recheck worklist
+
+	stack    []decision // reusable decision stack
+	modelBuf Assignment // backs Result.Model across calls
 }
 
 // NewSolver prepares a solver for the problem.
 func NewSolver(p *Problem) *Solver {
+	n := len(p.constraints)
 	s := &Solver{
 		p:            p,
 		MaxConflicts: 1_000_000,
 		assign:       make([]int8, p.NumVars()),
-		occurs:       make([][]int32, p.NumVars()),
-		inQueue:      make([]bool, len(p.constraints)),
+		occs:         make([][]occurrence, p.NumVars()),
+		maxPossible:  make([]int64, n),
+		initMax:      make([]int64, n),
+		bounds:       make([]int64, n),
+		maxCoef:      make([]int64, n),
+		inQueue:      make([]bool, n),
 	}
 	for ci := range p.constraints {
-		for _, t := range p.constraints[ci].Terms {
+		c := &p.constraints[ci]
+		s.bounds[ci] = int64(c.Bound)
+		for _, t := range c.Terms {
+			if t.Coef > 1<<31-1 {
+				panic(fmt.Sprintf("pbsat: coefficient %d exceeds solver range", t.Coef))
+			}
 			v := int(t.Lit.Var) - 1
-			s.occurs[v] = append(s.occurs[v], int32(ci))
+			falseWhen := int8(-1)
+			if t.Lit.Neg {
+				falseWhen = 1
+			}
+			s.occs[v] = append(s.occs[v], occurrence{ci: int32(ci), coef: int32(t.Coef), falseWhen: falseWhen})
+			s.initMax[ci] += int64(t.Coef)
+			if int64(t.Coef) > s.maxCoef[ci] {
+				s.maxCoef[ci] = int64(t.Coef)
+			}
 		}
 	}
+	copy(s.maxPossible, s.initMax)
 	return s
 }
 
@@ -121,6 +213,10 @@ func (s *Solver) value(l Lit) int8 {
 	return v
 }
 
+// assignLit records the assignment, updates the slack counters of every
+// constraint a falsified term belongs to, and wakes those constraints.
+// Constraints where the literal became true are not queued: their slack
+// is unchanged, so no new propagation or conflict can arise from them.
 func (s *Solver) assignLit(l Lit) {
 	val := int8(1)
 	if l.Neg {
@@ -128,11 +224,25 @@ func (s *Solver) assignLit(l Lit) {
 	}
 	s.assign[l.Var-1] = val
 	s.trail = append(s.trail, l.Var)
-	// Wake every constraint that mentions the variable.
-	for _, ci := range s.occurs[l.Var-1] {
-		if !s.inQueue[ci] {
-			s.inQueue[ci] = true
-			s.queue = append(s.queue, ci)
+	for _, o := range s.occs[l.Var-1] {
+		if o.falseWhen != val {
+			continue
+		}
+		s.maxPossible[o.ci] -= int64(o.coef)
+		if !s.inQueue[o.ci] {
+			s.inQueue[o.ci] = true
+			s.queue = append(s.queue, o.ci)
+		}
+	}
+}
+
+// unassign undoes one trail entry, restoring the slack counters.
+func (s *Solver) unassign(v Var) {
+	val := s.assign[v-1]
+	s.assign[v-1] = 0
+	for _, o := range s.occs[v-1] {
+		if o.falseWhen == val {
+			s.maxPossible[o.ci] += int64(o.coef)
 		}
 	}
 }
@@ -140,43 +250,38 @@ func (s *Solver) assignLit(l Lit) {
 // enqueueAll schedules every constraint for one initial check.
 func (s *Solver) enqueueAll() {
 	s.queue = s.queue[:0]
-	for ci := range s.p.constraints {
+	for ci := range s.inQueue {
 		s.inQueue[ci] = true
 		s.queue = append(s.queue, int32(ci))
 	}
 }
 
 // propagate runs slack-based unit propagation over the recheck
-// worklist: only constraints touched by fresh assignments are
-// revisited. It returns false on conflict; the queue is drained either
-// way (a conflict clears it, since backtracking re-seeds from the
-// flipped decision's occurrences).
+// worklist: only constraints whose slack shrank are revisited, and a
+// constraint's terms are scanned only when its largest weight exceeds
+// the current slack (otherwise nothing can be forced). It returns false
+// on conflict; the queue is drained either way (a conflict clears it,
+// since backtracking re-seeds from the flipped decision's occurrences).
 func (s *Solver) propagate(res *Result) bool {
 	for len(s.queue) > 0 {
 		ci := s.queue[len(s.queue)-1]
 		s.queue = s.queue[:len(s.queue)-1]
 		s.inQueue[ci] = false
-		c := &s.p.constraints[ci]
-		// maxPossible: contribution of all literals not yet false.
-		maxPossible := 0
-		for _, t := range c.Terms {
-			if s.value(t.Lit) >= 0 {
-				maxPossible += t.Coef
-			}
-		}
-		if maxPossible < c.Bound {
+		slack := s.maxPossible[ci] - s.bounds[ci]
+		if slack < 0 {
 			// Conflict: clear the queue; the caller backtracks and
 			// re-seeds via assignLit of the flipped decision.
 			for _, qi := range s.queue {
 				s.inQueue[qi] = false
 			}
 			s.queue = s.queue[:0]
-			s.inQueue[ci] = false
 			return false
 		}
-		slack := maxPossible - c.Bound
-		for _, t := range c.Terms {
-			if s.value(t.Lit) == 0 && t.Coef > slack {
+		if s.maxCoef[ci] <= slack {
+			continue // no term outweighs the slack; nothing to force
+		}
+		for _, t := range s.p.constraints[ci].Terms {
+			if int64(t.Coef) > slack && s.value(t.Lit) == 0 {
 				s.assignLit(t.Lit)
 				res.Propagated++
 			}
@@ -193,20 +298,23 @@ type decision struct {
 }
 
 // Solve searches for a model, deciding variables in the order supplied
-// by branch (nil uses plain first-unassigned/false-first).
+// by branch (nil uses plain first-unassigned/false-first). All search
+// state is rewound first, so the same Solver can serve many Solve calls
+// without reallocating its indexes.
 func (s *Solver) Solve(branch Branching) Result {
 	res := Result{}
-	for i := range s.assign {
-		s.assign[i] = 0
+	for len(s.trail) > 0 {
+		v := s.trail[len(s.trail)-1]
+		s.trail = s.trail[:len(s.trail)-1]
+		s.unassign(v)
 	}
-	s.trail = s.trail[:0]
 	s.enqueueAll()
 	if pb, ok := branch.(*PriorityBranching); ok {
 		pb.Reset()
 	}
 	isAssigned := func(v Var) bool { return s.assign[v-1] != 0 }
 
-	var stack []decision
+	s.stack = s.stack[:0]
 	maxConf := s.MaxConflicts
 	if maxConf <= 0 {
 		maxConf = 1_000_000
@@ -219,13 +327,16 @@ func (s *Solver) Solve(branch Branching) Result {
 			if !any {
 				// All variables assigned (or none left to decide): model.
 				res.SAT = true
-				res.Model = make(Assignment, len(s.assign))
-				for i, v := range s.assign {
-					res.Model[i] = v > 0
+				if s.modelBuf == nil {
+					s.modelBuf = make(Assignment, len(s.assign))
 				}
+				for i, v := range s.assign {
+					s.modelBuf[i] = v > 0
+				}
+				res.Model = s.modelBuf
 				return res
 			}
-			stack = append(stack, decision{trailLen: len(s.trail), lit: l})
+			s.stack = append(s.stack, decision{trailLen: len(s.trail), lit: l})
 			s.assignLit(l)
 			res.Decisions++
 			continue
@@ -237,13 +348,13 @@ func (s *Solver) Solve(branch Branching) Result {
 			return res
 		}
 		flipped := false
-		for len(stack) > 0 {
-			top := &stack[len(stack)-1]
+		for len(s.stack) > 0 {
+			top := &s.stack[len(s.stack)-1]
 			// Undo trail past this decision.
 			for len(s.trail) > top.trailLen {
 				v := s.trail[len(s.trail)-1]
 				s.trail = s.trail[:len(s.trail)-1]
-				s.assign[v-1] = 0
+				s.unassign(v)
 			}
 			if !top.flipped {
 				top.flipped = true
@@ -252,7 +363,7 @@ func (s *Solver) Solve(branch Branching) Result {
 				flipped = true
 				break
 			}
-			stack = stack[:len(stack)-1]
+			s.stack = s.stack[:len(s.stack)-1]
 		}
 		if !flipped {
 			return res // UNSAT

@@ -1,0 +1,329 @@
+package pbsat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// refSolver is the pre-counter propagation engine kept verbatim as a
+// test oracle: propagate recomputes every touched constraint's
+// maxPossible from its terms, and every constraint mentioning a freshly
+// assigned variable is re-queued. The counter-based Solver must agree
+// with it verdict-for-verdict, model-for-model and count-for-count —
+// that equivalence is what makes the optimization invisible to the
+// deterministic decode pipeline.
+type refSolver struct {
+	p            *Problem
+	maxConflicts int
+
+	assign  []int8
+	trail   []Var
+	occurs  [][]int32
+	inQueue []bool
+	queue   []int32
+}
+
+func newRefSolver(p *Problem) *refSolver {
+	s := &refSolver{
+		p:            p,
+		maxConflicts: 1_000_000,
+		assign:       make([]int8, p.NumVars()),
+		occurs:       make([][]int32, p.NumVars()),
+		inQueue:      make([]bool, len(p.constraints)),
+	}
+	for ci := range p.constraints {
+		for _, t := range p.constraints[ci].Terms {
+			v := int(t.Lit.Var) - 1
+			s.occurs[v] = append(s.occurs[v], int32(ci))
+		}
+	}
+	return s
+}
+
+func (s *refSolver) value(l Lit) int8 {
+	v := s.assign[l.Var-1]
+	if l.Neg {
+		return -v
+	}
+	return v
+}
+
+func (s *refSolver) assignLit(l Lit) {
+	val := int8(1)
+	if l.Neg {
+		val = -1
+	}
+	s.assign[l.Var-1] = val
+	s.trail = append(s.trail, l.Var)
+	for _, ci := range s.occurs[l.Var-1] {
+		if !s.inQueue[ci] {
+			s.inQueue[ci] = true
+			s.queue = append(s.queue, ci)
+		}
+	}
+}
+
+func (s *refSolver) enqueueAll() {
+	s.queue = s.queue[:0]
+	for ci := range s.p.constraints {
+		s.inQueue[ci] = true
+		s.queue = append(s.queue, int32(ci))
+	}
+}
+
+func (s *refSolver) propagate(res *Result) bool {
+	for len(s.queue) > 0 {
+		ci := s.queue[len(s.queue)-1]
+		s.queue = s.queue[:len(s.queue)-1]
+		s.inQueue[ci] = false
+		c := &s.p.constraints[ci]
+		maxPossible := 0
+		for _, t := range c.Terms {
+			if s.value(t.Lit) >= 0 {
+				maxPossible += t.Coef
+			}
+		}
+		if maxPossible < c.Bound {
+			for _, qi := range s.queue {
+				s.inQueue[qi] = false
+			}
+			s.queue = s.queue[:0]
+			s.inQueue[ci] = false
+			return false
+		}
+		slack := maxPossible - c.Bound
+		for _, t := range c.Terms {
+			if s.value(t.Lit) == 0 && t.Coef > slack {
+				s.assignLit(t.Lit)
+				res.Propagated++
+			}
+		}
+	}
+	return true
+}
+
+func (s *refSolver) solve(branch Branching) Result {
+	res := Result{}
+	for i := range s.assign {
+		s.assign[i] = 0
+	}
+	s.trail = s.trail[:0]
+	s.enqueueAll()
+	if pb, ok := branch.(*PriorityBranching); ok {
+		pb.Reset()
+	}
+	isAssigned := func(v Var) bool { return s.assign[v-1] != 0 }
+
+	var stack []decision
+	for {
+		ok := s.propagate(&res)
+		if ok {
+			l, any := s.nextDecision(branch, isAssigned)
+			if !any {
+				res.SAT = true
+				res.Model = make(Assignment, len(s.assign))
+				for i, v := range s.assign {
+					res.Model[i] = v > 0
+				}
+				return res
+			}
+			stack = append(stack, decision{trailLen: len(s.trail), lit: l})
+			s.assignLit(l)
+			res.Decisions++
+			continue
+		}
+		res.Conflicts++
+		if res.Conflicts > s.maxConflicts {
+			res.Aborted = true
+			return res
+		}
+		flipped := false
+		for len(stack) > 0 {
+			top := &stack[len(stack)-1]
+			for len(s.trail) > top.trailLen {
+				v := s.trail[len(s.trail)-1]
+				s.trail = s.trail[:len(s.trail)-1]
+				s.assign[v-1] = 0
+			}
+			if !top.flipped {
+				top.flipped = true
+				top.lit = top.lit.Negated()
+				s.assignLit(top.lit)
+				flipped = true
+				break
+			}
+			stack = stack[:len(stack)-1]
+		}
+		if !flipped {
+			return res
+		}
+	}
+}
+
+func (s *refSolver) nextDecision(branch Branching, isAssigned func(Var) bool) (Lit, bool) {
+	if branch != nil {
+		if l, ok := branch.Next(isAssigned); ok {
+			return l, true
+		}
+	}
+	for i, v := range s.assign {
+		if v == 0 {
+			return Lit{Var: Var(i + 1), Neg: true}, true
+		}
+	}
+	return Lit{}, false
+}
+
+// randomProblem builds a random small PB problem plus a random priority
+// branching over its variables, mirroring the brute-force test's
+// generator but with more terms so counters actually matter.
+func randomProblem(rng *rand.Rand) (*Problem, *PriorityBranching) {
+	nVars := 3 + rng.Intn(10)
+	p := NewProblem()
+	vars := make([]Var, nVars)
+	for i := range vars {
+		vars[i] = p.NewVar("v")
+	}
+	nCons := 1 + rng.Intn(8)
+	for c := 0; c < nCons; c++ {
+		nTerms := 1 + rng.Intn(nVars)
+		terms := make([]Term, nTerms)
+		maxSum := 0
+		for i := range terms {
+			coef := 1 + rng.Intn(6)
+			if rng.Intn(4) == 0 {
+				coef = -coef
+			}
+			terms[i] = Term{Coef: coef, Lit: Lit{Var: vars[rng.Intn(nVars)], Neg: rng.Intn(2) == 0}}
+			if coef > 0 {
+				maxSum += coef
+			}
+		}
+		bound := rng.Intn(maxSum + 2)
+		switch rng.Intn(3) {
+		case 0:
+			p.AddGE(terms, bound, "ge")
+		case 1:
+			p.AddLE(terms, bound, "le")
+		default:
+			p.AddEQ(terms, bound, "eq")
+		}
+	}
+	var br *PriorityBranching
+	if rng.Intn(2) == 0 {
+		prio := make(map[Var]float64, nVars)
+		pref := make(map[Var]bool, nVars)
+		for _, v := range vars {
+			prio[v] = rng.Float64()
+			pref[v] = rng.Intn(2) == 0
+		}
+		br = NewPriorityBranching(prio, pref)
+	}
+	return p, br
+}
+
+// TestCounterPropagationMatchesReference is the differential test: the
+// counter-based solver and the recompute-from-scratch oracle must agree
+// on verdict, model, and search statistics across randomized problems,
+// with and without priority branching.
+func TestCounterPropagationMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for round := 0; round < 500; round++ {
+		p, br := randomProblem(rng)
+		// Avoid a typed-nil Branching interface when no branching rolled.
+		var branch Branching
+		if br != nil {
+			branch = br
+		}
+		got := NewSolver(p).Solve(branch)
+		want := newRefSolver(p).solve(branch)
+		if got.SAT != want.SAT || got.Aborted != want.Aborted {
+			t.Fatalf("round %d: verdict (SAT=%v aborted=%v), oracle (SAT=%v aborted=%v)",
+				round, got.SAT, got.Aborted, want.SAT, want.Aborted)
+		}
+		// Propagated is not compared: how many literals a conflicting
+		// cascade assigns before the conflict is detected depends on the
+		// queue order (and is rewound anyway); the search trajectory —
+		// decisions and conflicts — is the deterministic invariant.
+		if got.Decisions != want.Decisions || got.Conflicts != want.Conflicts {
+			t.Fatalf("round %d: stats (d=%d c=%d), oracle (d=%d c=%d)",
+				round, got.Decisions, got.Conflicts, want.Decisions, want.Conflicts)
+		}
+		if got.SAT {
+			for i := range got.Model {
+				if got.Model[i] != want.Model[i] {
+					t.Fatalf("round %d: model differs at x%d", round, i+1)
+				}
+			}
+			if bad := p.Verify(got.Model); len(bad) != 0 {
+				t.Fatalf("round %d: model violates %v", round, bad)
+			}
+		}
+	}
+}
+
+// TestSolverReuseMatchesFresh pins the state-reset contract: a single
+// Solver solving a sequence of problems-with-branchings must return
+// exactly what a fresh Solver returns at every step.
+func TestSolverReuseMatchesFresh(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for round := 0; round < 50; round++ {
+		p, _ := randomProblem(rng)
+		reused := NewSolver(p)
+		for i := 0; i < 4; i++ {
+			var br Branching
+			if i%2 == 1 {
+				prio := make(map[Var]float64)
+				pref := make(map[Var]bool)
+				for v := 1; v <= p.NumVars(); v++ {
+					prio[Var(v)] = rng.Float64()
+					pref[Var(v)] = rng.Intn(2) == 0
+				}
+				br = NewPriorityBranching(prio, pref)
+			}
+			got := reused.Solve(br)
+			want := NewSolver(p).Solve(br)
+			if got.SAT != want.SAT || got.Decisions != want.Decisions || got.Conflicts != want.Conflicts {
+				t.Fatalf("round %d call %d: reused (SAT=%v d=%d c=%d), fresh (SAT=%v d=%d c=%d)",
+					round, i, got.SAT, got.Decisions, got.Conflicts, want.SAT, want.Decisions, want.Conflicts)
+			}
+			if got.SAT {
+				for j := range got.Model {
+					if got.Model[j] != want.Model[j] {
+						t.Fatalf("round %d call %d: model differs at x%d", round, i, j+1)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSetDenseMatchesMapConstructor pins the dense-branching rebuild
+// against the map-based constructor on random priorities.
+func TestSetDenseMatchesMapConstructor(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	dense := NewDensePriorityBranching(0)
+	for round := 0; round < 100; round++ {
+		n := 1 + rng.Intn(20)
+		prio := make([]float64, n)
+		pref := make([]bool, n)
+		mp := make(map[Var]float64, n)
+		mb := make(map[Var]bool, n)
+		for i := 0; i < n; i++ {
+			prio[i] = float64(rng.Intn(4)) // coarse: force ties
+			pref[i] = rng.Intn(2) == 0
+			mp[Var(i+1)] = prio[i]
+			mb[Var(i+1)] = pref[i]
+		}
+		dense.SetDense(prio, pref)
+		ref := NewPriorityBranching(mp, mb)
+		if len(dense.order) != len(ref.order) {
+			t.Fatalf("round %d: order lengths %d vs %d", round, len(dense.order), len(ref.order))
+		}
+		for i := range dense.order {
+			if dense.order[i] != ref.order[i] {
+				t.Fatalf("round %d: order[%d] = %v vs %v", round, i, dense.order[i], ref.order[i])
+			}
+		}
+	}
+}

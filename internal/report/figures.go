@@ -105,7 +105,7 @@ func WriteFig6(w io.Writer, sols []core.Solution) {
 // WriteSummary prints the headline metrics of a run (Section IV-B).
 func WriteSummary(w io.Writer, res *core.Result) {
 	fmt.Fprintf(w, "evaluated implementations: %d in %v (%.1f evals/s)\n",
-		res.Evaluations, res.Elapsed.Round(1_000_000), float64(res.Evaluations)/res.Elapsed.Seconds())
+		res.Evaluations, res.Elapsed.Round(1_000_000), res.EvalsPerSec())
 	fmt.Fprintf(w, "Pareto-optimal implementations: %d\n", len(res.Solutions))
 	base := res.BaselineCost()
 	fmt.Fprintf(w, "baseline (no-BIST) cost: %.1f\n", base)
