@@ -3,9 +3,10 @@
 
 GO ?= go
 
-.PHONY: ci build fmt-check vet test race bench-smoke bench bench-json
+.PHONY: ci build fmt-check vet test race bench-smoke bench bench-json \
+	resume-smoke sigint-smoke
 
-ci: build fmt-check vet test race bench-smoke
+ci: build fmt-check vet test race bench-smoke resume-smoke sigint-smoke
 
 build:
 	$(GO) build ./...
@@ -26,7 +27,37 @@ test:
 # pool, the explorer that drives it, and the shared decode/propagation
 # state behind the pooled per-worker decoder.
 race:
-	$(GO) test -race ./internal/faultsim/ ./internal/moea/ ./internal/core/ ./internal/pbsat/ ./internal/encode/
+	$(GO) test -race ./internal/faultsim/ ./internal/moea/ ./internal/core/ ./internal/pbsat/ ./internal/encode/ ./internal/objective/ ./internal/bistgen/
+
+# Checkpoint/resume determinism through the CLI: a run that checkpoints
+# periodically, resumed from its last on-disk snapshot, must reproduce
+# the uninterrupted run's Pareto front byte for byte — for both
+# optimizers and across worker counts.
+resume-smoke:
+	@tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	for o in nsga2 random; do \
+		$(GO) run ./cmd/eedse -small -evals 2000 -pop 32 -optimizer $$o -workers 4 \
+			-summary -csv $$tmp/full-$$o.csv >/dev/null || exit 1; \
+		$(GO) run ./cmd/eedse -small -evals 2000 -pop 32 -optimizer $$o -workers 4 \
+			-summary -csv /dev/null -checkpoint $$tmp/cp-$$o.json -checkpoint-every 20 >/dev/null || exit 1; \
+		$(GO) run ./cmd/eedse -small -evals 2000 -pop 32 -optimizer $$o -workers 2 \
+			-summary -csv $$tmp/resumed-$$o.csv -resume $$tmp/cp-$$o.json >/dev/null || exit 1; \
+		cmp $$tmp/full-$$o.csv $$tmp/resumed-$$o.csv || { echo "resume front differs ($$o)" >&2; exit 1; }; \
+		echo "resume-smoke: $$o front byte-identical after resume"; \
+	done
+
+# SIGINT survivability: interrupting a long campaign must exit 130 after
+# writing a final checkpoint and the partial Pareto front.
+sigint-smoke:
+	@tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) build -o $$tmp/eedse ./cmd/eedse || exit 1; \
+	timeout --preserve-status -s INT 5 $$tmp/eedse -small -evals 100000000 -pop 32 \
+		-summary -csv $$tmp/partial.csv -checkpoint $$tmp/cp.json >/dev/null 2>$$tmp/err; \
+	rc=$$?; \
+	[ $$rc -eq 130 ] || { echo "expected exit 130 on SIGINT, got $$rc" >&2; cat $$tmp/err >&2; exit 1; }; \
+	[ -s $$tmp/cp.json ] || { echo "no checkpoint written on SIGINT" >&2; exit 1; }; \
+	[ -s $$tmp/partial.csv ] || { echo "no partial front written on SIGINT" >&2; exit 1; }; \
+	echo "sigint-smoke: exit 130, checkpoint + partial front written"
 
 bench-smoke:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...

@@ -1,8 +1,10 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
+	"path/filepath"
 	"runtime"
 	"testing"
 
@@ -189,6 +191,51 @@ func BenchmarkDSEParallel(b *testing.B) {
 			b.ReportMetric(float64(evals)/b.Elapsed().Seconds(), "evals/s")
 		})
 	}
+}
+
+// BenchmarkDSETelemetry is BenchmarkDSEParallel's all-core case with
+// the per-generation telemetry stream enabled (throughput, archive
+// size, hypervolume, decode/solver counters) — quantifying the
+// observability overhead against the matching workers=N DSEParallel
+// sub-benchmark. Checkpoint durability is benchmarked separately
+// (BenchmarkDSECheckpoint): its cost is one fsync per CheckpointEvery
+// generations, amortized by cadence rather than per-generation.
+func BenchmarkDSETelemetry(b *testing.B) {
+	benchDSERunControl(b, &core.RunControl{OnProgress: func(core.Progress) {}})
+}
+
+// BenchmarkDSECheckpoint measures periodic checkpointing alone (atomic
+// write + fsync + rename every 5 of 10 generations — a deliberately
+// aggressive cadence; real campaigns checkpoint far less often relative
+// to generation time).
+func BenchmarkDSECheckpoint(b *testing.B) {
+	benchDSERunControl(b, &core.RunControl{
+		CheckpointPath:  filepath.Join(b.TempDir(), "cp.json"),
+		CheckpointEvery: 5,
+	})
+}
+
+func benchDSERunControl(b *testing.B, rc *core.RunControl) {
+	spec, err := casestudy.Build(casestudy.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	dec, err := core.NewGreedyDecoder(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ex := core.NewExplorer(spec, dec)
+	w := runtime.GOMAXPROCS(0)
+	evals := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := ex.RunContext(context.Background(), moea.Options{PopSize: 64, Generations: 10, Seed: int64(i + 1), Workers: w}, rc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		evals += res.Evaluations
+	}
+	b.ReportMetric(float64(evals)/b.Elapsed().Seconds(), "evals/s")
 }
 
 // --- E5: Eq. (1) and non-intrusive mirroring -----------------------------

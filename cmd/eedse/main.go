@@ -7,22 +7,41 @@
 //	eedse [-evals 100000] [-pop 128] [-seed 1] [-profiles 36]
 //	      [-decoder greedy|sat] [-threshold 20] [-fig5] [-fig6] [-summary]
 //	      [-workers N] [-measured] [-cpuprofile dse.pprof] [-memprofile heap.pprof]
+//	      [-checkpoint cp.json] [-checkpoint-every 10] [-resume cp.json]
+//	      [-progress] [-progress-addr 127.0.0.1:6060]
 //
 // Without -fig5/-fig6/-summary all three reports are printed.
 //
 // -workers defaults to runtime.GOMAXPROCS(0) so candidate evaluation
 // (and, with -measured, fault-simulation grading) uses every core;
 // results are deterministic and identical for any worker count.
+//
+// Long campaigns are survivable: -checkpoint periodically snapshots the
+// optimizer state (atomically) to a versioned file, SIGINT/SIGTERM stop
+// the run at the next generation boundary, write a final checkpoint,
+// and still emit the partial Pareto front, and -resume continues a
+// checkpointed run to a byte-identical front. -progress streams one
+// structured line per generation to stderr; -progress-addr additionally
+// serves the same counters as JSON over HTTP (expvar, /debug/vars).
 package main
 
 import (
+	"bufio"
+	"context"
+	"errors"
+	"expvar"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strconv"
 	"strings"
+	"sync"
+	"syscall"
 
 	"repro/internal/casestudy"
 	"repro/internal/core"
@@ -31,7 +50,23 @@ import (
 	"repro/internal/report"
 )
 
+// errInterrupted marks a run stopped by SIGINT/SIGTERM after its
+// partial results were written; main exits 130 without re-printing it.
+var errInterrupted = errors.New("interrupted")
+
 func main() {
+	err := run()
+	switch {
+	case err == nil:
+	case errors.Is(err, errInterrupted):
+		os.Exit(130)
+	default:
+		fmt.Fprintln(os.Stderr, "eedse:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
 	var (
 		evals     = flag.Int("evals", 20000, "number of implementations to evaluate (paper: 100000)")
 		pop       = flag.Int("pop", 128, "MOEA population size")
@@ -52,43 +87,61 @@ func main() {
 		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "parallel evaluation goroutines for MOEA candidate evaluation and (with -measured) fault-simulation grading; results are identical for any value (default: all cores)")
 		measured  = flag.Bool("measured", false, "characterize BIST profiles on a synthetic CUT with real fault simulation instead of the embedded Table I")
 		csvPath   = flag.String("csv", "", "write the Pareto front as CSV to this file")
-		epsilon   = flag.String("epsilon", "", "comma-separated \u03b5-archive box sizes per objective (cost,-quality,shutoff_ms)")
+		epsilon   = flag.String("epsilon", "", "comma-separated ε-archive box sizes per objective (cost,-quality,shutoff_ms)")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the exploration to this file")
 		memProf   = flag.String("memprofile", "", "write a heap profile (taken after the exploration) to this file")
+
+		checkpoint      = flag.String("checkpoint", "", "periodically write optimizer state to this file (atomically); SIGINT writes a final checkpoint before exiting")
+		checkpointEvery = flag.Int("checkpoint-every", 0, "checkpoint period: generations for nsga2 (default 10), evaluations for random (default 2560)")
+		resumePath      = flag.String("resume", "", "resume the run from this checkpoint file (same spec, decoder, seed and budget flags required)")
+		progress        = flag.Bool("progress", false, "stream one structured progress line per generation to stderr")
+		progressAddr    = flag.String("progress-addr", "", "serve live run telemetry as expvar JSON on this address (GET /debug/vars)")
 	)
 	flag.Parse()
 	if !*fig5 && !*fig6 && !*summary {
 		*fig5, *fig6, *summary = true, true, true
 	}
 
+	// SIGINT/SIGTERM cancel the run context: the exploration stops at the
+	// next generation (or fault-simulation batch) boundary, the final
+	// checkpoint is written, and the partial front still goes out below.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	// All stdout reporting goes through one buffered writer so every exit
+	// path can flush it and surface write errors (a redirected-to-full-disk
+	// run must not pretend it succeeded).
+	out := bufio.NewWriter(os.Stdout)
+
 	var spec *model.Specification
 	var err error
 	if *specPath != "" {
 		f, ferr := os.Open(*specPath)
 		if ferr != nil {
-			fatal(ferr)
+			return ferr
 		}
 		spec, err = model.ReadJSON(f)
 		f.Close()
 	} else {
-		spec, err = buildSpec(*small, *profiles, *sbst, *fd, *measured, *workers)
+		spec, err = buildSpec(ctx, *small, *profiles, *sbst, *fd, *measured, *workers)
 	}
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	if *dumpSpec != "" {
 		f, ferr := os.Create(*dumpSpec)
 		if ferr != nil {
-			fatal(ferr)
+			return ferr
 		}
 		if err := spec.WriteJSON(f); err != nil {
-			fatal(err)
+			f.Close()
+			return err
 		}
 		if err := f.Close(); err != nil {
-			fatal(err)
+			return err
 		}
-		fmt.Printf("wrote specification to %s\n", *dumpSpec)
-		return
+		fmt.Fprintf(out, "wrote specification to %s\n", *dumpSpec)
+		return out.Flush()
 	}
 	var dec core.Decoder
 	switch *decoder {
@@ -108,14 +161,14 @@ func main() {
 		dec, err = gd, gerr
 	case "sat":
 		if *storage != "free" {
-			fatal(fmt.Errorf("-storage ablation requires the greedy decoder"))
+			return fmt.Errorf("-storage ablation requires the greedy decoder")
 		}
 		dec, err = core.NewSATDecoder(spec, 0)
 	default:
 		err = fmt.Errorf("unknown decoder %q", *decoder)
 	}
 	if err != nil {
-		fatal(err)
+		return err
 	}
 
 	gens := *evals / *pop
@@ -126,80 +179,138 @@ func main() {
 	if *specPath != "" {
 		name = *specPath
 	}
-	fmt.Printf("exploring %s with %s decoder (%s, storage=%s, sbst=%s): pop=%d generations=%d (~%d evaluations)\n\n",
+	fmt.Fprintf(out, "exploring %s with %s decoder (%s, storage=%s, sbst=%s): pop=%d generations=%d (~%d evaluations)\n\n",
 		name, *decoder, *optimizer, *storage, *sbst, *pop, gens, *pop+*pop*gens)
+	if err := out.Flush(); err != nil {
+		return err
+	}
 	if *cpuProf != "" {
 		f, err := os.Create(*cpuProf)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		if err := pprof.StartCPUProfile(f); err != nil {
-			fatal(err)
+			f.Close()
+			return err
 		}
 		defer f.Close()
 		defer pprof.StopCPUProfile()
 	}
+
+	rc := &core.RunControl{
+		CheckpointPath:  *checkpoint,
+		CheckpointEvery: *checkpointEvery,
+	}
+	if *resumePath != "" {
+		cp, err := moea.ReadCheckpointFile(*resumePath)
+		if err != nil {
+			return err
+		}
+		if cp.Algorithm != *optimizer {
+			return fmt.Errorf("resume: checkpoint is for optimizer %q, run uses -optimizer %s", cp.Algorithm, *optimizer)
+		}
+		rc.Resume = cp
+	}
+	tel := newTelemetry(*optimizer)
+	if *progress {
+		rc.OnProgress = tel.observe(func(p core.Progress) { tel.printLine(os.Stderr, p) })
+	}
+	if *progressAddr != "" {
+		if rc.OnProgress == nil {
+			rc.OnProgress = tel.observe(nil)
+		}
+		srv := &http.Server{Addr: *progressAddr} // serves expvar's /debug/vars
+		ln, err := net.Listen("tcp", *progressAddr)
+		if err != nil {
+			return fmt.Errorf("progress endpoint: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "eedse: progress endpoint on http://%s/debug/vars\n", ln.Addr())
+		go srv.Serve(ln)
+		defer srv.Close()
+	}
+
 	ex := core.NewExplorer(spec, dec)
 	var res *core.Result
+	var runErr error
 	switch *optimizer {
 	case "nsga2":
 		var eps []float64
 		if *epsilon != "" {
 			eps, err = parseEpsilon(*epsilon)
 			if err != nil {
-				fatal(err)
+				return err
 			}
 		}
-		res, err = ex.Run(moea.Options{PopSize: *pop, Generations: gens, Seed: *seed, Workers: *workers, ArchiveEpsilon: eps})
+		res, runErr = ex.RunContext(ctx, moea.Options{PopSize: *pop, Generations: gens, Seed: *seed, Workers: *workers, ArchiveEpsilon: eps}, rc)
 	case "random":
-		res, err = ex.RunRandom(*pop+*pop*gens, *seed)
+		res, runErr = ex.RunRandomContext(ctx, *pop+*pop*gens, *seed, *workers, rc)
 	default:
-		err = fmt.Errorf("unknown optimizer %q", *optimizer)
+		runErr = fmt.Errorf("unknown optimizer %q", *optimizer)
 	}
-	if err != nil {
-		fatal(err)
+	interrupted := runErr != nil && errors.Is(runErr, context.Canceled)
+	if runErr != nil && !interrupted {
+		return runErr
 	}
+	if res == nil {
+		return runErr
+	}
+	if interrupted {
+		fmt.Fprintln(os.Stderr, "eedse: interrupted — emitting the partial Pareto front")
+		if *checkpoint != "" {
+			fmt.Fprintf(os.Stderr, "eedse: checkpoint written to %s (continue with -resume %s)\n", *checkpoint, *checkpoint)
+		}
+	}
+
 	if *memProf != "" {
 		f, ferr := os.Create(*memProf)
 		if ferr != nil {
-			fatal(ferr)
+			return ferr
 		}
 		runtime.GC() // capture the steady state, not transient garbage
 		if err := pprof.WriteHeapProfile(f); err != nil {
-			fatal(err)
+			f.Close()
+			return err
 		}
 		if err := f.Close(); err != nil {
-			fatal(err)
+			return err
 		}
 	}
 	if *csvPath != "" {
 		f, err := os.Create(*csvPath)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		if err := report.WriteCSV(f, res); err != nil {
-			fatal(err)
+			f.Close()
+			return err
 		}
 		if err := f.Close(); err != nil {
-			fatal(err)
+			return err
 		}
-		fmt.Printf("wrote %d solutions to %s\n\n", len(res.Solutions), *csvPath)
+		fmt.Fprintf(out, "wrote %d solutions to %s\n\n", len(res.Solutions), *csvPath)
 	}
 	if *summary {
-		report.WriteSummary(os.Stdout, res)
-		report.WriteFrontStats(os.Stdout, res)
-		fmt.Println()
+		report.WriteSummary(out, res)
+		report.WriteFrontStats(out, res)
+		fmt.Fprintln(out)
 	}
 	if *fig5 {
-		report.WriteFig5(os.Stdout, res, *threshold*1000)
-		fmt.Println()
+		report.WriteFig5(out, res, *threshold*1000)
+		fmt.Fprintln(out)
 	}
 	if *fig6 {
-		report.WriteFig6(os.Stdout, report.PickFig6(res, 7))
+		report.WriteFig6(out, report.PickFig6(res, 7))
 	}
+	if err := out.Flush(); err != nil {
+		return err
+	}
+	if interrupted {
+		return errInterrupted
+	}
+	return nil
 }
 
-func buildSpec(small bool, profiles int, sbst string, fd int, measured bool, workers int) (*model.Specification, error) {
+func buildSpec(ctx context.Context, small bool, profiles int, sbst string, fd int, measured bool, workers int) (*model.Specification, error) {
 	if small {
 		if sbst != "off" || fd != 0 || measured {
 			return nil, fmt.Errorf("-sbst/-fd/-measured require the full case study")
@@ -208,7 +319,7 @@ func buildSpec(small bool, profiles int, sbst string, fd int, measured bool, wor
 	}
 	opts := casestudy.Options{ProfilesPerECU: profiles, FDPayload: fd}
 	if measured {
-		opts.Measured = &casestudy.MeasuredOptions{Workers: workers}
+		opts.Measured = &casestudy.MeasuredOptions{Workers: workers, Context: ctx}
 	}
 	switch sbst {
 	case "off":
@@ -235,14 +346,91 @@ func parseEpsilon(s string) ([]float64, error) {
 	return out, nil
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "eedse:", err)
-	os.Exit(1)
-}
-
 func specName(small bool) string {
 	if small {
 		return "reduced 3-ECU subnet"
 	}
 	return "DATE'14 case study (15 ECUs, 3 CAN buses)"
+}
+
+// telemetry publishes the latest explorer progress sample both as
+// structured stderr lines and through the process-wide expvar map
+// "dse" (served on -progress-addr as /debug/vars).
+type telemetry struct {
+	optimizer string
+
+	mu   sync.Mutex
+	last core.Progress
+	seen bool
+}
+
+// expvarOnce guards the process-wide expvar registration (Publish
+// panics on duplicate names).
+var (
+	expvarOnce sync.Once
+	expvarTel  *telemetry
+	expvarMu   sync.Mutex
+)
+
+func newTelemetry(optimizer string) *telemetry {
+	t := &telemetry{optimizer: optimizer}
+	expvarMu.Lock()
+	expvarTel = t
+	expvarMu.Unlock()
+	expvarOnce.Do(func() {
+		expvar.Publish("dse", expvar.Func(func() any {
+			expvarMu.Lock()
+			t := expvarTel
+			expvarMu.Unlock()
+			return t.snapshot()
+		}))
+	})
+	return t
+}
+
+// observe wraps a progress consumer so every sample also updates the
+// expvar snapshot. next may be nil.
+func (t *telemetry) observe(next func(core.Progress)) func(core.Progress) {
+	return func(p core.Progress) {
+		t.mu.Lock()
+		t.last = p
+		t.seen = true
+		t.mu.Unlock()
+		if next != nil {
+			next(p)
+		}
+	}
+}
+
+// snapshot returns the latest sample as a flat map for expvar.
+func (t *telemetry) snapshot() map[string]any {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	m := map[string]any{"optimizer": t.optimizer, "running": t.seen}
+	if !t.seen {
+		return m
+	}
+	p := t.last
+	m["generation"] = p.Generation
+	m["generations"] = p.Generations
+	m["evaluations"] = p.Evaluations
+	m["evals_per_sec"] = p.EvalsPerSec
+	m["archive_size"] = p.ArchiveSize
+	m["hypervolume"] = p.Hypervolume
+	m["decode_failures"] = p.DecodeFailures
+	m["solver_conflicts"] = p.SolverConflicts
+	m["solver_propagations"] = p.SolverPropagations
+	m["elapsed_ms"] = p.Elapsed.Milliseconds()
+	return m
+}
+
+// printLine writes one structured key=value progress line.
+func (t *telemetry) printLine(w *os.File, p core.Progress) {
+	total := ""
+	if p.Generations > 0 {
+		total = fmt.Sprintf("/%d", p.Generations)
+	}
+	fmt.Fprintf(w, "eedse: progress gen=%d%s evals=%d evals_s=%.0f archive=%d hv=%.4g decode_fail=%d conflicts=%d props=%d elapsed=%s\n",
+		p.Generation, total, p.Evaluations, p.EvalsPerSec, p.ArchiveSize, p.Hypervolume,
+		p.DecodeFailures, p.SolverConflicts, p.SolverPropagations, p.Elapsed.Round(10_000_000)) // 10 ms
 }

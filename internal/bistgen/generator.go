@@ -1,6 +1,7 @@
 package bistgen
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -34,6 +35,10 @@ type Options struct {
 	// runtime.GOMAXPROCS(0); 1 forces serial. Profiles are identical
 	// for every worker count.
 	Workers int
+	// Context, when non-nil, cancels characterization at the next fault
+	// simulation batch or top-off target boundary; Characterize then
+	// returns ctx.Err(). nil disables cancellation.
+	Context context.Context
 }
 
 // Generator characterizes BIST profiles for one circuit.
@@ -85,7 +90,7 @@ type cubeStep struct {
 // faults and records the cumulative detection count after each cube.
 func (g *Generator) topoff(remaining []netlist.Fault, alreadyDetected int, fillSeed int64) ([]cubeStep, error) {
 	gen := atpg.NewGenerator(g.circuit, g.opt.MaxBacktracks)
-	fs := faultsim.NewFaultSim(g.circuit, remaining).SetWorkers(g.opt.Workers)
+	fs := faultsim.NewFaultSim(g.circuit, remaining).SetWorkers(g.opt.Workers).SetContext(g.opt.Context)
 	rng := rand.New(rand.NewSource(fillSeed))
 	detected := make(map[netlist.Fault]bool, len(remaining))
 	var steps []cubeStep
@@ -134,7 +139,7 @@ func (g *Generator) Characterize(prpLevels []int, targets []TargetSpec) ([]Profi
 
 	// Phase 1: one pseudo-random fault simulation run to the deepest
 	// level, recording first-detection pattern indices.
-	fs := faultsim.NewFaultSim(g.circuit, g.faults).SetWorkers(g.opt.Workers)
+	fs := faultsim.NewFaultSim(g.circuit, g.faults).SetWorkers(g.opt.Workers).SetContext(g.opt.Context)
 	prpg, err := stumps.NewPRPG(g.opt.Scan)
 	if err != nil {
 		return nil, err
@@ -154,7 +159,7 @@ func (g *Generator) Characterize(prpLevels []int, targets []TargetSpec) ([]Profi
 	if g.opt.MeasureTransition {
 		tfaults := faultsim.AllTransitionFaults(g.circuit)
 		transTotal = len(tfaults)
-		tsim := faultsim.NewTransitionSim(g.circuit, tfaults).SetWorkers(g.opt.Workers)
+		tsim := faultsim.NewTransitionSim(g.circuit, tfaults).SetWorkers(g.opt.Workers).SetContext(g.opt.Context)
 		tprpg, err := stumps.NewPRPG(g.opt.Scan)
 		if err != nil {
 			return nil, err

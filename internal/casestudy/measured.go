@@ -1,6 +1,7 @@
 package casestudy
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/bistgen"
@@ -25,6 +26,9 @@ type MeasuredOptions struct {
 	// Workers shards the grading fault simulations (see
 	// bistgen.Options.Workers): 0 = GOMAXPROCS, 1 = serial.
 	Workers int
+	// Context, when non-nil, cancels characterization at the next fault
+	// simulation batch boundary (see bistgen.Options.Context).
+	Context context.Context
 }
 
 func (m MeasuredOptions) withDefaults() MeasuredOptions {
@@ -57,7 +61,7 @@ func MeasuredProfiles(m MeasuredOptions) ([]bistgen.Profile, error) {
 	}
 	cut := netlist.ScanCUT(m.Seed, m.Chains, m.ChainLen, m.GatesPerFF)
 	gen, err := bistgen.New(cut, bistgen.Options{
-		Scan: cfg, MaxBacktracks: 150, Workers: m.Workers,
+		Scan: cfg, MaxBacktracks: 150, Workers: m.Workers, Context: m.Context,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("casestudy: measured profiles: %w", err)

@@ -7,6 +7,7 @@ package core
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/encode"
 	"repro/internal/model"
@@ -33,6 +34,11 @@ type SATDecoder struct {
 	// concurrently decoding MOEA worker, so steady-state decodes neither
 	// allocate solver indexes nor contend on shared state.
 	states sync.Pool
+
+	// Cumulative pseudo-Boolean solver work across all decodes, for the
+	// explorer's telemetry stream (SolverStatsReporter).
+	conflicts    atomic.Int64
+	propagations atomic.Int64
 }
 
 // NewSATDecoder builds the encoding for the specification.
@@ -57,10 +63,20 @@ func (d *SATDecoder) Decode(genotype []float64) (*model.Implementation, error) {
 		// still gets pooling.
 		st = d.Enc.NewDecoderState()
 	}
-	x, _, err := st.Decode(genotype, d.MaxConflicts)
+	x, res, err := st.Decode(genotype, d.MaxConflicts)
 	d.states.Put(st)
+	if res != nil {
+		d.conflicts.Add(int64(res.Conflicts))
+		d.propagations.Add(int64(res.Propagated))
+	}
 	if err != nil {
 		return nil, fmt.Errorf("core: SAT decode: %w", err)
 	}
 	return x, nil
+}
+
+// SolverStats implements SolverStatsReporter: the cumulative conflict
+// and propagation counts over every decode performed so far.
+func (d *SATDecoder) SolverStats() (conflicts, propagations int64) {
+	return d.conflicts.Load(), d.propagations.Load()
 }

@@ -1,9 +1,11 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -37,11 +39,24 @@ type Explorer struct {
 	Spec    *model.Specification
 	Decoder Decoder
 	// Verify re-checks every decoded implementation against the model's
-	// structural rules and fails loudly on violation. Enable in tests;
-	// costs ~30 % throughput.
+	// structural rules and surfaces the first violation as an error from
+	// Run (cancelling the remaining workers). Enable in tests; costs
+	// ~30 % throughput.
 	Verify bool
 
 	decodeFailures atomic.Int64
+
+	// penalty caches the finite all-worst objective vector assigned to
+	// decode failures (see objective.WorstCase).
+	penaltyOnce sync.Once
+	penalty     moea.Objectives
+	hvRef       moea.Objectives
+
+	// mu guards the first verification failure and the cancel hook that
+	// stops the remaining evaluation workers when one occurs.
+	mu        sync.Mutex
+	verifyErr error
+	cancelRun context.CancelFunc
 }
 
 // NewExplorer returns an explorer over the specification.
@@ -53,45 +68,253 @@ func NewExplorer(spec *model.Specification, dec Decoder) *Explorer {
 func (e *Explorer) GenotypeLen() int { return e.Decoder.GenotypeLen() }
 
 // Evaluate implements moea.Problem: decode, verify (optionally), and
-// score. Decode failures are punished with an all-worst objective
-// vector so the MOEA steers away from them. Evaluate is safe for
-// concurrent use when the decoder is (both built-in decoders are).
+// score. Decode failures are punished with a finite all-worst objective
+// vector (objective.WorstCase) so the MOEA steers away from them
+// without leaking ±Inf into crowding-distance or indicator
+// normalization. Evaluate is safe for concurrent use when the decoder
+// is (both built-in decoders are).
 func (e *Explorer) Evaluate(genotype []float64) (moea.Objectives, any) {
 	x, err := e.Decoder.Decode(genotype)
 	if err != nil {
 		e.decodeFailures.Add(1)
-		return moea.Objectives{math.Inf(1), 0, math.Inf(1)}, nil
+		return e.penaltyObjectives(), nil
 	}
 	if e.Verify {
 		if errs := x.Check(); len(errs) != 0 {
-			panic(fmt.Sprintf("core: decoder produced infeasible implementation: %v", errs))
+			// A panic here would tear down the whole worker pool (and the
+			// process) on one bad decode; record the first failure, cancel
+			// the run, and let Run surface it as an error instead.
+			e.failRun(fmt.Errorf("core: decoder produced infeasible implementation: %v", errs))
+			return e.penaltyObjectives(), nil
 		}
 	}
 	v := objective.Evaluate(x)
 	return moea.Objectives(v.Minimized()), Solution{Impl: x, Objectives: v}
 }
 
+// penaltyObjectives returns (a copy of) the finite worst-case penalty
+// vector, computing it from the specification on first use.
+func (e *Explorer) penaltyObjectives() moea.Objectives {
+	e.initPenalty()
+	return append(moea.Objectives(nil), e.penalty...)
+}
+
+// initPenalty derives the penalty and hypervolume reference vectors
+// from the specification once.
+func (e *Explorer) initPenalty() {
+	e.penaltyOnce.Do(func() {
+		w := objective.WorstCase(e.Spec)
+		e.penalty = moea.Objectives(w.Minimized())
+		// The hypervolume reference must strictly dominate-be-dominated by
+		// every counted point, including the penalty corner.
+		e.hvRef = make(moea.Objectives, len(e.penalty))
+		for k, v := range e.penalty {
+			e.hvRef[k] = v + 1 + 0.01*math.Abs(v)
+		}
+	})
+}
+
+// failRun records the first fatal evaluation failure and cancels the
+// in-flight optimizer run (if any).
+func (e *Explorer) failRun(err error) {
+	e.mu.Lock()
+	if e.verifyErr == nil {
+		e.verifyErr = err
+		if e.cancelRun != nil {
+			e.cancelRun()
+		}
+	}
+	e.mu.Unlock()
+}
+
+// takeRunError returns the recorded fatal failure of the current run.
+func (e *Explorer) takeRunError() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.verifyErr
+}
+
+// Progress is one explorer telemetry sample, emitted per generation
+// (NSGA-II) or per 256-evaluation chunk (random search).
+type Progress struct {
+	// Generation is the 0-based generation (or chunk) just completed;
+	// Generations the configured total (0 for random search).
+	Generation  int
+	Generations int
+	// Evaluations counts evaluated genotypes cumulatively across
+	// resumes; EvalsPerSec is the throughput of this process.
+	Evaluations int
+	EvalsPerSec float64
+	// ArchiveSize is the current Pareto-archive cardinality and
+	// Hypervolume its dominated volume against the specification's
+	// worst-case reference point.
+	ArchiveSize int
+	Hypervolume float64
+	// DecodeFailures counts genotypes the decoder rejected so far.
+	DecodeFailures int64
+	// SolverConflicts/SolverPropagations are the cumulative
+	// pseudo-Boolean solver counters of the SAT decoder (0 for decoders
+	// without a solver).
+	SolverConflicts    int64
+	SolverPropagations int64
+	// Elapsed is the wall-clock time since the run (or resume) started.
+	Elapsed time.Duration
+}
+
+// SolverStatsReporter is implemented by decoders that track cumulative
+// pseudo-Boolean solver work (the SAT decoder); the explorer includes
+// the counters in telemetry when available.
+type SolverStatsReporter interface {
+	SolverStats() (conflicts, propagations int64)
+}
+
+// RunControl configures cancellation-adjacent run services:
+// checkpointing and telemetry. The zero value (or a nil pointer)
+// disables both.
+type RunControl struct {
+	// CheckpointPath, when non-empty, periodically writes optimizer
+	// state to this file (atomically: tmp + rename) and once more when
+	// the context is cancelled. Resume a run with Resume.
+	CheckpointPath string
+	// CheckpointEvery is the checkpoint period: generations for NSGA-II
+	// (default 10), evaluations for random search (default 2560).
+	CheckpointEvery int
+	// Resume restores optimizer state from a previously written
+	// checkpoint; the run continues to the configured end and produces a
+	// byte-identical Pareto front to the uninterrupted run.
+	Resume *moea.Checkpoint
+	// OnProgress, when non-nil, receives a telemetry sample per
+	// generation/chunk on the optimizer goroutine.
+	OnProgress func(Progress)
+}
+
 // Run executes the exploration with the given MOEA options.
 func (e *Explorer) Run(opt moea.Options) (*Result, error) {
-	e.decodeFailures.Store(0)
-	start := time.Now()
-	mres, err := moea.Run(e, opt)
-	if err != nil {
-		return nil, err
+	return e.RunContext(context.Background(), opt, nil)
+}
+
+// RunContext executes the exploration with cancellation, checkpointing
+// and telemetry. On context cancellation the partial Result collected
+// so far is returned together with ctx.Err(); the final checkpoint (if
+// configured) is written before returning, and no worker goroutines
+// outlive the call.
+func (e *Explorer) RunContext(ctx context.Context, opt moea.Options, rc *RunControl) (*Result, error) {
+	runCtx, cancel, start := e.beginRun(ctx)
+	defer cancel()
+	defer e.endRun()
+
+	mopt := opt
+	if rc != nil {
+		mopt.Resume = rc.Resume
+		if rc.CheckpointPath != "" {
+			path := rc.CheckpointPath
+			mopt.OnCheckpoint = func(cp *moea.Checkpoint) error { return cp.WriteFile(path) }
+			mopt.CheckpointEvery = rc.CheckpointEvery
+			if mopt.CheckpointEvery <= 0 {
+				mopt.CheckpointEvery = 10
+			}
+		}
+		if rc.OnProgress != nil {
+			cb := rc.OnProgress
+			mopt.OnProgress = func(mp moea.Progress) { cb(e.progressSample(mp)) }
+		}
 	}
-	return e.collect(mres, start), nil
+	mres, err := moea.Run(runCtx, e, mopt)
+	return e.finishRun(mres, err, start)
 }
 
 // RunRandom explores with uniform random sampling instead of NSGA-II —
 // the optimizer ablation baseline (DESIGN.md A2 family).
 func (e *Explorer) RunRandom(evals int, seed int64) (*Result, error) {
+	return e.RunRandomContext(context.Background(), evals, seed, 0, nil)
+}
+
+// RunRandomContext is RunRandom with run control; see RunContext.
+func (e *Explorer) RunRandomContext(ctx context.Context, evals int, seed int64, workers int, rc *RunControl) (*Result, error) {
+	runCtx, cancel, start := e.beginRun(ctx)
+	defer cancel()
+	defer e.endRun()
+
+	ropt := moea.RandomOptions{Evals: evals, Seed: seed, Workers: workers}
+	if rc != nil {
+		ropt.Resume = rc.Resume
+		if rc.CheckpointPath != "" {
+			path := rc.CheckpointPath
+			ropt.OnCheckpoint = func(cp *moea.Checkpoint) error { return cp.WriteFile(path) }
+			ropt.CheckpointEvery = rc.CheckpointEvery
+			if ropt.CheckpointEvery <= 0 {
+				ropt.CheckpointEvery = 2560
+			}
+		}
+		if rc.OnProgress != nil {
+			cb := rc.OnProgress
+			ropt.OnProgress = func(mp moea.Progress) { cb(e.progressSample(mp)) }
+		}
+	}
+	mres, err := moea.RandomSearchOpt(runCtx, e, ropt)
+	return e.finishRun(mres, err, start)
+}
+
+// beginRun resets per-run state and installs the cancel hook used to
+// stop workers on a fatal evaluation failure.
+func (e *Explorer) beginRun(ctx context.Context) (context.Context, context.CancelFunc, time.Time) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	e.decodeFailures.Store(0)
-	start := time.Now()
-	mres, err := moea.RandomSearch(e, evals, seed)
-	if err != nil {
+	runCtx, cancel := context.WithCancel(ctx)
+	e.mu.Lock()
+	e.verifyErr = nil
+	e.cancelRun = cancel
+	e.mu.Unlock()
+	return runCtx, cancel, time.Now()
+}
+
+// endRun detaches the cancel hook installed by beginRun.
+func (e *Explorer) endRun() {
+	e.mu.Lock()
+	e.cancelRun = nil
+	e.mu.Unlock()
+}
+
+// finishRun translates an optimizer outcome into the exploration
+// Result: fatal evaluation failures win over cancellation, and a
+// cancelled run still yields the partial result alongside the error.
+func (e *Explorer) finishRun(mres *moea.Result, err error, start time.Time) (*Result, error) {
+	if verr := e.takeRunError(); verr != nil {
+		return nil, verr
+	}
+	if mres == nil {
 		return nil, err
 	}
-	return e.collect(mres, start), nil
+	return e.collect(mres, start), err
+}
+
+// progressSample enriches an optimizer telemetry sample with the
+// explorer-level counters: throughput, hypervolume against the
+// worst-case reference, decode failures and solver work.
+func (e *Explorer) progressSample(mp moea.Progress) Progress {
+	pr := Progress{
+		Generation:     mp.Generation,
+		Generations:    mp.Generations,
+		Evaluations:    mp.Evaluations,
+		ArchiveSize:    len(mp.Archive),
+		DecodeFailures: e.decodeFailures.Load(),
+		Elapsed:        mp.Elapsed,
+	}
+	if mp.Elapsed > 0 {
+		pr.EvalsPerSec = float64(mp.RunEvaluations) / mp.Elapsed.Seconds()
+	}
+	if sr, ok := e.Decoder.(SolverStatsReporter); ok {
+		pr.SolverConflicts, pr.SolverPropagations = sr.SolverStats()
+	}
+	e.initPenalty()
+	front := make([]moea.Objectives, 0, len(mp.Archive))
+	for _, ind := range mp.Archive {
+		front = append(front, ind.Objectives)
+	}
+	pr.Hypervolume = moea.Hypervolume3D(front, e.hvRef)
+	return pr
 }
 
 // collect turns an optimizer result into the exploration Result: it

@@ -1,6 +1,7 @@
 package faultsim
 
 import (
+	"context"
 	"fmt"
 	"math/bits"
 	"math/rand"
@@ -136,6 +137,7 @@ type BridgeSim struct {
 	good    *LogicSim
 	pool    *overlayPool
 	workers int
+	ctx     context.Context
 
 	remaining []Bridge
 	detected  []BridgeDetection
@@ -170,6 +172,13 @@ func (bs *BridgeSim) SetWorkers(n int) *BridgeSim {
 	return bs
 }
 
+// SetContext attaches a cancellation context checked at batch
+// boundaries (see FaultSim.SetContext).
+func (bs *BridgeSim) SetContext(ctx context.Context) *BridgeSim {
+	bs.ctx = ctx
+	return bs
+}
+
 // TotalBridges returns the size of the target list.
 func (bs *BridgeSim) TotalBridges() int { return len(bs.remaining) + len(bs.detected) }
 
@@ -191,6 +200,9 @@ func (bs *BridgeSim) Detections() []BridgeDetection {
 // dropping detected ones. Shard results merge in shard order, keeping
 // any worker count byte-identical to the serial sweep.
 func (bs *BridgeSim) SimulateBatch(b Batch) ([]BridgeDetection, error) {
+	if err := ctxErr(bs.ctx); err != nil {
+		return nil, err
+	}
 	if err := bs.good.Apply(b); err != nil {
 		return nil, err
 	}

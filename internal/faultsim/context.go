@@ -1,0 +1,16 @@
+package faultsim
+
+import "context"
+
+// ctxErr reports whether an optional simulation context has been
+// cancelled. Simulators check it at batch boundaries — the natural
+// shard-group granularity — so a cancelled long-running grading run
+// stops promptly without ever leaving partially merged detection state
+// behind: a batch either completes (and merges in shard order) or never
+// starts.
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
+}

@@ -1,6 +1,7 @@
 package faultsim
 
 import (
+	"context"
 	"math/bits"
 
 	"repro/internal/netlist"
@@ -24,6 +25,7 @@ type FaultSim struct {
 	good    *LogicSim
 	pool    *overlayPool
 	workers int
+	ctx     context.Context
 
 	remaining []netlist.Fault
 	detected  []Detection
@@ -52,6 +54,16 @@ func (fs *FaultSim) SetWorkers(n int) *FaultSim {
 		n = 0
 	}
 	fs.workers = n
+	return fs
+}
+
+// SetContext attaches a cancellation context: SimulateBatch and
+// RunCoverage return ctx.Err() at the next batch boundary once ctx is
+// cancelled, leaving the detection state consistent (the interrupted
+// batch is never partially merged). A nil ctx (the default) disables
+// cancellation.
+func (fs *FaultSim) SetContext(ctx context.Context) *FaultSim {
+	fs.ctx = ctx
 	return fs
 }
 
@@ -87,6 +99,9 @@ func (fs *FaultSim) PatternsSeen() int { return fs.seen }
 // detections it produced. Detected faults are dropped from the target
 // list.
 func (fs *FaultSim) SimulateBatch(b Batch) ([]Detection, error) {
+	if err := ctxErr(fs.ctx); err != nil {
+		return nil, err
+	}
 	if err := fs.good.Apply(b); err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package faultsim
 
 import (
+	"context"
 	"fmt"
 	"math/bits"
 
@@ -54,6 +55,7 @@ type TransitionSim struct {
 	good    *LogicSim
 	pool    *overlayPool
 	workers int
+	ctx     context.Context
 
 	remaining []TransitionFault
 	detected  []TransitionDetection
@@ -86,6 +88,13 @@ func (ts *TransitionSim) SetWorkers(n int) *TransitionSim {
 	return ts
 }
 
+// SetContext attaches a cancellation context checked at batch
+// boundaries (see FaultSim.SetContext).
+func (ts *TransitionSim) SetContext(ctx context.Context) *TransitionSim {
+	ts.ctx = ctx
+	return ts
+}
+
 // TotalFaults returns the target list size.
 func (ts *TransitionSim) TotalFaults() int { return len(ts.remaining) + len(ts.detected) }
 
@@ -107,6 +116,9 @@ func (ts *TransitionSim) Detections() []TransitionDetection {
 // pattern of the very first batch has no launch partner and cannot
 // detect anything.
 func (ts *TransitionSim) SimulateBatch(b Batch) ([]TransitionDetection, error) {
+	if err := ctxErr(ts.ctx); err != nil {
+		return nil, err
+	}
 	if err := ts.good.Apply(b); err != nil {
 		return nil, err
 	}

@@ -1,0 +1,342 @@
+package moea
+
+import (
+	"context"
+	"math"
+	"path/filepath"
+	"reflect"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// flatFront flattens an archive into (genotype, objectives) for exact
+// comparison; payloads are nil for the test problems.
+func flatFront(archive []*Individual) [][]float64 {
+	out := make([][]float64, 0, 2*len(archive))
+	for _, ind := range archive {
+		out = append(out, ind.Genotype, ind.Objectives)
+	}
+	return out
+}
+
+func TestPRNGStateRoundTrip(t *testing.T) {
+	src := newPRNG(42)
+	for i := 0; i < 1000; i++ {
+		src.Uint64()
+	}
+	st := src.state()
+	var want [16]uint64
+	for i := range want {
+		want[i] = src.Uint64()
+	}
+	dup := newPRNG(0)
+	if err := dup.setState(st); err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got := dup.Uint64(); got != want[i] {
+			t.Fatalf("draw %d after restore = %d, want %d", i, got, want[i])
+		}
+	}
+	if err := dup.setState([4]uint64{}); err == nil {
+		t.Fatal("all-zero PRNG state accepted")
+	}
+}
+
+func TestCheckpointFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cp.json")
+	cp := &Checkpoint{
+		Format:      CheckpointFormat,
+		Version:     CheckpointVersion,
+		Algorithm:   AlgorithmNSGA2,
+		Seed:        7,
+		GenotypeLen: 3,
+		RNG:         [4]uint64{1, 2, 3, 4},
+		Evaluations: 640,
+		PopSize:     64, Generations: 10, NextGeneration: 5,
+		Population: [][]float64{{0.1, 0.2, 0.3}},
+		Archive:    [][]float64{{0.4, 0.5, 0.6}},
+	}
+	if err := cp.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCheckpointFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, cp) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, cp)
+	}
+
+	bad := *cp
+	bad.Version = CheckpointVersion + 99
+	if err := bad.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadCheckpointFile(path); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("future version accepted: %v", err)
+	}
+}
+
+func TestResumeValidation(t *testing.T) {
+	p := zdt1{n: 6}
+	var cp *Checkpoint
+	_, err := Run(context.Background(), p, Options{
+		PopSize: 16, Generations: 6, Seed: 3,
+		CheckpointEvery: 2,
+		OnCheckpoint:    func(c *Checkpoint) error { cp = c; return nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp == nil {
+		t.Fatal("no periodic checkpoint emitted")
+	}
+	cases := []struct {
+		name string
+		opt  Options
+	}{
+		{"seed", Options{PopSize: 16, Generations: 6, Seed: 4}},
+		{"popsize", Options{PopSize: 32, Generations: 6, Seed: 3}},
+		{"generations", Options{PopSize: 16, Generations: 8, Seed: 3}},
+		{"epsilon", Options{PopSize: 16, Generations: 6, Seed: 3, ArchiveEpsilon: []float64{0.1, 0.1}}},
+	}
+	for _, c := range cases {
+		opt := c.opt
+		opt.Resume = cp
+		if _, err := Run(context.Background(), p, opt); err == nil {
+			t.Errorf("%s mismatch accepted on resume", c.name)
+		}
+	}
+	if _, err := RandomSearchOpt(context.Background(), p, RandomOptions{Evals: 100, Seed: 3, Resume: cp}); err == nil {
+		t.Error("nsga2 checkpoint accepted by random search")
+	}
+}
+
+// TestNSGA2ResumeByteIdentical is the headline determinism property: a
+// run checkpointed mid-flight and resumed — at any worker count —
+// produces the same final front, byte for byte, as the uninterrupted
+// run.
+func TestNSGA2ResumeByteIdentical(t *testing.T) {
+	p := zdt1{n: 10}
+	base := Options{PopSize: 32, Generations: 12, Seed: 11}
+
+	ref, err := Run(context.Background(), p, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := flatFront(ref.Archive)
+
+	for _, workers := range []int{1, 4} {
+		var mid *Checkpoint
+		opt := base
+		opt.Workers = workers
+		opt.CheckpointEvery = 5
+		opt.OnCheckpoint = func(c *Checkpoint) error {
+			if mid == nil {
+				mid = c // keep the first (generation 5) snapshot
+			}
+			return nil
+		}
+		if _, err := Run(context.Background(), p, opt); err != nil {
+			t.Fatal(err)
+		}
+		if mid == nil || mid.NextGeneration != 5 {
+			t.Fatalf("workers=%d: expected a checkpoint at generation 5, got %+v", workers, mid)
+		}
+
+		res := base
+		res.Workers = workers
+		res.Resume = mid
+		got, err := Run(context.Background(), p, res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(flatFront(got.Archive), want) {
+			t.Errorf("workers=%d: resumed front differs from uninterrupted run", workers)
+		}
+		if got.Evaluations != ref.Evaluations {
+			t.Errorf("workers=%d: resumed evaluations = %d, want %d (rebuild must not count)",
+				workers, got.Evaluations, ref.Evaluations)
+		}
+	}
+}
+
+func TestRandomResumeByteIdentical(t *testing.T) {
+	p := zdt1{n: 10}
+	const evals, seed = 1200, 5
+
+	ref, err := RandomSearch(p, evals, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := flatFront(ref.Archive)
+
+	for _, workers := range []int{1, 4} {
+		var mid *Checkpoint
+		_, err := RandomSearchOpt(context.Background(), p, RandomOptions{
+			Evals: evals, Seed: seed, Workers: workers,
+			CheckpointEvery: 512,
+			OnCheckpoint: func(c *Checkpoint) error {
+				if mid == nil {
+					mid = c
+				}
+				return nil
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mid == nil || mid.NextEval != 512 {
+			t.Fatalf("workers=%d: expected a checkpoint at evaluation 512, got %+v", workers, mid)
+		}
+		got, err := RandomSearchOpt(context.Background(), p, RandomOptions{
+			Evals: evals, Seed: seed, Workers: workers, Resume: mid,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(flatFront(got.Archive), want) {
+			t.Errorf("workers=%d: resumed front differs from uninterrupted run", workers)
+		}
+		if got.Evaluations != evals {
+			t.Errorf("workers=%d: resumed evaluations = %d, want %d", workers, got.Evaluations, evals)
+		}
+	}
+}
+
+// TestCancellationPartialResult: cancelling mid-run stops at the next
+// generation boundary, emits a final checkpoint, returns the partial
+// archive with ctx.Err(), and leaks no worker goroutines.
+func TestCancellationPartialResult(t *testing.T) {
+	p := zdt1{n: 10}
+	before := runtime.NumGoroutine()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var final *Checkpoint
+	opt := Options{
+		PopSize: 32, Generations: 1000, Seed: 2, Workers: 4,
+		OnGeneration: func(gen int, _ []*Individual) {
+			if gen == 3 {
+				cancel()
+			}
+		},
+		OnCheckpoint: func(c *Checkpoint) error { final = c; return nil },
+	}
+	res, err := Run(ctx, p, opt)
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res == nil || len(res.Archive) == 0 {
+		t.Fatal("no partial result on cancellation")
+	}
+	if final == nil {
+		t.Fatal("no final checkpoint on cancellation")
+	}
+	if final.NextGeneration != 4 {
+		t.Fatalf("final checkpoint resumes at generation %d, want 4", final.NextGeneration)
+	}
+	// The cancelled run must be resumable to the full-run front.
+	res2 := Options{PopSize: 32, Generations: 1000, Seed: 2}
+	res2.Resume = final
+	// Resuming 996 more generations is slow; instead verify the snapshot
+	// is self-consistent and accepted.
+	res2.Generations = 1000
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	cancel2()
+	if _, err := Run(ctx2, p, res2); err != context.Canceled {
+		t.Fatalf("resume from cancellation checkpoint rejected: %v", err)
+	}
+
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > before {
+		t.Fatalf("goroutine leak after cancellation: %d > %d", n, before)
+	}
+}
+
+func TestRandomCancellation(t *testing.T) {
+	p := zdt1{n: 8}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var final *Checkpoint
+	n := 0
+	res, err := RandomSearchOpt(ctx, p, RandomOptions{
+		Evals: 1 << 30, Seed: 9, Workers: 4,
+		OnProgress: func(Progress) {
+			if n++; n == 3 {
+				cancel()
+			}
+		},
+		OnCheckpoint: func(c *Checkpoint) error { final = c; return nil },
+	})
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res == nil || len(res.Archive) == 0 {
+		t.Fatal("no partial result on cancellation")
+	}
+	if final == nil || final.NextEval != 3*randomChunk {
+		t.Fatalf("final checkpoint = %+v, want NextEval %d", final, 3*randomChunk)
+	}
+}
+
+func TestProgressTelemetry(t *testing.T) {
+	p := zdt1{n: 8}
+	var samples []Progress
+	_, err := Run(context.Background(), p, Options{
+		PopSize: 16, Generations: 5, Seed: 1,
+		OnProgress: func(pr Progress) { samples = append(samples, pr) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != 5 {
+		t.Fatalf("got %d progress samples, want 5", len(samples))
+	}
+	for i, s := range samples {
+		if s.Generation != i || s.Generations != 5 {
+			t.Fatalf("sample %d: generation %d/%d", i, s.Generation, s.Generations)
+		}
+		if s.Evaluations != 16+16*(i+1) {
+			t.Fatalf("sample %d: evaluations = %d", i, s.Evaluations)
+		}
+		if s.RunEvaluations != s.Evaluations {
+			t.Fatalf("sample %d: run evaluations %d != %d on a fresh run", i, s.RunEvaluations, s.Evaluations)
+		}
+		if len(s.Archive) == 0 || s.Elapsed < 0 {
+			t.Fatalf("sample %d: empty archive or negative elapsed", i)
+		}
+	}
+}
+
+// TestCrowdingRejectsNonFiniteSpan guards the Inf−Inf fix: a front
+// containing the penalty corner (formerly ±Inf objectives) must not
+// poison crowding distances with NaN.
+func TestCrowdingRejectsNonFiniteSpan(t *testing.T) {
+	front := []*Individual{
+		{Objectives: Objectives{0, math.Inf(1)}},
+		{Objectives: Objectives{1, 5}},
+		{Objectives: Objectives{2, 1}},
+	}
+	assignCrowding(front)
+	for i, ind := range front {
+		if math.IsNaN(ind.crowding) {
+			t.Fatalf("individual %d: crowding is NaN", i)
+		}
+	}
+}
+
+func TestAdditiveEpsilonInfSafe(t *testing.T) {
+	inf := math.Inf(1)
+	approx := []Objectives{{inf, 0}}
+	ref := []Objectives{{inf, 0}}
+	if d := AdditiveEpsilon(approx, ref); math.IsNaN(d) {
+		t.Fatal("AdditiveEpsilon produced NaN on matching Inf coordinates")
+	}
+}

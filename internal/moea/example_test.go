@@ -1,6 +1,7 @@
 package moea_test
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/moea"
@@ -22,7 +23,7 @@ func (oneMax) Evaluate(g []float64) (moea.Objectives, any) {
 }
 
 func ExampleRun() {
-	res, err := moea.Run(oneMax{}, moea.Options{PopSize: 16, Generations: 10, Seed: 1})
+	res, err := moea.Run(context.Background(), oneMax{}, moea.Options{PopSize: 16, Generations: 10, Seed: 1})
 	if err != nil {
 		fmt.Println(err)
 		return

@@ -76,7 +76,12 @@ func AdditiveEpsilon(approx, reference []Objectives) float64 {
 		for _, a := range approx {
 			worst := math.Inf(-1)
 			for k := range r {
-				d := a[k] - r[k]
+				// Equal coordinates shift by 0 even when both are ±Inf
+				// (Inf−Inf would otherwise inject NaN into the indicator).
+				d := 0.0
+				if a[k] != r[k] {
+					d = a[k] - r[k]
+				}
 				if d > worst {
 					worst = d
 				}

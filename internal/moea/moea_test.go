@@ -1,6 +1,7 @@
 package moea
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -124,7 +125,7 @@ func (z zdt1) Evaluate(g []float64) (Objectives, any) {
 }
 
 func TestNSGA2ConvergesOnZDT1(t *testing.T) {
-	res, err := Run(zdt1{n: 12}, Options{PopSize: 60, Generations: 80, Seed: 7})
+	res, err := Run(context.Background(), zdt1{n: 12}, Options{PopSize: 60, Generations: 80, Seed: 7})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -158,14 +159,14 @@ func TestNSGA2ConvergesOnZDT1(t *testing.T) {
 }
 
 func TestRunRejectsEmptyGenotype(t *testing.T) {
-	if _, err := Run(zdt1{n: 0}, Options{}); err == nil {
+	if _, err := Run(context.Background(), zdt1{n: 0}, Options{}); err == nil {
 		t.Fatal("empty genotype accepted")
 	}
 }
 
 func TestOnGenerationCallback(t *testing.T) {
 	calls := 0
-	_, err := Run(zdt1{n: 5}, Options{PopSize: 10, Generations: 7, Seed: 1,
+	_, err := Run(context.Background(), zdt1{n: 5}, Options{PopSize: 10, Generations: 7, Seed: 1,
 		OnGeneration: func(gen int, archive []*Individual) {
 			if gen != calls {
 				t.Fatalf("generation %d out of order", gen)
@@ -184,11 +185,11 @@ func TestOnGenerationCallback(t *testing.T) {
 }
 
 func TestRunDeterministicForSeed(t *testing.T) {
-	a, err := Run(zdt1{n: 6}, Options{PopSize: 16, Generations: 10, Seed: 42})
+	a, err := Run(context.Background(), zdt1{n: 6}, Options{PopSize: 16, Generations: 10, Seed: 42})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, _ := Run(zdt1{n: 6}, Options{PopSize: 16, Generations: 10, Seed: 42})
+	b, _ := Run(context.Background(), zdt1{n: 6}, Options{PopSize: 16, Generations: 10, Seed: 42})
 	if len(a.Archive) != len(b.Archive) {
 		t.Fatalf("archive sizes differ: %d vs %d", len(a.Archive), len(b.Archive))
 	}
@@ -281,7 +282,7 @@ func TestCrossoverPreservesGenePool(t *testing.T) {
 // the optimizer ablation.
 func TestNSGA2BeatsRandomSearch(t *testing.T) {
 	const budget = 60 + 60*40
-	nsga, err := Run(zdt1{n: 12}, Options{PopSize: 60, Generations: 40, Seed: 7})
+	nsga, err := Run(context.Background(), zdt1{n: 12}, Options{PopSize: 60, Generations: 40, Seed: 7})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -329,11 +330,11 @@ func TestRandomSearchArchiveNonDominated(t *testing.T) {
 // sequential run exactly (genotype generation is sequential; evaluation
 // is pure).
 func TestParallelEvaluationDeterministic(t *testing.T) {
-	seq, err := Run(zdt1{n: 8}, Options{PopSize: 20, Generations: 12, Seed: 9})
+	seq, err := Run(context.Background(), zdt1{n: 8}, Options{PopSize: 20, Generations: 12, Seed: 9})
 	if err != nil {
 		t.Fatal(err)
 	}
-	par, err := Run(zdt1{n: 8}, Options{PopSize: 20, Generations: 12, Seed: 9, Workers: 4})
+	par, err := Run(context.Background(), zdt1{n: 8}, Options{PopSize: 20, Generations: 12, Seed: 9, Workers: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -354,11 +355,11 @@ func TestParallelEvaluationDeterministic(t *testing.T) {
 // smaller than the exact archive but still mutually non-dominated and
 // still near the true ZDT1 front.
 func TestEpsilonArchiveThinsFront(t *testing.T) {
-	exact, err := Run(zdt1{n: 10}, Options{PopSize: 40, Generations: 40, Seed: 5})
+	exact, err := Run(context.Background(), zdt1{n: 10}, Options{PopSize: 40, Generations: 40, Seed: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
-	eps, err := Run(zdt1{n: 10}, Options{PopSize: 40, Generations: 40, Seed: 5,
+	eps, err := Run(context.Background(), zdt1{n: 10}, Options{PopSize: 40, Generations: 40, Seed: 5,
 		ArchiveEpsilon: []float64{0.05, 0.05}})
 	if err != nil {
 		t.Fatal(err)

@@ -1,9 +1,11 @@
 package moea
 
 import (
+	"context"
 	"errors"
+	"fmt"
 	"math/rand"
-	"sync"
+	"time"
 )
 
 // errEmptyGenotype rejects problems whose genotype has no genes.
@@ -46,6 +48,21 @@ type Options struct {
 	// OnGeneration, when non-nil, is called after every generation with
 	// the generation index and the current archive.
 	OnGeneration func(gen int, archive []*Individual)
+	// OnProgress, when non-nil, receives a telemetry sample after every
+	// generation. It runs on the optimizer goroutine; keep it cheap.
+	OnProgress func(Progress)
+	// Resume, when non-nil, restores the optimizer state from a
+	// checkpoint instead of sampling a fresh initial population. The
+	// checkpoint must match the problem and options (algorithm, genotype
+	// length, population size, generation count, seed, ε-archive).
+	Resume *Checkpoint
+	// OnCheckpoint, when non-nil, receives a state snapshot every
+	// CheckpointEvery generations and once more when the context is
+	// cancelled. A non-nil return aborts the run with that error.
+	OnCheckpoint func(*Checkpoint) error
+	// CheckpointEvery is the generation period of OnCheckpoint calls
+	// (0 = only on cancellation).
+	CheckpointEvery int
 }
 
 func (o Options) withDefaults(genLen int) Options {
@@ -80,60 +97,108 @@ type Result struct {
 	Evaluations int
 }
 
-// Run executes NSGA-II on the problem.
-func Run(p Problem, opt Options) (*Result, error) {
+// Run executes NSGA-II on the problem. Cancellation of ctx is honored
+// at generation boundaries: the run stops before starting the next
+// generation, emits a final checkpoint through Options.OnCheckpoint (if
+// set), and returns the partial Result together with ctx.Err(). No
+// goroutines outlive the call — evaluation worker pools are per-batch.
+func Run(ctx context.Context, p Problem, opt Options) (*Result, error) {
 	genLen := p.GenotypeLen()
 	if genLen <= 0 {
 		return nil, errEmptyGenotype
 	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	opt = opt.withDefaults(genLen)
-	rng := rand.New(rand.NewSource(opt.Seed))
+	src := newPRNG(opt.Seed)
+	rng := rand.New(src)
 	res := &Result{}
+	start := time.Now()
+	runEvals := 0
 
 	evaluateBatch := func(genos [][]float64) []*Individual {
-		out := make([]*Individual, len(genos))
-		eval := func(i int) {
-			obj, payload := p.Evaluate(genos[i])
-			out[i] = &Individual{Genotype: genos[i], Objectives: obj, Payload: payload}
-		}
-		if opt.Workers <= 1 || len(genos) == 1 {
-			for i := range genos {
-				eval(i)
-			}
-		} else {
-			var wg sync.WaitGroup
-			work := make(chan int)
-			for w := 0; w < opt.Workers; w++ {
-				wg.Add(1)
-				go func() {
-					defer wg.Done()
-					for i := range work {
-						eval(i)
-					}
-				}()
-			}
-			for i := range genos {
-				work <- i
-			}
-			close(work)
-			wg.Wait()
-		}
+		out := evalConcurrent(p, genos, opt.Workers)
 		res.Evaluations += len(genos)
+		runEvals += len(genos)
 		return out
 	}
 
-	initial := make([][]float64, opt.PopSize)
-	for i := range initial {
-		g := make([]float64, genLen)
-		for j := range g {
-			g[j] = rng.Float64()
+	var pop, archive []*Individual
+	startGen := 0
+	if cp := opt.Resume; cp != nil {
+		if err := cp.check(AlgorithmNSGA2, genLen); err != nil {
+			return nil, err
 		}
-		initial[i] = g
+		if cp.PopSize != opt.PopSize {
+			return nil, fmt.Errorf("moea: resume: checkpoint population size %d does not match PopSize %d", cp.PopSize, opt.PopSize)
+		}
+		if cp.Generations != opt.Generations {
+			return nil, fmt.Errorf("moea: resume: checkpoint targets %d generations, run targets %d", cp.Generations, opt.Generations)
+		}
+		if cp.Seed != opt.Seed {
+			return nil, fmt.Errorf("moea: resume: checkpoint seed %d does not match Seed %d", cp.Seed, opt.Seed)
+		}
+		if !equalEpsilon(cp.ArchiveEpsilon, opt.ArchiveEpsilon) {
+			return nil, fmt.Errorf("moea: resume: checkpoint ε-archive %v does not match ArchiveEpsilon %v", cp.ArchiveEpsilon, opt.ArchiveEpsilon)
+		}
+		if err := src.setState(cp.RNG); err != nil {
+			return nil, err
+		}
+		// Rebuild objectives and payloads by re-evaluating the stored
+		// genotypes (deterministic, so the state is exact). The archive is
+		// re-inserted in checkpoint order without re-filtering: its entries
+		// are mutually non-dominated by construction. Rebuild evaluations
+		// are not counted — Evaluations continues from the checkpoint.
+		pop = evalConcurrent(p, cp.Population, opt.Workers)
+		archive = evalConcurrent(p, cp.Archive, opt.Workers)
+		res.Evaluations = cp.Evaluations
+		startGen = cp.NextGeneration
+	} else {
+		initial := make([][]float64, opt.PopSize)
+		for i := range initial {
+			g := make([]float64, genLen)
+			for j := range g {
+				g[j] = rng.Float64()
+			}
+			initial[i] = g
+		}
+		pop = evaluateBatch(initial)
+		archive = updateArchiveEps(nil, pop, opt.ArchiveEpsilon)
 	}
-	pop := evaluateBatch(initial)
-	archive := updateArchiveEps(nil, pop, opt.ArchiveEpsilon)
 
-	for gen := 0; gen < opt.Generations; gen++ {
+	snapshot := func(nextGen int) *Checkpoint {
+		return &Checkpoint{
+			Format:         CheckpointFormat,
+			Version:        CheckpointVersion,
+			Algorithm:      AlgorithmNSGA2,
+			Seed:           opt.Seed,
+			GenotypeLen:    genLen,
+			RNG:            src.state(),
+			Evaluations:    res.Evaluations,
+			PopSize:        opt.PopSize,
+			Generations:    opt.Generations,
+			NextGeneration: nextGen,
+			ArchiveEpsilon: opt.ArchiveEpsilon,
+			Population:     genotypes(pop),
+			Archive:        genotypes(archive),
+		}
+	}
+	finish := func(err error) (*Result, error) {
+		res.Archive = archive
+		res.FinalPopulation = pop
+		return res, err
+	}
+
+	for gen := startGen; gen < opt.Generations; gen++ {
+		if ctx.Err() != nil {
+			if opt.OnCheckpoint != nil {
+				if err := opt.OnCheckpoint(snapshot(gen)); err != nil {
+					return finish(err)
+				}
+			}
+			return finish(ctx.Err())
+		}
 		// Rank parents for tournament selection.
 		fronts := sortFronts(pop)
 		for _, f := range fronts {
@@ -174,10 +239,24 @@ func Run(p Problem, opt Options) (*Result, error) {
 		if opt.OnGeneration != nil {
 			opt.OnGeneration(gen, archive)
 		}
+		if opt.OnProgress != nil {
+			opt.OnProgress(Progress{
+				Generation:     gen,
+				Generations:    opt.Generations,
+				Evaluations:    res.Evaluations,
+				RunEvaluations: runEvals,
+				Archive:        archive,
+				Elapsed:        time.Since(start),
+			})
+		}
+		if opt.OnCheckpoint != nil && opt.CheckpointEvery > 0 &&
+			(gen+1)%opt.CheckpointEvery == 0 && gen+1 < opt.Generations {
+			if err := opt.OnCheckpoint(snapshot(gen + 1)); err != nil {
+				return finish(err)
+			}
+		}
 	}
-	res.Archive = archive
-	res.FinalPopulation = pop
-	return res, nil
+	return finish(nil)
 }
 
 // tournament returns the better of two random individuals by

@@ -157,7 +157,11 @@ func assignCrowding(front []*Individual) {
 		front[idx[0]].crowding = math.Inf(1)
 		front[idx[n-1]].crowding = math.Inf(1)
 		span := hi - lo
-		if span <= 0 {
+		// A non-finite span (an objective holding ±Inf, or Inf−Inf = NaN)
+		// would leak NaN into every crowding sum and silently corrupt the
+		// selection ordering; skip the objective instead — the boundary
+		// individuals keep their Inf crowding either way.
+		if span <= 0 || math.IsInf(span, 0) || math.IsNaN(span) {
 			continue
 		}
 		for i := 1; i < n-1; i++ {

@@ -1,36 +1,153 @@
 package moea
 
-import "math/rand"
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// randomChunk is the archive-fold granularity of random search: genotype
+// generation stays sequential (one PRNG stream), evaluation of each
+// chunk may run on Workers goroutines, and the non-dominated filter runs
+// once per chunk to bound its quadratic cost. Chunk boundaries are also
+// the cancellation and checkpoint boundaries.
+const randomChunk = 256
+
+// RandomOptions configure a random-search run.
+type RandomOptions struct {
+	// Evals is the evaluation budget (minimum 1).
+	Evals int
+	Seed  int64
+	// Workers > 1 evaluates each chunk's genotypes concurrently; results
+	// are identical for any worker count.
+	Workers int
+	// OnProgress, when non-nil, receives a telemetry sample after every
+	// chunk.
+	OnProgress func(Progress)
+	// Resume restores state from a checkpoint (see Options.Resume).
+	Resume *Checkpoint
+	// OnCheckpoint receives a snapshot every CheckpointEvery evaluations
+	// (rounded up to chunk boundaries) and once more on cancellation.
+	OnCheckpoint func(*Checkpoint) error
+	// CheckpointEvery is the evaluation period of OnCheckpoint calls
+	// (0 = only on cancellation).
+	CheckpointEvery int
+}
 
 // RandomSearch evaluates `evals` uniformly random genotypes and keeps
 // the non-dominated archive — the null-hypothesis optimizer against
 // which NSGA-II's selection pressure is measured (optimizer ablation).
 func RandomSearch(p Problem, evals int, seed int64) (*Result, error) {
+	return RandomSearchOpt(context.Background(), p, RandomOptions{Evals: evals, Seed: seed})
+}
+
+// RandomSearchOpt is RandomSearch with run control: context
+// cancellation, parallel chunk evaluation, checkpoint/resume, and
+// telemetry. Cancellation is honored at chunk boundaries and returns
+// the partial Result with ctx.Err() after emitting a final checkpoint.
+func RandomSearchOpt(ctx context.Context, p Problem, opt RandomOptions) (*Result, error) {
 	genLen := p.GenotypeLen()
 	if genLen <= 0 {
 		return nil, errEmptyGenotype
 	}
-	if evals < 1 {
-		evals = 1
+	if ctx == nil {
+		ctx = context.Background()
 	}
-	rng := rand.New(rand.NewSource(seed))
+	if opt.Evals < 1 {
+		opt.Evals = 1
+	}
+	src := newPRNG(opt.Seed)
+	rng := rand.New(src)
 	res := &Result{}
-	var batch []*Individual
-	for i := 0; i < evals; i++ {
-		g := make([]float64, genLen)
-		for j := range g {
-			g[j] = rng.Float64()
+	start := time.Now()
+	runEvals := 0
+
+	var archive []*Individual
+	done := 0
+	if cp := opt.Resume; cp != nil {
+		if err := cp.check(AlgorithmRandom, genLen); err != nil {
+			return nil, err
 		}
-		obj, payload := p.Evaluate(g)
-		res.Evaluations++
-		batch = append(batch, &Individual{Genotype: g, Objectives: obj, Payload: payload})
-		// Fold into the archive in chunks to bound the quadratic filter.
-		if len(batch) >= 256 {
-			res.Archive = updateArchive(res.Archive, batch)
-			batch = batch[:0]
+		if cp.TotalEvals != opt.Evals {
+			return nil, fmt.Errorf("moea: resume: checkpoint targets %d evaluations, run targets %d", cp.TotalEvals, opt.Evals)
+		}
+		if cp.Seed != opt.Seed {
+			return nil, fmt.Errorf("moea: resume: checkpoint seed %d does not match Seed %d", cp.Seed, opt.Seed)
+		}
+		if err := src.setState(cp.RNG); err != nil {
+			return nil, err
+		}
+		archive = evalConcurrent(p, cp.Archive, opt.Workers)
+		res.Evaluations = cp.Evaluations
+		done = cp.NextEval
+	}
+
+	snapshot := func(nextEval int) *Checkpoint {
+		return &Checkpoint{
+			Format:      CheckpointFormat,
+			Version:     CheckpointVersion,
+			Algorithm:   AlgorithmRandom,
+			Seed:        opt.Seed,
+			GenotypeLen: genLen,
+			RNG:         src.state(),
+			Evaluations: res.Evaluations,
+			TotalEvals:  opt.Evals,
+			NextEval:    nextEval,
+			Archive:     genotypes(archive),
 		}
 	}
-	res.Archive = updateArchive(res.Archive, batch)
-	res.FinalPopulation = res.Archive
-	return res, nil
+	finish := func(err error) (*Result, error) {
+		res.Archive = archive
+		res.FinalPopulation = archive
+		return res, err
+	}
+
+	chunk := 0
+	lastCheckpoint := done
+	for done < opt.Evals {
+		if ctx.Err() != nil {
+			if opt.OnCheckpoint != nil {
+				if err := opt.OnCheckpoint(snapshot(done)); err != nil {
+					return finish(err)
+				}
+			}
+			return finish(ctx.Err())
+		}
+		n := opt.Evals - done
+		if n > randomChunk {
+			n = randomChunk
+		}
+		genos := make([][]float64, n)
+		for i := range genos {
+			g := make([]float64, genLen)
+			for j := range g {
+				g[j] = rng.Float64()
+			}
+			genos[i] = g
+		}
+		batch := evalConcurrent(p, genos, opt.Workers)
+		res.Evaluations += n
+		runEvals += n
+		archive = updateArchive(archive, batch)
+		done += n
+		if opt.OnProgress != nil {
+			opt.OnProgress(Progress{
+				Generation:     chunk,
+				Evaluations:    res.Evaluations,
+				RunEvaluations: runEvals,
+				Archive:        archive,
+				Elapsed:        time.Since(start),
+			})
+		}
+		chunk++
+		if opt.OnCheckpoint != nil && opt.CheckpointEvery > 0 &&
+			done-lastCheckpoint >= opt.CheckpointEvery && done < opt.Evals {
+			if err := opt.OnCheckpoint(snapshot(done)); err != nil {
+				return finish(err)
+			}
+			lastCheckpoint = done
+		}
+	}
+	return finish(nil)
 }

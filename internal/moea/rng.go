@@ -1,0 +1,68 @@
+package moea
+
+import "errors"
+
+// prng is xoshiro256**: a small, fast generator whose entire state is
+// four uint64 words, so optimizer runs can be checkpointed and resumed
+// byte-identically (math/rand's default source hides its state). It
+// implements math/rand.Source64 and is seeded through splitmix64, which
+// maps every int64 seed to a full-entropy non-zero state.
+type prng struct {
+	s [4]uint64
+}
+
+// errZeroPRNGState rejects the one state xoshiro cannot leave.
+var errZeroPRNGState = errors.New("moea: invalid PRNG state (all zero)")
+
+// newPRNG returns a generator seeded from the given seed.
+func newPRNG(seed int64) *prng {
+	p := &prng{}
+	p.Seed(seed)
+	return p
+}
+
+// Seed implements math/rand.Source by expanding the seed with
+// splitmix64.
+func (p *prng) Seed(seed int64) {
+	x := uint64(seed)
+	for i := range p.s {
+		x += 0x9e3779b97f4a7c15
+		z := x
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		p.s[i] = z ^ (z >> 31)
+	}
+	if p.s[0]|p.s[1]|p.s[2]|p.s[3] == 0 {
+		p.s[0] = 1
+	}
+}
+
+func rotl64(x uint64, k uint) uint64 { return x<<k | x>>(64-k) }
+
+// Uint64 implements math/rand.Source64.
+func (p *prng) Uint64() uint64 {
+	result := rotl64(p.s[1]*5, 7) * 9
+	t := p.s[1] << 17
+	p.s[2] ^= p.s[0]
+	p.s[3] ^= p.s[1]
+	p.s[1] ^= p.s[2]
+	p.s[0] ^= p.s[3]
+	p.s[2] ^= t
+	p.s[3] = rotl64(p.s[3], 45)
+	return result
+}
+
+// Int63 implements math/rand.Source.
+func (p *prng) Int63() int64 { return int64(p.Uint64() >> 1) }
+
+// state snapshots the generator for a checkpoint.
+func (p *prng) state() [4]uint64 { return p.s }
+
+// setState restores a checkpointed generator state.
+func (p *prng) setState(s [4]uint64) error {
+	if s[0]|s[1]|s[2]|s[3] == 0 {
+		return errZeroPRNGState
+	}
+	p.s = s
+	return nil
+}

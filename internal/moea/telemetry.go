@@ -1,0 +1,65 @@
+package moea
+
+import (
+	"sync"
+	"time"
+)
+
+// Progress is one telemetry sample, emitted after every completed
+// generation (NSGA-II) or archive-fold chunk (random search). The
+// Archive slice is the optimizer's live archive: it is valid for the
+// duration of the callback and must be copied to retain.
+type Progress struct {
+	// Generation is the 0-based index of the generation (NSGA-II) or
+	// chunk (random search) that just completed.
+	Generation int
+	// Generations is the configured total generation count (NSGA-II) or
+	// 0 for random search.
+	Generations int
+	// Evaluations counts Problem.Evaluate calls cumulatively, including
+	// evaluations performed before a resume.
+	Evaluations int
+	// RunEvaluations counts only evaluations performed by this process —
+	// the basis for throughput (evals/s) accounting across resumes.
+	RunEvaluations int
+	// Archive is the current all-time non-dominated set (read-only).
+	Archive []*Individual
+	// Elapsed is the wall-clock time since this run (or resume) started.
+	Elapsed time.Duration
+}
+
+// evalConcurrent evaluates the genotypes into fresh individuals, on
+// `workers` goroutines when workers > 1. Output order matches input
+// order, so results are deterministic for any worker count. The worker
+// pool is per-batch: all goroutines exit before the call returns, which
+// keeps cancellation and shutdown leak-free.
+func evalConcurrent(p Problem, genos [][]float64, workers int) []*Individual {
+	out := make([]*Individual, len(genos))
+	eval := func(i int) {
+		obj, payload := p.Evaluate(genos[i])
+		out[i] = &Individual{Genotype: genos[i], Objectives: obj, Payload: payload}
+	}
+	if workers <= 1 || len(genos) == 1 {
+		for i := range genos {
+			eval(i)
+		}
+		return out
+	}
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				eval(i)
+			}
+		}()
+	}
+	for i := range genos {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	return out
+}

@@ -1,0 +1,64 @@
+package objective
+
+import "repro/internal/model"
+
+// WorstCase returns a finite per-objective upper bound over every
+// implementation of the specification:
+//
+//   - CostTotal: all resources allocated at their BIST-capable variant
+//     price, plus every BIST data task stored at the most expensive
+//     per-KB memory in the architecture (gateway sharing only lowers
+//     this).
+//   - TestQuality: 0, the true minimum of a maximized quantity.
+//   - ShutOffMS: the longest BIST session runtime plus the slowest
+//     possible finite pattern transfer — the largest data task shipped
+//     over the thinnest single functional message bandwidth (any real
+//     transfer bandwidth is a sum including at least one message).
+//
+// The bound serves as the decode-failure penalty vector of the
+// exploration: unlike the former {+Inf, 0, +Inf} penalty it cannot leak
+// Inf−Inf = NaN into crowding-distance or indicator normalization, yet
+// it is weakly dominated by every feasible implementation with a finite
+// shut-off time, so the MOEA still steers away from it.
+func WorstCase(spec *model.Specification) Vector {
+	v := Vector{TestQuality: 0}
+	maxMemCost := 0.0
+	for _, r := range spec.Arch.Resources() {
+		v.CostTotal += r.Cost + r.BISTCost
+		if r.MemCostPerKB > maxMemCost {
+			maxMemCost = r.MemCostPerKB
+		}
+	}
+	var memBytes, maxTaskBytes int64
+	maxWCET := 0.0
+	for _, t := range spec.App.Tasks() {
+		switch t.Kind {
+		case model.KindBISTData:
+			memBytes += t.MemBytes
+			if t.MemBytes > maxTaskBytes {
+				maxTaskBytes = t.MemBytes
+			}
+		case model.KindBISTTest:
+			if t.WCETms > maxWCET {
+				maxWCET = t.WCETms
+			}
+		}
+	}
+	v.CostTotal += float64(memBytes) / 1024 * maxMemCost
+	minBW := 0.0
+	for _, m := range spec.App.Messages() {
+		src := spec.App.Task(m.Src)
+		if src == nil || src.Kind != model.KindFunctional || m.PeriodMS <= 0 {
+			continue
+		}
+		bw := float64(m.SizeBytes) / m.PeriodMS
+		if bw > 0 && (minBW == 0 || bw < minBW) {
+			minBW = bw
+		}
+	}
+	v.ShutOffMS = maxWCET
+	if minBW > 0 {
+		v.ShutOffMS += float64(maxTaskBytes) / minBW
+	}
+	return v
+}
