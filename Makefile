@@ -4,9 +4,9 @@
 GO ?= go
 
 .PHONY: ci build fmt-check vet test race bench-smoke bench bench-json \
-	resume-smoke sigint-smoke
+	resume-smoke sigint-smoke robust-smoke
 
-ci: build fmt-check vet test race bench-smoke resume-smoke sigint-smoke
+ci: build fmt-check vet test race bench-smoke resume-smoke sigint-smoke robust-smoke
 
 build:
 	$(GO) build ./...
@@ -24,10 +24,31 @@ test:
 	$(GO) test ./...
 
 # The concurrent packages: sharded fault simulation, the MOEA worker
-# pool, the explorer that drives it, and the shared decode/propagation
-# state behind the pooled per-worker decoder.
+# pool, the explorer that drives it, the shared decode/propagation
+# state behind the pooled per-worker decoder, and the fault-injection
+# layer feeding the robustness objective.
 race:
-	$(GO) test -race ./internal/faultsim/ ./internal/moea/ ./internal/core/ ./internal/pbsat/ ./internal/encode/ ./internal/objective/ ./internal/bistgen/
+	$(GO) test -race ./internal/faultsim/ ./internal/moea/ ./internal/core/ ./internal/pbsat/ ./internal/encode/ ./internal/objective/ ./internal/bistgen/ ./internal/can/ ./internal/gateway/
+
+# Fault-injection determinism through the CLI: a robust exploration
+# (4th objective from the seeded CAN error model) must produce
+# byte-identical Pareto fronts across runs and worker counts, and with
+# the error model disabled the front must match the classic run byte
+# for byte.
+robust-smoke:
+	@tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) run ./cmd/eedse -small -evals 2000 -pop 32 -workers 4 \
+		-summary -robust -error-rate 1e-5 -csv $$tmp/robust-w4.csv >/dev/null || exit 1; \
+	$(GO) run ./cmd/eedse -small -evals 2000 -pop 32 -workers 2 \
+		-summary -robust -error-rate 1e-5 -csv $$tmp/robust-w2.csv >/dev/null || exit 1; \
+	cmp $$tmp/robust-w4.csv $$tmp/robust-w2.csv || { echo "robust front differs across worker counts" >&2; exit 1; }; \
+	echo "robust-smoke: robust front byte-identical at workers 4 vs 2"; \
+	$(GO) run ./cmd/eedse -small -evals 2000 -pop 32 -workers 4 \
+		-summary -csv $$tmp/classic.csv >/dev/null || exit 1; \
+	$(GO) run ./cmd/eedse -small -evals 2000 -pop 32 -workers 4 \
+		-summary -error-rate 0 -csv $$tmp/zero.csv >/dev/null || exit 1; \
+	cmp $$tmp/classic.csv $$tmp/zero.csv || { echo "-error-rate 0 front differs from classic run" >&2; exit 1; }; \
+	echo "robust-smoke: -error-rate 0 front identical to classic run"
 
 # Checkpoint/resume determinism through the CLI: a run that checkpoints
 # periodically, resumed from its last on-disk snapshot, must reproduce
@@ -67,11 +88,12 @@ bench:
 	$(GO) test -run=NONE -bench=. ./...
 
 # Machine-readable throughput report: the evaluation-pipeline benchmarks
-# (decode+evaluate, DSE worker sweep, end-to-end Fig. 5 run) as JSON.
-# CI uploads BENCH_2.json as an artifact; locally, raise BENCHTIME for
-# stable numbers (e.g. `make bench-json BENCHTIME=2s`).
+# (decode+evaluate, DSE worker sweep, end-to-end Fig. 5 run) plus the
+# fault-tolerant transfer path as JSON. CI uploads BENCH_5.json as an
+# artifact; locally, raise BENCHTIME for stable numbers (e.g.
+# `make bench-json BENCHTIME=2s`).
 BENCHTIME ?= 1x
 bench-json:
-	$(GO) test -run=NONE -bench 'DecodeEvaluate|DSEParallel|EvalThroughput|Fig5_DSE' \
-		-benchmem -benchtime=$(BENCHTIME) . | $(GO) run ./cmd/benchjson -out BENCH_2.json
-	@echo "wrote BENCH_2.json"
+	$(GO) test -run=NONE -bench 'DecodeEvaluate|DSEParallel|EvalThroughput|Fig5_DSE|TransferUnderErrors' \
+		-benchmem -benchtime=$(BENCHTIME) . | $(GO) run ./cmd/benchjson -out BENCH_5.json
+	@echo "wrote BENCH_5.json"

@@ -16,6 +16,7 @@ import (
 	"repro/internal/diagnosis"
 	"repro/internal/dtc"
 	"repro/internal/faultsim"
+	"repro/internal/gateway"
 	"repro/internal/moea"
 	"repro/internal/netlist"
 	"repro/internal/reseed"
@@ -550,6 +551,32 @@ func BenchmarkSATDecodeCaseStudy(b *testing.B) {
 		}
 		if _, err := dec.Decode(g); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// --- E12: fault-tolerant transfer ---------------------------------------
+
+// BenchmarkTransferUnderErrors measures the reliable gateway session
+// (chunking, CRC verification, seeded error process, retransmission)
+// delivering one BIST record across a lossy CAN segment.
+func BenchmarkTransferUnderErrors(b *testing.B) {
+	bus := can.Bus{Name: "diag", BitRate: 500_000}
+	fd := stumps.FailData{Windows: 64}
+	for w := 0; w < 16; w++ {
+		fd.Entries = append(fd.Entries, stumps.FailEntry{Window: w, Got: uint64(0xdead0000 + w), Want: 0xbeef})
+	}
+	m := can.ErrorModel{BitErrorRate: 1e-3, Seed: 11}
+	cfg := gateway.SessionConfig{ChunkBytes: 64, MaxRetries: 8, BackoffMS: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var collector gateway.Collector
+		res, err := collector.IngestReliable("ecu01", fd, bus, m, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Delivered {
+			b.Fatalf("transfer failed: %+v", res)
 		}
 	}
 }

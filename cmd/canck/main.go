@@ -6,11 +6,20 @@
 // Usage:
 //
 //	canck [-bitrate 500000] [-own 3] [-others 8] [-seed 1]
+//	      [-sweep] [-error-rate 0]
+//
+// -sweep replays the analysis across a bit-error-rate range
+// (1e-7…1e-4): per rate it reports the degraded Eq. (1) transfer time,
+// the worst third-party WCRT under the Tindell/Burns error-recovery
+// term, and whether the certified schedule (and the non-intrusiveness
+// of mirroring) still holds. -error-rate applies one fixed rate to the
+// single-shot analysis instead.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"math"
 	"math/rand"
 	"os"
 
@@ -20,13 +29,34 @@ import (
 )
 
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "canck:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
 	var (
 		bitrate = flag.Float64("bitrate", 500_000, "bus bit rate [bit/s]")
 		nOwn    = flag.Int("own", 3, "functional messages of the ECU under test")
 		nOthers = flag.Int("others", 8, "functional messages of other ECUs on the bus")
 		seed    = flag.Int64("seed", 1, "message set seed")
+		errRate = flag.Float64("error-rate", 0, "bit-error rate for the fault-aware analysis (0 = ideal bus)")
+		sweep   = flag.Bool("sweep", false, "sweep the analysis over bit-error rates 1e-7..1e-4")
 	)
 	flag.Parse()
+	if *bitrate <= 0 {
+		return fmt.Errorf("-bitrate must be positive, got %g", *bitrate)
+	}
+	if *nOwn <= 0 {
+		return fmt.Errorf("-own must be positive, got %d", *nOwn)
+	}
+	if *nOthers <= 0 {
+		return fmt.Errorf("-others must be positive, got %d", *nOthers)
+	}
+	if *errRate < 0 || *errRate >= 1 {
+		return fmt.Errorf("-error-rate must be in [0,1), got %g", *errRate)
+	}
 	bus := can.Bus{Name: "can0", BitRate: *bitrate}
 	rng := rand.New(rand.NewSource(*seed))
 	periods := []float64{10, 20, 50, 100}
@@ -49,20 +79,32 @@ func main() {
 		*bitrate/1000, len(own), len(others),
 		can.Utilization(bus, append(append([]can.Frame(nil), own...), others...))*100)
 
-	rep, err := can.VerifyNonIntrusive(bus, own, others)
+	if *sweep {
+		return faultSweep(os.Stdout, bus, own, others)
+	}
+
+	model := can.ErrorModel{BitErrorRate: *errRate}
+	rep, err := can.VerifyNonIntrusiveUnderErrors(bus, own, others, model)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	if rep.OK() {
-		fmt.Println("mirroring: NON-INTRUSIVE — no third-party WCRT changed")
+		label := "NON-INTRUSIVE — no third-party WCRT changed"
+		if model.Enabled() {
+			label = fmt.Sprintf("NON-INTRUSIVE under BER %g — no third-party WCRT changed", *errRate)
+		}
+		fmt.Println("mirroring:", label)
 	} else {
 		fmt.Printf("mirroring: INTRUSIVE?! frames %v changed by up to %.3f ms\n", rep.Intrusive, rep.MaxDeltaMS)
+	}
+	if model.Enabled() && len(rep.DeadlineMisses) > 0 {
+		fmt.Printf("error load: third-party deadlines broken at BER %g: %v\n", *errRate, rep.DeadlineMisses)
 	}
 
 	const demoBytes = 994_156 // Table I profile 3
 	burst, err := can.SimulateBurst(bus, others, demoBytes, 0)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	fmt.Printf("burst transfer of %d bytes at top priority: %d deadline violations, burst lasts %.1f s\n\n",
 		demoBytes, len(burst.ViolatedDeadlines), burst.BurstDurationMS/1000)
@@ -81,9 +123,53 @@ func main() {
 		})
 	}
 	report.Table(os.Stdout, []string{"profile", "s(b^D) [Bytes]", "q CAN [s]", "q CAN FD [s]", "speedup"}, rows)
+	return nil
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "canck:", err)
-	os.Exit(1)
+// faultSweep replays the fault-aware analysis over a BER range: the
+// degraded Eq. (1) transfer time of the Table I profile-3 payload, the
+// worst third-party WCRT with the error-recovery term, and the combined
+// verdict (non-intrusive AND schedulable).
+func faultSweep(w *os.File, bus can.Bus, own, others []can.Frame) error {
+	const demoBytes = 994_156 // Table I profile 3
+	fmt.Fprintf(w, "fault sweep: %d-byte transfer (Table I profile 3) over the mirrored own-message slots\n", demoBytes)
+	var rows [][]string
+	for _, ber := range []float64{0, 1e-7, 1e-6, 1e-5, 1e-4, 1e-2} {
+		m := can.ErrorModel{BitErrorRate: ber}
+		q := can.TransferTimeMSFaulty(bus, demoBytes, own, m)
+		rep, err := can.VerifyNonIntrusiveUnderErrors(bus, own, others, m)
+		if err != nil {
+			return err
+		}
+		all := append(append([]can.Frame(nil), own...), others...)
+		rts, err := can.AnalyzeBusUnderErrors(bus, all, m)
+		if err != nil {
+			return err
+		}
+		worst := 0.0
+		for _, rt := range rts {
+			if rt.WCRTms > worst {
+				worst = rt.WCRTms
+			}
+		}
+		wcrt := "inf"
+		if !math.IsInf(worst, 1) {
+			wcrt = fmt.Sprintf("%.3f", worst)
+		}
+		verdict := "HOLDS"
+		if !rep.Holds() {
+			verdict = "BROKEN"
+			if rep.OK() {
+				verdict = fmt.Sprintf("DEADLINES MISSED (%d)", len(rep.DeadlineMisses))
+			}
+		}
+		rows = append(rows, []string{
+			fmt.Sprintf("%g", ber),
+			fmt.Sprintf("%.1f", q/1000),
+			wcrt,
+			verdict,
+		})
+	}
+	report.Table(w, []string{"BER", "q(b^D) [s]", "worst WCRT [ms]", "certified schedule"}, rows)
+	return nil
 }

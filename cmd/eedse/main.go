@@ -9,6 +9,13 @@
 //	      [-workers N] [-measured] [-cpuprofile dse.pprof] [-memprofile heap.pprof]
 //	      [-checkpoint cp.json] [-checkpoint-every 10] [-resume cp.json]
 //	      [-progress] [-progress-addr 127.0.0.1:6060]
+//	      [-robust] [-error-rate 1e-5]
+//
+// -robust adds the degraded-mode transfer score (expected BIST transfer
+// completion plus deadline-miss penalty under a CAN bit-error rate) as
+// a fourth minimized objective; -error-rate sets the bit-error rate and
+// implies -robust when positive. With the objective disabled (or the
+// rate at 0) results are bit-identical to pre-robustness runs.
 //
 // Without -fig5/-fig6/-summary all three reports are printed.
 //
@@ -47,6 +54,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/model"
 	"repro/internal/moea"
+	"repro/internal/objective"
 	"repro/internal/report"
 )
 
@@ -91,6 +99,9 @@ func run() error {
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the exploration to this file")
 		memProf   = flag.String("memprofile", "", "write a heap profile (taken after the exploration) to this file")
 
+		robust  = flag.Bool("robust", false, "add the degraded-mode transfer score as a 4th objective (CAN error model, default -error-rate 1e-5)")
+		errRate = flag.Float64("error-rate", 0, "CAN bit-error rate for the robustness objective; > 0 implies -robust")
+
 		checkpoint      = flag.String("checkpoint", "", "periodically write optimizer state to this file (atomically); SIGINT writes a final checkpoint before exiting")
 		checkpointEvery = flag.Int("checkpoint-every", 0, "checkpoint period: generations for nsga2 (default 10), evaluations for random (default 2560)")
 		resumePath      = flag.String("resume", "", "resume the run from this checkpoint file (same spec, decoder, seed and budget flags required)")
@@ -100,6 +111,14 @@ func run() error {
 	flag.Parse()
 	if !*fig5 && !*fig6 && !*summary {
 		*fig5, *fig6, *summary = true, true, true
+	}
+	if *errRate < 0 {
+		return fmt.Errorf("-error-rate must be non-negative, got %g", *errRate)
+	}
+	if *errRate > 0 {
+		*robust = true
+	} else if *robust {
+		*errRate = 1e-5
 	}
 
 	// SIGINT/SIGTERM cancel the run context: the exploration stops at the
@@ -179,8 +198,12 @@ func run() error {
 	if *specPath != "" {
 		name = *specPath
 	}
-	fmt.Fprintf(out, "exploring %s with %s decoder (%s, storage=%s, sbst=%s): pop=%d generations=%d (~%d evaluations)\n\n",
-		name, *decoder, *optimizer, *storage, *sbst, *pop, gens, *pop+*pop*gens)
+	robustNote := ""
+	if *robust {
+		robustNote = fmt.Sprintf(", robust@BER=%g", *errRate)
+	}
+	fmt.Fprintf(out, "exploring %s with %s decoder (%s, storage=%s, sbst=%s%s): pop=%d generations=%d (~%d evaluations)\n\n",
+		name, *decoder, *optimizer, *storage, *sbst, robustNote, *pop, gens, *pop+*pop*gens)
 	if err := out.Flush(); err != nil {
 		return err
 	}
@@ -230,6 +253,9 @@ func run() error {
 	}
 
 	ex := core.NewExplorer(spec, dec)
+	if *robust {
+		ex.Robust = objective.RobustConfig{ErrorRate: *errRate}
+	}
 	var res *core.Result
 	var runErr error
 	switch *optimizer {

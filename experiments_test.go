@@ -16,6 +16,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/diagnosis"
 	"repro/internal/dtc"
+	"repro/internal/gateway"
 	"repro/internal/moea"
 	"repro/internal/netlist"
 	"repro/internal/objective"
@@ -440,5 +441,134 @@ func TestExperimentE10(t *testing.T) {
 	}
 	if fs >= cs/3 {
 		t.Fatalf("FD architecture shut-off %.1f s not clearly below classic %.1f s", fs/1000, cs/1000)
+	}
+}
+
+// TestExperimentE12 regenerates the fault-injection study: the Eq. (1)
+// transfer time degrades gracefully over the BER sweep while the
+// certified schedule holds through 1e-4 and collapses at 1e-2; the
+// reliable gateway session survives a lossy bus, falls back to local
+// b^D storage under a harsh burst, and resumes without re-sending
+// delivered chunks; and the degraded-mode DSE objective penalizes
+// gateway-stored pattern data over local storage.
+func TestExperimentE12(t *testing.T) {
+	bus := can.Bus{Name: "can0", BitRate: 500_000}
+	own := []can.Frame{
+		{ID: "own0", Priority: 1, Payload: 8, PeriodMS: 10},
+		{ID: "own1", Priority: 3, Payload: 8, PeriodMS: 20},
+		{ID: "own2", Priority: 5, Payload: 8, PeriodMS: 50},
+	}
+	var others []can.Frame
+	for i := 0; i < 8; i++ {
+		others = append(others, can.Frame{
+			ID: string(rune('m' + i)), Priority: 2 + 2*i, Payload: 8, PeriodMS: 50,
+		})
+	}
+	const demoBytes = 994_156 // Table I profile 3
+
+	// Sweep: transfer time is monotone in the BER, the schedule holds
+	// through 1e-4, and 1e-2 drives the WCRT past the deadlines.
+	prev := 0.0
+	for _, ber := range []float64{0, 1e-7, 1e-6, 1e-5, 1e-4} {
+		m := can.ErrorModel{BitErrorRate: ber}
+		q := can.TransferTimeMSFaulty(bus, demoBytes, own, m)
+		if q < prev {
+			t.Fatalf("transfer time shrank at BER %g: %.1f < %.1f", ber, q, prev)
+		}
+		prev = q
+		rep, err := can.VerifyNonIntrusiveUnderErrors(bus, own, others, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.Holds() {
+			t.Fatalf("certified schedule broken at BER %g: %+v", ber, rep)
+		}
+	}
+	harshRep, err := can.VerifyNonIntrusiveUnderErrors(bus, own, others, can.ErrorModel{BitErrorRate: 1e-2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if harshRep.Holds() || len(harshRep.DeadlineMisses) == 0 {
+		t.Fatalf("BER 1e-2 should break third-party deadlines: %+v", harshRep)
+	}
+
+	// Reliable session: delivery at BER 1e-3, local fallback under a
+	// harsh burst, then a resume that re-sends nothing.
+	fd := stumps.FailData{Windows: 16, Entries: []stumps.FailEntry{{Window: 3, Got: 0xdead, Want: 0xbeef}}}
+	var collector gateway.Collector
+	scfg := gateway.SessionConfig{ChunkBytes: 32, MaxRetries: 8, BackoffMS: 1}
+	res, err := collector.IngestReliable("ecu03", fd, bus, can.ErrorModel{BitErrorRate: 1e-3, Seed: 7}, scfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Delivered || res.Retries == 0 {
+		t.Fatalf("lossy delivery: %+v (want delivered with retries)", res)
+	}
+	snd, err := gateway.NewSession("ecu03", 77, fd, scfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := gateway.NewAssembler(snd.SessionID(), snd.NumChunks())
+	harsh := gateway.NewFaultyChannel(bus, can.ErrorModel{BitErrorRate: 2e-2, Seed: 9}, sink)
+	first := snd.Run(harsh)
+	if first.Delivered || !first.LocalFallback {
+		t.Fatalf("harsh burst: %+v (want local fallback)", first)
+	}
+	clean := gateway.NewFaultyChannel(bus, can.ErrorModel{}, sink)
+	second := snd.Run(clean)
+	want := int(snd.NumChunks() - first.ResumeSeq)
+	if !second.Delivered || second.ChunksSent != want {
+		t.Fatalf("resume: %+v (want delivery in exactly %d sends)", second, want)
+	}
+	blob, err := sink.Bytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := gateway.Unmarshal(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.ECU != "ecu03" || len(rec.Fail.Entries) != 1 {
+		t.Fatalf("reassembled record corrupted: %+v", rec)
+	}
+
+	// Degraded-mode objective: gateway-storage solutions carry a robust
+	// score above their ideal shut-off time; purely local ones do not.
+	if testing.Short() {
+		t.Skip("robust exploration")
+	}
+	spec, err := casestudy.Small(4, 6, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := core.NewGreedyDecoder(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := core.NewExplorer(spec, dec)
+	ex.Robust = objective.RobustConfig{ErrorRate: 1e-5}
+	front, err := ex.Run(moea.Options{PopSize: 32, Generations: 16, Seed: 5, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawGateway := false
+	for _, s := range front.Solutions {
+		if !s.Objectives.RobustOn {
+			t.Fatalf("solution without robust objective: %+v", s.Objectives)
+		}
+		if math.IsInf(s.Objectives.ShutOffMS, 1) {
+			continue
+		}
+		if s.Objectives.RobustMS+1e-9 < s.Objectives.ShutOffMS {
+			t.Fatalf("robust score %.3f below ideal shut-off %.3f",
+				s.Objectives.RobustMS, s.Objectives.ShutOffMS)
+		}
+		ms := core.MemorySplitOf(s)
+		if ms.GatewayBytes > 0 && s.Objectives.RobustMS > s.Objectives.ShutOffMS {
+			sawGateway = true
+		}
+	}
+	if !sawGateway {
+		t.Skip("front holds no gateway-storage solution to exhibit the penalty")
 	}
 }

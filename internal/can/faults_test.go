@@ -1,0 +1,254 @@
+package can
+
+import (
+	"math"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func testFrames() []Frame {
+	return []Frame{
+		{ID: "c1", Priority: 2, Payload: 8, PeriodMS: 10},
+		{ID: "c2", Priority: 5, Payload: 4, PeriodMS: 20},
+		{ID: "c3", Priority: 9, Payload: 8, PeriodMS: 100},
+	}
+}
+
+// A disabled error model must take the identical code path: results are
+// bit-identical to the error-free analyses, not merely close.
+func TestFaultyZeroRateBitIdentical(t *testing.T) {
+	frames := testFrames()
+	for _, data := range []int64{1, 1000, 994_156} {
+		a := TransferTimeMS(data, frames)
+		b := TransferTimeMSFaulty(testBus, data, frames, ErrorModel{})
+		if a != b {
+			t.Fatalf("data=%d: faulty path %v != ideal %v at rate 0", data, b, a)
+		}
+	}
+	ideal, err := AnalyzeBus(testBus, frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulty, err := AnalyzeBusUnderErrors(testBus, frames, ErrorModel{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ideal, faulty) {
+		t.Fatalf("WCRT at rate 0 differs:\nideal  %+v\nfaulty %+v", ideal, faulty)
+	}
+}
+
+// Transfer times must grow monotonically with the bit-error rate.
+func TestTransferTimeFaultyMonotone(t *testing.T) {
+	frames := testFrames()
+	prev := 0.0
+	for _, ber := range []float64{0, 1e-7, 1e-6, 1e-5, 1e-4, 1e-3} {
+		q := TransferTimeMSFaulty(testBus, 100_000, frames, ErrorModel{BitErrorRate: ber})
+		if q < prev {
+			t.Fatalf("transfer time shrank at BER %g: %v < %v", ber, q, prev)
+		}
+		prev = q
+	}
+	if ideal := TransferTimeMS(100_000, frames); prev <= ideal {
+		t.Fatalf("transfer at BER 1e-3 (%v) not above ideal (%v)", prev, ideal)
+	}
+}
+
+// The error-recovery term inflates every WCRT and eventually sinks
+// deadlines; at moderate rates the set stays schedulable.
+func TestAnalyzeBusUnderErrorsInflates(t *testing.T) {
+	frames := testFrames()
+	ideal, err := AnalyzeBus(testBus, frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	moderate, err := AnalyzeBusUnderErrors(testBus, frames, ErrorModel{BitErrorRate: 1e-6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ideal {
+		if moderate[i].WCRTms < ideal[i].WCRTms {
+			t.Fatalf("%s: WCRT under errors %v below ideal %v", ideal[i].Frame, moderate[i].WCRTms, ideal[i].WCRTms)
+		}
+		if !moderate[i].Schedulable {
+			t.Fatalf("%s unschedulable at BER 1e-6", moderate[i].Frame)
+		}
+	}
+	harsh, err := AnalyzeBusUnderErrors(testBus, frames, ErrorModel{BitErrorRate: 1e-2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	misses := 0
+	for _, rt := range harsh {
+		if !rt.Schedulable {
+			misses++
+		}
+	}
+	if misses == 0 {
+		t.Fatal("BER 1e-2 (error recovery alone overloads the bus) broke no deadline")
+	}
+}
+
+// Mirroring must stay non-intrusive under the error load: the swap
+// keeps payloads, so the recovery term is unchanged for third parties.
+func TestVerifyNonIntrusiveUnderErrors(t *testing.T) {
+	own := testFrames()
+	others := []Frame{
+		{ID: "o1", Priority: 1, Payload: 8, PeriodMS: 10},
+		{ID: "o2", Priority: 3, Payload: 8, PeriodMS: 20},
+		{ID: "o3", Priority: 11, Payload: 8, PeriodMS: 100},
+	}
+	rep, err := VerifyNonIntrusiveUnderErrors(testBus, own, others, ErrorModel{BitErrorRate: 1e-6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("mirroring intrusive under errors: %+v", rep)
+	}
+	if !rep.Holds() {
+		t.Fatalf("deadlines broken at BER 1e-6: %v", rep.DeadlineMisses)
+	}
+	harsh, err := VerifyNonIntrusiveUnderErrors(testBus, own, others, ErrorModel{BitErrorRate: 1e-2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if harsh.Holds() {
+		t.Fatal("BER 1e-2 reported as holding — the robustness bound lost its teeth")
+	}
+	if !harsh.OK() {
+		t.Fatalf("error load made mirroring itself intrusive: %+v", harsh.Intrusive)
+	}
+}
+
+// Identical seeds replay identical transfers; different seeds shift the
+// error positions.
+func TestSimulateTransferDeterministic(t *testing.T) {
+	frames := testFrames()
+	m := ErrorModel{BitErrorRate: 1e-3, Seed: 42}
+	a := SimulateTransfer(testBus, frames, 8000, m)
+	b := SimulateTransfer(testBus, frames, 8000, m)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed diverged:\n%+v\n%+v", a, b)
+	}
+	if a.Errors == 0 {
+		t.Fatal("BER 1e-3 over 1000+ slots produced no error")
+	}
+	c := SimulateTransfer(testBus, frames, 8000, ErrorModel{BitErrorRate: 1e-3, Seed: 43})
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds replayed the identical error pattern")
+	}
+}
+
+func TestSimulateTransferErrorFree(t *testing.T) {
+	frames := testFrames()
+	st := SimulateTransfer(testBus, frames, 10_000, ErrorModel{})
+	if st.Errors != 0 || st.Attempts != st.Slots {
+		t.Fatalf("error-free run reported errors: %+v", st)
+	}
+	if st.DeliveredBytes < 10_000 || math.IsInf(st.CompletionMS, 1) {
+		t.Fatalf("error-free transfer incomplete: %+v", st)
+	}
+	if st.FinalState != ErrorActive {
+		t.Fatalf("state = %v", st.FinalState)
+	}
+	// The slot process can't beat the fluid Eq. (1) bound by more than
+	// one period's worth of rounding.
+	if ideal := TransferTimeMS(10_000, frames); st.CompletionMS < ideal/2 {
+		t.Fatalf("simulated completion %v implausibly below Eq.(1) %v", st.CompletionMS, ideal)
+	}
+}
+
+// A harsh error rate must walk the controller through error-passive
+// into bus-off, leaving the transfer incomplete — the trigger of the
+// degraded-mode fallback.
+func TestSimulateTransferBusOff(t *testing.T) {
+	frames := testFrames()
+	st := SimulateTransfer(testBus, frames, 100_000, ErrorModel{BitErrorRate: 0.02, Seed: 7})
+	if !st.BusOff() {
+		t.Fatalf("BER 0.02 did not reach bus-off: %+v", st)
+	}
+	if !math.IsInf(st.CompletionMS, 1) || st.DeliveredBytes >= 100_000 {
+		t.Fatalf("bus-off transfer claims completion: %+v", st)
+	}
+	if st.ErrorPassiveAtMS > st.BusOffAtMS {
+		t.Fatalf("error-passive (%v) after bus-off (%v)", st.ErrorPassiveAtMS, st.BusOffAtMS)
+	}
+	if st.PeakTEC < 256 {
+		t.Fatalf("bus-off with TEC %d", st.PeakTEC)
+	}
+}
+
+// Mirroring must never emit a CAN-ID already present in the functional
+// set, even for adversarial ID choices that pre-contain the suffix.
+func TestMirrorCollisionProperty(t *testing.T) {
+	f := func(seed uint16, n uint8) bool {
+		count := 1 + int(n)%6
+		frames := make([]Frame, count)
+		for i := range frames {
+			id := "m" + string(rune('0'+(int(seed)+i)%10))
+			// Adversarial: some functional IDs already carry the suffix.
+			if (int(seed)+i)%3 == 0 {
+				id += "'"
+			}
+			if (int(seed)+i)%5 == 0 {
+				id += "'"
+			}
+			frames[i] = Frame{ID: id, Priority: 1 + i, Payload: 8, PeriodMS: 10}
+		}
+		mirrored := Mirror(frames, "'")
+		seen := make(map[string]bool)
+		for _, fr := range frames {
+			seen[fr.ID] = true
+		}
+		for _, mfr := range mirrored {
+			if seen[mfr.ID] {
+				return false // collision with functional or earlier mirror
+			}
+			seen[mfr.ID] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateFrameSet(t *testing.T) {
+	ok := testFrames()
+	if err := ValidateFrameSet(ok); err != nil {
+		t.Fatal(err)
+	}
+	dup := append(ok, Frame{ID: "c1", Priority: 12, Payload: 8, PeriodMS: 10})
+	if err := ValidateFrameSet(dup); err == nil {
+		t.Fatal("duplicate ID accepted")
+	}
+	if _, err := AnalyzeBus(testBus, dup); err == nil {
+		t.Fatal("AnalyzeBus accepted duplicate IDs")
+	}
+}
+
+func TestErrorCountersConfinement(t *testing.T) {
+	var c ErrorCounters
+	if c.State() != ErrorActive {
+		t.Fatalf("fresh controller not error-active: %v", c.State())
+	}
+	for i := 0; i < 16; i++ {
+		c.OnTxError()
+	}
+	if c.TEC != 128 || c.State() != ErrorPassive {
+		t.Fatalf("TEC=%d state=%v, want 128/error-passive", c.TEC, c.State())
+	}
+	for i := 0; i < 16; i++ {
+		c.OnTxError()
+	}
+	if c.State() != BusOff {
+		t.Fatalf("TEC=%d state=%v, want bus-off", c.TEC, c.State())
+	}
+	c = ErrorCounters{TEC: 1}
+	c.OnTxSuccess()
+	c.OnTxSuccess() // must floor at 0
+	if c.TEC != 0 {
+		t.Fatalf("TEC = %d after flooring", c.TEC)
+	}
+}

@@ -97,6 +97,24 @@ func (f Frame) Validate() error {
 	return nil
 }
 
+// ValidateFrameSet checks every frame of one bus and rejects duplicate
+// CAN-IDs: two nodes sending the same identifier can win arbitration
+// simultaneously, which neither real CAN nor the response-time analysis
+// admits. This is the per-bus companion of the per-frame Validate.
+func ValidateFrameSet(frames []Frame) error {
+	seen := make(map[string]bool, len(frames))
+	for _, f := range frames {
+		if err := f.Validate(); err != nil {
+			return err
+		}
+		if seen[f.ID] {
+			return fmt.Errorf("can: duplicate frame ID %q on one bus", f.ID)
+		}
+		seen[f.ID] = true
+	}
+	return nil
+}
+
 // BandwidthBytesPerMS returns the long-run payload bandwidth s(c)/p(c)
 // of the frame in bytes per millisecond.
 func (f Frame) BandwidthBytesPerMS() float64 {

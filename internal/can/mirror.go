@@ -14,11 +14,29 @@ import (
 //
 // Because c'_i is timing-indistinguishable from c_i for every other bus
 // subscriber, the certified bus schedule is retained unchanged.
+//
+// Mirrored IDs must be fresh: a c'_i colliding with a functional CAN-ID
+// would let two nodes win arbitration simultaneously. When f.ID+suffix
+// already names a functional frame (or an earlier mirror), the suffix
+// is repeated until the ID is unique within functional ∪ mirrored. An
+// empty suffix defaults to "'".
 func Mirror(functional []Frame, suffix string) []Frame {
+	if suffix == "" {
+		suffix = "'"
+	}
+	used := make(map[string]bool, 2*len(functional))
+	for _, f := range functional {
+		used[f.ID] = true
+	}
 	out := make([]Frame, len(functional))
 	for i, f := range functional {
 		m := f
-		m.ID = f.ID + suffix
+		id := f.ID + suffix
+		for used[id] {
+			id += suffix
+		}
+		used[id] = true
+		m.ID = id
 		out[i] = m
 	}
 	return out

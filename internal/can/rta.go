@@ -30,10 +30,17 @@ type ResponseTime struct {
 // converge (level utilization ≥ 1) report an infinite WCRT and are
 // unschedulable.
 func AnalyzeBus(bus Bus, frames []Frame) ([]ResponseTime, error) {
-	for _, f := range frames {
-		if err := f.Validate(); err != nil {
-			return nil, err
-		}
+	return analyzeBus(bus, frames, nil)
+}
+
+// analyzeBus is the shared busy-period analysis. errOverhead, when
+// non-nil, returns the error-recovery time charged to a window of
+// length t (the Tindell/Burns error term of AnalyzeBusUnderErrors); a
+// nil errOverhead leaves every recurrence arithmetically untouched, so
+// AnalyzeBus results stay bit-identical to the pre-fault-model code.
+func analyzeBus(bus Bus, frames []Frame, errOverhead func(t float64) float64) ([]ResponseTime, error) {
+	if err := ValidateFrameSet(frames); err != nil {
+		return nil, err
 	}
 	sorted := append([]Frame(nil), frames...)
 	sort.Slice(sorted, func(i, j int) bool {
@@ -61,6 +68,9 @@ func AnalyzeBus(bus Bus, frames []Frame) ([]ResponseTime, error) {
 			next := blocking
 			for k := 0; k <= i; k++ {
 				next += math.Ceil((busy+sorted[k].JitterMS)/sorted[k].PeriodMS) * bus.TxTimeMS(sorted[k].Payload)
+			}
+			if errOverhead != nil {
+				next += errOverhead(busy)
 			}
 			if next == busy {
 				busyConverged = true
@@ -90,6 +100,9 @@ func AnalyzeBus(bus Bus, frames []Frame) ([]ResponseTime, error) {
 				next := blocking + float64(q)*c
 				for _, hp := range sorted[:i] {
 					next += math.Ceil((w+hp.JitterMS+tauBit)/hp.PeriodMS) * bus.TxTimeMS(hp.Payload)
+				}
+				if errOverhead != nil {
+					next += errOverhead(w + c)
 				}
 				if next == w {
 					converged = true

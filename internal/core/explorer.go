@@ -43,6 +43,11 @@ type Explorer struct {
 	// Run (cancelling the remaining workers). Enable in tests; costs
 	// ~30 % throughput.
 	Verify bool
+	// Robust, when its ErrorRate is positive, adds the degraded-mode
+	// transfer score as a fourth minimized objective (see
+	// objective.EvaluateRobust). The zero value keeps the classic
+	// three-objective exploration bit-identical.
+	Robust objective.RobustConfig
 
 	decodeFailures atomic.Int64
 
@@ -88,7 +93,7 @@ func (e *Explorer) Evaluate(genotype []float64) (moea.Objectives, any) {
 			return e.penaltyObjectives(), nil
 		}
 	}
-	v := objective.Evaluate(x)
+	v := objective.EvaluateRobust(x, e.Robust)
 	return moea.Objectives(v.Minimized()), Solution{Impl: x, Objectives: v}
 }
 
@@ -103,7 +108,7 @@ func (e *Explorer) penaltyObjectives() moea.Objectives {
 // from the specification once.
 func (e *Explorer) initPenalty() {
 	e.penaltyOnce.Do(func() {
-		w := objective.WorstCase(e.Spec)
+		w := objective.WorstCaseRobust(e.Spec, e.Robust)
 		e.penalty = moea.Objectives(w.Minimized())
 		// The hypervolume reference must strictly dominate-be-dominated by
 		// every counted point, including the penalty corner.
@@ -309,11 +314,22 @@ func (e *Explorer) progressSample(mp moea.Progress) Progress {
 		pr.SolverConflicts, pr.SolverPropagations = sr.SolverStats()
 	}
 	e.initPenalty()
+	// Hypervolume3D only handles three-dimensional points; a robust run
+	// carries four objectives, so the telemetry indicator is the volume of
+	// the (cost, −quality, shut-off) projection.
 	front := make([]moea.Objectives, 0, len(mp.Archive))
 	for _, ind := range mp.Archive {
-		front = append(front, ind.Objectives)
+		obj := ind.Objectives
+		if len(obj) > 3 {
+			obj = obj[:3]
+		}
+		front = append(front, obj)
 	}
-	pr.Hypervolume = moea.Hypervolume3D(front, e.hvRef)
+	ref := e.hvRef
+	if len(ref) > 3 {
+		ref = ref[:3]
+	}
+	pr.Hypervolume = moea.Hypervolume3D(front, ref)
 	return pr
 }
 

@@ -1,0 +1,88 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/casestudy"
+	"repro/internal/moea"
+	"repro/internal/objective"
+)
+
+// A zero-rate robust config must reproduce the classic three-objective
+// front bit for bit — the robustness path is strictly additive.
+func TestExplorerZeroErrorRateBitIdentical(t *testing.T) {
+	spec := smallSpec(t)
+	dec, err := NewGreedyDecoder(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := moea.Options{PopSize: 16, Generations: 8, Seed: 7, Workers: 2}
+	base, err := NewExplorer(spec, dec).Run(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exZero := NewExplorer(spec, dec)
+	exZero.Robust = objective.RobustConfig{ErrorRate: 0}
+	zero, err := exZero.Run(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(base.Solutions) != len(zero.Solutions) {
+		t.Fatalf("front sizes differ: %d vs %d", len(base.Solutions), len(zero.Solutions))
+	}
+	for i := range base.Solutions {
+		if base.Solutions[i].Objectives != zero.Solutions[i].Objectives {
+			t.Fatalf("solution %d differs at rate 0:\n%+v\n%+v",
+				i, base.Solutions[i].Objectives, zero.Solutions[i].Objectives)
+		}
+	}
+}
+
+// A robust exploration with a fixed seed must produce byte-identical
+// Pareto fronts at any worker count — the determinism guarantee the
+// fault-injection CI smoke job relies on.
+func TestExplorerRobustWorkerSweepDeterministic(t *testing.T) {
+	spec, err := casestudy.Small(3, 4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := NewGreedyDecoder(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := NewExplorer(spec, dec)
+	ex.Verify = true
+	ex.Robust = objective.RobustConfig{ErrorRate: 1e-5}
+	var ref *Result
+	for _, w := range []int{1, 2, 4} {
+		res, err := ex.Run(moea.Options{PopSize: 16, Generations: 8, Seed: 11, Workers: w})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		robustSeen := false
+		for _, s := range res.Solutions {
+			if !s.Objectives.RobustOn {
+				t.Fatalf("workers=%d: solution missing robust objective", w)
+			}
+			if s.Objectives.RobustMS > 0 {
+				robustSeen = true
+			}
+		}
+		if !robustSeen {
+			t.Fatalf("workers=%d: no solution with a positive robust score", w)
+		}
+		if ref == nil {
+			ref = res
+			continue
+		}
+		if len(res.Solutions) != len(ref.Solutions) {
+			t.Fatalf("workers=%d: front size %d, want %d", w, len(res.Solutions), len(ref.Solutions))
+		}
+		for i := range res.Solutions {
+			if res.Solutions[i].Objectives != ref.Solutions[i].Objectives {
+				t.Fatalf("workers=%d: solution %d = %+v, want %+v",
+					w, i, res.Solutions[i].Objectives, ref.Solutions[i].Objectives)
+			}
+		}
+	}
+}

@@ -1,9 +1,14 @@
 package gateway
 
-import "testing"
+import (
+	"errors"
+	"testing"
+)
 
 // FuzzUnmarshal feeds arbitrary bytes through the wire-format parser:
-// no panics, and anything accepted must survive a Marshal round trip.
+// no panics, anything accepted must survive a Marshal round trip, and
+// appending garbage to an accepted blob must be rejected with the typed
+// trailing-garbage error.
 func FuzzUnmarshal(f *testing.F) {
 	good, err := Marshal(Record{ECU: "ecu01", Session: 3, Fail: sampleFail(2)})
 	if err != nil {
@@ -28,10 +33,15 @@ func FuzzUnmarshal(f *testing.F) {
 		if back.ECU != r.ECU || back.Session != r.Session || len(back.Fail.Entries) != len(r.Fail.Entries) {
 			t.Fatal("round trip changed the record")
 		}
+		if _, err := Unmarshal(append(b, 0xEE)); !errors.Is(err, ErrTrailingGarbage) {
+			t.Fatalf("garbage-appended record accepted: %v", err)
+		}
 	})
 }
 
-// FuzzImport checks the length-prefixed container parser.
+// FuzzImport checks the length-prefixed container parser: no panics,
+// accepted blobs must re-export to an importable blob, and a blob with
+// a record repeated must be rejected as a duplicate sequence.
 func FuzzImport(f *testing.F) {
 	var c Collector
 	c.Ingest("a", sampleFail(1))
@@ -42,6 +52,26 @@ func FuzzImport(f *testing.F) {
 	f.Add(blob)
 	f.Add([]byte{0, 0, 0, 0})
 	f.Fuzz(func(t *testing.T, data []byte) {
-		_, _ = Import(data) // must not panic
+		recs, err := Import(data)
+		if err != nil {
+			return
+		}
+		if len(recs) == 0 {
+			return
+		}
+		// Re-exporting what Import accepted must round-trip.
+		var c2 Collector
+		c2.records = recs
+		blob2, err := c2.Export()
+		if err != nil {
+			t.Fatalf("accepted records failed to export: %v", err)
+		}
+		if _, err := Import(blob2); err != nil {
+			t.Fatalf("re-exported blob rejected: %v", err)
+		}
+		// Doubling the blob repeats every (ECU, session) pair.
+		if _, err := Import(append(append([]byte(nil), data...), data...)); !errors.Is(err, ErrDuplicateSequence) {
+			t.Fatalf("doubled blob accepted: %v", err)
+		}
 	})
 }

@@ -9,10 +9,24 @@ package gateway
 import (
 	"bytes"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"sort"
 
 	"repro/internal/stumps"
+)
+
+// Typed wire-format errors, distinguishable with errors.Is. A parser
+// that cannot tell "garbage appended" from "field truncated" cannot be
+// trusted as the single source of diagnostic truth.
+var (
+	// ErrTrailingGarbage marks extra bytes after a structurally complete
+	// record, or a dangling partial length prefix in an Export blob.
+	ErrTrailingGarbage = errors.New("gateway: trailing garbage")
+	// ErrDuplicateSequence marks two records in one Export blob claiming
+	// the same (ECU, session) pair — a replay or a torn write, never a
+	// legal fail memory.
+	ErrDuplicateSequence = errors.New("gateway: duplicate sequence number")
 )
 
 // Record is one stored BIST session result.
@@ -168,7 +182,7 @@ func Unmarshal(data []byte) (Record, error) {
 		r.Fail.Entries = append(r.Fail.Entries, e)
 	}
 	if buf.Len() != 0 {
-		return Record{}, fmt.Errorf("gateway: %d trailing bytes", buf.Len())
+		return Record{}, fmt.Errorf("%w: %d trailing bytes", ErrTrailingGarbage, buf.Len())
 	}
 	return r, nil
 }
@@ -188,12 +202,16 @@ func (c *Collector) Export() ([]byte, error) {
 	return buf.Bytes(), nil
 }
 
-// Import parses an Export blob into a fresh record list.
+// Import parses an Export blob into a fresh record list. It rejects
+// dangling bytes after the last complete record (ErrTrailingGarbage)
+// and two records with the same (ECU, session) pair
+// (ErrDuplicateSequence).
 func Import(data []byte) ([]Record, error) {
 	var out []Record
+	seen := make(map[string]bool)
 	for off := 0; off < len(data); {
 		if off+4 > len(data) {
-			return nil, fmt.Errorf("gateway: truncated length prefix at %d", off)
+			return nil, fmt.Errorf("%w: %d-byte partial length prefix at offset %d", ErrTrailingGarbage, len(data)-off, off)
 		}
 		n := int(binary.LittleEndian.Uint32(data[off:]))
 		off += 4
@@ -204,6 +222,11 @@ func Import(data []byte) ([]Record, error) {
 		if err != nil {
 			return nil, err
 		}
+		key := fmt.Sprintf("%s#%d", r.ECU, r.Session)
+		if seen[key] {
+			return nil, fmt.Errorf("%w: ECU %q session %d", ErrDuplicateSequence, r.ECU, r.Session)
+		}
+		seen[key] = true
 		out = append(out, r)
 		off += n
 	}

@@ -30,8 +30,10 @@ type specIndex struct {
 }
 
 type funcMsg struct {
-	src model.TaskID
-	bw  float64 // SizeBytes / PeriodMS, bytes per millisecond
+	src    model.TaskID
+	bw     float64 // SizeBytes / PeriodMS, bytes per millisecond
+	size   int64   // SizeBytes — the robustness objective derives per-slot error probabilities
+	period float64 // PeriodMS
 }
 
 // indexCache maps *model.Specification → *specIndex. Specifications are
@@ -53,7 +55,12 @@ func indexOf(s *model.Specification) *specIndex {
 		if m.PeriodMS <= 0 {
 			continue // contributes no bandwidth
 		}
-		idx.funcMsgs = append(idx.funcMsgs, funcMsg{src: m.Src, bw: float64(m.SizeBytes) / m.PeriodMS})
+		idx.funcMsgs = append(idx.funcMsgs, funcMsg{
+			src:    m.Src,
+			bw:     float64(m.SizeBytes) / m.PeriodMS,
+			size:   m.SizeBytes,
+			period: m.PeriodMS,
+		})
 	}
 	idx.bistData = s.App.TasksOfKind(model.KindBISTData)
 	for _, r := range s.Arch.Resources() {

@@ -20,7 +20,9 @@ import (
 	"repro/internal/model"
 )
 
-// Vector bundles the three objective values of one implementation.
+// Vector bundles the objective values of one implementation: the three
+// paper objectives, plus the optional robustness objective when the
+// exploration runs with a CAN error model (see RobustConfig).
 type Vector struct {
 	// CostTotal is the monetary cost to minimize.
 	CostTotal float64
@@ -31,11 +33,26 @@ type Vector struct {
 	// minimize. +Inf when a gateway-stored BIST has no mirrorable
 	// functional message bandwidth.
 	ShutOffMS float64
+
+	// RobustMS is the degraded-mode score (expected transfer completion
+	// plus deadline-miss penalty, see robustScore) — only meaningful when
+	// RobustOn is set.
+	RobustMS float64
+	// RobustMissProb is the worst per-session deadline-miss probability.
+	RobustMissProb float64
+	// RobustOn marks the vector as four-dimensional.
+	RobustOn bool
 }
 
-// Minimized returns the vector in all-minimized form
-// (cost, -quality, shut-off) for the MOEA.
+// Minimized returns the vector in all-minimized form for the MOEA:
+// (cost, -quality, shut-off), extended by the robustness score when the
+// vector carries one. Disabled-robustness vectors keep the exact
+// three-element form, so fronts at error rate 0 are bit-identical to
+// pre-robustness runs.
 func (v Vector) Minimized() []float64 {
+	if v.RobustOn {
+		return []float64{v.CostTotal, -v.TestQuality, v.ShutOffMS, v.RobustMS}
+	}
 	return []float64{v.CostTotal, -v.TestQuality, v.ShutOffMS}
 }
 

@@ -1,0 +1,105 @@
+package objective
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/model"
+)
+
+// A disabled robustness config must leave Evaluate untouched: same
+// fields, same bits, three-element minimized form.
+func TestEvaluateRobustDisabledBitIdentical(t *testing.T) {
+	spec := buildSpec(t)
+	for _, dataOn := range []string{"ecu1", "gw"} {
+		x := bindAll(spec, model.ResourceID(dataOn), true)
+		base := Evaluate(x)
+		robust := EvaluateRobust(x, RobustConfig{})
+		if !reflect.DeepEqual(base, robust) {
+			t.Fatalf("dataOn=%s: disabled robust config changed the vector:\n%+v\n%+v", dataOn, base, robust)
+		}
+		if got := robust.Minimized(); len(got) != 3 {
+			t.Fatalf("disabled robust vector minimizes to %d objectives", len(got))
+		}
+	}
+}
+
+// Gateway-stored pattern data rides the error-prone bus; local storage
+// does not. The robustness score must separate the two mappings.
+func TestRobustScoreGatewayPenalty(t *testing.T) {
+	spec := buildSpec(t)
+	cfg := RobustConfig{ErrorRate: 1e-4}
+	local := EvaluateRobust(bindAll(spec, "ecu1", true), cfg)
+	gw := EvaluateRobust(bindAll(spec, "gw", true), cfg)
+	if !local.RobustOn || !gw.RobustOn {
+		t.Fatal("robust objective not enabled")
+	}
+	if len(local.Minimized()) != 4 {
+		t.Fatalf("robust vector minimizes to %d objectives, want 4", len(local.Minimized()))
+	}
+	// Local storage: no transfer, score is the session runtime alone.
+	if local.RobustMS != 10 || local.RobustMissProb != 0 {
+		t.Fatalf("local mapping scored %v/%v, want 10/0", local.RobustMS, local.RobustMissProb)
+	}
+	if gw.RobustMS <= local.RobustMS {
+		t.Fatalf("gateway mapping (%v) not penalized over local (%v)", gw.RobustMS, local.RobustMS)
+	}
+	// The degraded transfer must take at least the ideal Eq. (1) time.
+	if ideal := gw.ShutOffMS; gw.RobustMS < ideal {
+		t.Fatalf("robust score %v below ideal shut-off %v", gw.RobustMS, ideal)
+	}
+}
+
+// The robustness score grows monotonically with the error rate.
+func TestRobustScoreMonotoneInErrorRate(t *testing.T) {
+	spec := buildSpec(t)
+	prev, prevMiss := 0.0, 0.0
+	for _, ber := range []float64{1e-7, 1e-6, 1e-5, 1e-4, 1e-3} {
+		v := EvaluateRobust(bindAll(spec, "gw", true), RobustConfig{ErrorRate: ber})
+		if v.RobustMS < prev || v.RobustMissProb < prevMiss {
+			t.Fatalf("score shrank at BER %g: %v/%v < %v/%v", ber, v.RobustMS, v.RobustMissProb, prev, prevMiss)
+		}
+		prev, prevMiss = v.RobustMS, v.RobustMissProb
+	}
+	// 1 MiB over ≤0.8 B/ms effective bandwidth cannot meet a 20 s
+	// deadline: the miss probability must saturate.
+	if prevMiss < 0.99 {
+		t.Fatalf("miss probability %v for a hopeless transfer", prevMiss)
+	}
+}
+
+// Deterministic: repeated evaluation yields identical bits (the score
+// is closed-form; this guards against map-iteration leaking in).
+func TestRobustScoreDeterministic(t *testing.T) {
+	spec := buildSpec(t)
+	cfg := RobustConfig{ErrorRate: 1e-5}
+	a := EvaluateRobust(bindAll(spec, "gw", true), cfg)
+	for i := 0; i < 50; i++ {
+		b := EvaluateRobust(bindAll(spec, "gw", true), cfg)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("iteration %d diverged: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
+// The penalty corner must stay finite and weakly dominated-by-feasible.
+func TestWorstCaseRobustFinite(t *testing.T) {
+	spec := buildSpec(t)
+	w := WorstCaseRobust(spec, RobustConfig{ErrorRate: 1e-4})
+	if !w.RobustOn {
+		t.Fatal("worst case not robust-enabled")
+	}
+	for i, v := range w.Minimized() {
+		if math.IsInf(v, 0) || math.IsNaN(v) {
+			t.Fatalf("penalty objective %d is %v", i, v)
+		}
+	}
+	feasible := EvaluateRobust(bindAll(spec, "ecu1", true), RobustConfig{ErrorRate: 1e-4})
+	if feasible.RobustMS > w.RobustMS {
+		t.Fatalf("feasible robust score %v exceeds penalty %v", feasible.RobustMS, w.RobustMS)
+	}
+	if off := WorstCaseRobust(spec, RobustConfig{}); off.RobustOn || len(off.Minimized()) != 3 {
+		t.Fatal("disabled config produced a robust worst case")
+	}
+}

@@ -10,32 +10,54 @@ import (
 )
 
 // WriteCSV exports the Pareto front for external plotting: one row per
-// solution with the three objectives and the Fig. 6 memory split.
-// Infinite shut-off times are emitted as the string "inf".
+// solution with the objectives and the Fig. 6 memory split. Infinite
+// times are emitted as the string "inf". Robust runs (four objectives)
+// gain the robust_ms and robust_miss_prob columns; classic runs keep
+// the exact five-column format, so existing consumers and byte-level
+// resume comparisons are unaffected.
 func WriteCSV(w io.Writer, res *core.Result) error {
+	robust := false
+	for _, s := range res.Solutions {
+		if s.Objectives.RobustOn {
+			robust = true
+			break
+		}
+	}
 	cw := csv.NewWriter(w)
 	defer cw.Flush()
-	if err := cw.Write([]string{
+	header := []string{
 		"cost_total", "test_quality", "shutoff_ms", "gateway_bytes", "distributed_bytes",
-	}); err != nil {
+	}
+	if robust {
+		header = append(header, "robust_ms", "robust_miss_prob")
+	}
+	if err := cw.Write(header); err != nil {
 		return err
 	}
 	for _, s := range res.Solutions {
 		ms := core.MemorySplitOf(s)
-		shut := "inf"
-		if !math.IsInf(s.Objectives.ShutOffMS, 1) {
-			shut = fmt.Sprintf("%.6f", s.Objectives.ShutOffMS)
-		}
-		if err := cw.Write([]string{
+		row := []string{
 			fmt.Sprintf("%.6f", s.Objectives.CostTotal),
 			fmt.Sprintf("%.6f", s.Objectives.TestQuality),
-			shut,
+			finiteMS(s.Objectives.ShutOffMS),
 			fmt.Sprintf("%d", ms.GatewayBytes),
 			fmt.Sprintf("%d", ms.DistributedBytes),
-		}); err != nil {
+		}
+		if robust {
+			row = append(row, finiteMS(s.Objectives.RobustMS), fmt.Sprintf("%.6g", s.Objectives.RobustMissProb))
+		}
+		if err := cw.Write(row); err != nil {
 			return err
 		}
 	}
 	cw.Flush()
 	return cw.Error()
+}
+
+// finiteMS formats a millisecond value, mapping +Inf to "inf".
+func finiteMS(v float64) string {
+	if math.IsInf(v, 1) {
+		return "inf"
+	}
+	return fmt.Sprintf("%.6f", v)
 }

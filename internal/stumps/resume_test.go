@@ -1,0 +1,81 @@
+package stumps
+
+import (
+	"testing"
+
+	"repro/internal/faultsim"
+	"repro/internal/netlist"
+)
+
+// Skip must leave the PRPG in exactly the state a full NextPattern
+// replay would.
+func TestPRPGSkipMatchesReplay(t *testing.T) {
+	cfg := Config{Chains: 6, ChainLen: 8, Seed: 3}
+	full, err := NewPRPG(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 37; i++ {
+		full.NextPattern()
+	}
+	want := full.NextPattern()
+
+	skipped, err := NewPRPG(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	skipped.Skip(37)
+	if skipped.Generated() != 37 {
+		t.Fatalf("Generated = %d after Skip(37)", skipped.Generated())
+	}
+	got := skipped.NextPattern()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("pattern 38 diverges at input %d after Skip", i)
+		}
+	}
+}
+
+// SignatureWindow must reproduce every window of a full Signatures run
+// — good machine and faulty machine — without replaying the windows
+// before it. This is the resume path after a lost transfer chunk.
+func TestSignatureWindowMatchesFullRun(t *testing.T) {
+	c, cfg := sessionCircuit(t)
+	s, err := NewSession(c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const nPatterns = 64
+	// Pick a detectable fault via the fault simulator, as the diagnostic
+	// tests do.
+	fs := faultsim.NewFaultSim(c, netlist.CollapsedFaults(c))
+	prpg, _ := NewPRPG(cfg)
+	if _, err := fs.RunCoverage(prpg, nPatterns); err != nil {
+		t.Fatal(err)
+	}
+	dets := fs.Detections()
+	if len(dets) == 0 {
+		t.Fatal("no detectable fault found")
+	}
+	fault := dets[0].Fault
+	windows := 0
+	for _, f := range []*netlist.Fault{nil, &fault} {
+		full, err := s.Signatures(nPatterns, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		windows = len(full)
+		for w := range full {
+			got, err := s.SignatureWindow(nPatterns, w, f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != full[w] {
+				t.Fatalf("fault=%v window %d: resume signature %#x != full-run %#x", f != nil, w, got, full[w])
+			}
+		}
+	}
+	if _, err := s.SignatureWindow(nPatterns, windows, nil); err == nil {
+		t.Fatal("out-of-range window accepted")
+	}
+}

@@ -103,6 +103,21 @@ func (p *PRPG) NextPattern() []bool {
 	return pat
 }
 
+// Skip fast-forwards the generator past n patterns without expanding
+// them into the chains: only the LFSR is clocked (chainLen steps per
+// pattern), so skipping is cheap. Because the CUT is combinational
+// full-scan, a diagnostic window depends only on the LFSR state at its
+// start — Skip is what lets a transfer session resume at the window of
+// a single lost chunk instead of replaying the whole test.
+func (p *PRPG) Skip(n int) {
+	for i := 0; i < n*p.chainLen; i++ {
+		p.lfsr.Step()
+	}
+	if n > 0 {
+		p.generated += n
+	}
+}
+
 // NextBatch implements faultsim.PatternSource.
 func (p *PRPG) NextBatch(n int) faultsim.Batch {
 	if n > 64 {
@@ -163,40 +178,85 @@ func (s *Session) Signatures(nPatterns int, fault *netlist.Fault) ([]uint64, err
 		if rest := nPatterns - done; window > rest {
 			window = rest
 		}
-		misr.Reset()
-		wdone := 0
-		for wdone < window {
-			n := window - wdone
-			if n > 64 {
-				n = 64
-			}
-			batch := prpg.NextBatch(n)
-			if err := good.Apply(batch); err != nil {
-				return nil, err
-			}
-			out := good.OutputWords()
-			if fault != nil {
-				diff, err := fsim.OutputResponse(*fault, batch)
-				if err != nil {
-					return nil, err
-				}
-				for i := range out {
-					out[i] ^= diff[i]
-				}
-			}
-			words, err := FoldWords(out, s.Cfg.MISRWidth, n)
-			if err != nil {
-				return nil, err
-			}
-			for _, w := range words {
-				misr.CompactWord(w)
-			}
-			wdone += n
+		sig, err := s.runWindow(prpg, misr, good, fsim, fault, window)
+		if err != nil {
+			return nil, err
 		}
-		sigs = append(sigs, misr.Signature())
+		sigs = append(sigs, sig)
 		done += window
 	}
 	return sigs, nil
+}
+
+// runWindow resets the MISR, compacts `window` patterns, and returns
+// the intermediate signature.
+func (s *Session) runWindow(prpg *PRPG, misr *MISR, good *faultsim.LogicSim, fsim *faultsim.FaultSim, fault *netlist.Fault, window int) (uint64, error) {
+	misr.Reset()
+	wdone := 0
+	for wdone < window {
+		n := window - wdone
+		if n > 64 {
+			n = 64
+		}
+		batch := prpg.NextBatch(n)
+		if err := good.Apply(batch); err != nil {
+			return 0, err
+		}
+		out := good.OutputWords()
+		if fault != nil {
+			diff, err := fsim.OutputResponse(*fault, batch)
+			if err != nil {
+				return 0, err
+			}
+			for i := range out {
+				out[i] ^= diff[i]
+			}
+		}
+		words, err := FoldWords(out, s.Cfg.MISRWidth, n)
+		if err != nil {
+			return 0, err
+		}
+		for _, w := range words {
+			misr.CompactWord(w)
+		}
+		wdone += n
+	}
+	return misr.Signature(), nil
+}
+
+// SignatureWindow recomputes the intermediate signature of a single
+// diagnostic window of a session with nPatterns patterns, without
+// running the windows before it: the PRPG is fast-forwarded with Skip
+// and the MISR starts from its per-window reset state. Valid because
+// the CUT is combinational full-scan, so windows are independent given
+// the LFSR state. This is the resume primitive of the reliable fail-data
+// transfer: when one window's chunk is lost, only that window is
+// regenerated.
+func (s *Session) SignatureWindow(nPatterns, window int, fault *netlist.Fault) (uint64, error) {
+	wp := s.Cfg.withDefaults().WindowPatterns
+	start := window * wp
+	if window < 0 || start >= nPatterns {
+		return 0, fmt.Errorf("stumps: window %d outside session of %d patterns", window, nPatterns)
+	}
+	count := wp
+	if rest := nPatterns - start; count > rest {
+		count = rest
+	}
+	prpg, err := NewPRPG(s.Cfg)
+	if err != nil {
+		return 0, err
+	}
+	prpg.Skip(start)
+	misr, err := NewMISR(s.Cfg.withDefaults().MISRWidth)
+	if err != nil {
+		return 0, err
+	}
+	good := faultsim.NewLogicSim(s.Circuit)
+	var fsim *faultsim.FaultSim
+	if fault != nil {
+		fsim = faultsim.NewFaultSim(s.Circuit, nil)
+	}
+	return s.runWindow(prpg, misr, good, fsim, fault, count)
 }
 
 // FailEntry is one mismatching intermediate signature: the window index
