@@ -4,9 +4,9 @@
 GO ?= go
 
 .PHONY: ci build fmt-check vet test race bench-smoke bench bench-json \
-	resume-smoke sigint-smoke robust-smoke
+	bench-gate island-smoke resume-smoke sigint-smoke robust-smoke
 
-ci: build fmt-check vet test race bench-smoke resume-smoke sigint-smoke robust-smoke
+ci: build fmt-check vet test race bench-smoke resume-smoke sigint-smoke robust-smoke island-smoke
 
 build:
 	$(GO) build ./...
@@ -89,11 +89,60 @@ bench:
 
 # Machine-readable throughput report: the evaluation-pipeline benchmarks
 # (decode+evaluate, DSE worker sweep, end-to-end Fig. 5 run) plus the
-# fault-tolerant transfer path as JSON. CI uploads BENCH_5.json as an
+# fault-tolerant transfer path as JSON. CI uploads $(BENCH_OUT) as an
 # artifact; locally, raise BENCHTIME for stable numbers (e.g.
-# `make bench-json BENCHTIME=2s`).
+# `make bench-json BENCHTIME=2s`) and override the output file with
+# BENCH_OUT=my-report.json.
 BENCHTIME ?= 1x
+BENCH_OUT ?= BENCH_6.json
 bench-json:
 	$(GO) test -run=NONE -bench 'DecodeEvaluate|DSEParallel|EvalThroughput|Fig5_DSE|TransferUnderErrors' \
-		-benchmem -benchtime=$(BENCHTIME) . | $(GO) run ./cmd/benchjson -out BENCH_5.json
-	@echo "wrote BENCH_5.json"
+		-benchmem -benchtime=$(BENCHTIME) . | $(GO) run ./cmd/benchjson -out $(BENCH_OUT)
+	@echo "wrote $(BENCH_OUT)"
+
+# Benchmark-regression gate: run the gated benchmarks (the per-candidate
+# decode+evaluate hot loop and the DSE worker sweep) and compare against
+# the committed baseline. Fails on >$(MAX_REGRESS) growth in ns/op or
+# allocs/op, or loss in evals/s, for any benchmark present in both
+# reports. allocs/op is machine-independent and gates exactly; the
+# throughput gate assumes the runner class is no slower than the one
+# that produced BENCH_BASELINE.json (refresh the baseline when the CI
+# runner class changes: `make bench-json BENCH_OUT=BENCH_BASELINE.json
+# BENCHTIME=2s`).
+MAX_REGRESS ?= 15%
+# The gate needs multi-iteration samples: a 1x benchtime measures the
+# first iteration, which pays one-time warm-up (solver construction,
+# decoder state) and reads ~2x the steady state.
+GATE_BENCHTIME ?= 1s
+bench-gate:
+	$(GO) test -run=NONE -bench 'DecodeEvaluate$$|DSEParallel' \
+		-benchmem -benchtime=$(GATE_BENCHTIME) . | \
+		$(GO) run ./cmd/benchjson -out bench-current.json \
+			-compare BENCH_BASELINE.json -max-regress $(MAX_REGRESS)
+
+# Island-model determinism through the CLI: for a fixed (seed, islands,
+# migration) tuple the merged front must be byte-identical at any
+# worker count, and -islands 1 must reproduce the classic
+# single-population run exactly.
+island-smoke:
+	@tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) run ./cmd/eedse -small -evals 2000 -pop 32 -islands 4 -migrate-every 5 \
+		-workers 4 -summary -csv $$tmp/islands-w4.csv >/dev/null || exit 1; \
+	$(GO) run ./cmd/eedse -small -evals 2000 -pop 32 -islands 4 -migrate-every 5 \
+		-workers 1 -summary -csv $$tmp/islands-w1.csv >/dev/null || exit 1; \
+	cmp $$tmp/islands-w4.csv $$tmp/islands-w1.csv || { echo "island front differs across worker counts" >&2; exit 1; }; \
+	echo "island-smoke: islands=4 front byte-identical at workers 4 vs 1"; \
+	$(GO) run ./cmd/eedse -small -evals 2000 -pop 32 -islands 1 \
+		-workers 2 -summary -csv $$tmp/islands-1.csv >/dev/null || exit 1; \
+	$(GO) run ./cmd/eedse -small -evals 2000 -pop 32 \
+		-workers 2 -summary -csv $$tmp/classic.csv >/dev/null || exit 1; \
+	cmp $$tmp/islands-1.csv $$tmp/classic.csv || { echo "-islands 1 front differs from classic run" >&2; exit 1; }; \
+	echo "island-smoke: -islands 1 front identical to classic run"; \
+	$(GO) run ./cmd/eedse -small -evals 2000 -pop 32 -islands 3 -migrate-every 4 \
+		-workers 4 -summary -csv /dev/null -checkpoint $$tmp/icp.json >/dev/null || exit 1; \
+	$(GO) run ./cmd/eedse -small -evals 2000 -pop 32 -islands 3 -migrate-every 4 \
+		-workers 2 -summary -csv $$tmp/resumed.csv -resume $$tmp/icp.json >/dev/null || exit 1; \
+	$(GO) run ./cmd/eedse -small -evals 2000 -pop 32 -islands 3 -migrate-every 4 \
+		-workers 4 -summary -csv $$tmp/ifull.csv >/dev/null || exit 1; \
+	cmp $$tmp/ifull.csv $$tmp/resumed.csv || { echo "island resume front differs" >&2; exit 1; }; \
+	echo "island-smoke: island campaign resumes byte-identically"

@@ -175,9 +175,9 @@ func BenchmarkDSEParallel(b *testing.B) {
 		b.Fatal(err)
 	}
 	ex := core.NewExplorer(spec, dec)
-	workerCounts := []int{1, 2, 4}
-	if n := runtime.GOMAXPROCS(0); n != 1 && n != 2 && n != 4 {
-		workerCounts = append(workerCounts, n)
+	workerCounts := []int{1, 2, 4, 8}
+	if n := runtime.GOMAXPROCS(0); n != 1 && n != 2 && n != 4 && n != 8 {
+		workerCounts = append(workerCounts, n) // e.g. 16 on a 16-core runner
 	}
 	for _, w := range workerCounts {
 		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {

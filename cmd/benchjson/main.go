@@ -9,6 +9,20 @@
 //
 // Non-benchmark lines are ignored, so the full `go test` output can be
 // piped through unfiltered.
+//
+// Compare mode turns the report into a CI regression gate:
+//
+//	go test -run=NONE -bench 'Decode|DSE' -benchmem . |
+//	    benchjson -out current.json -compare BENCH_BASELINE.json -max-regress 15%
+//
+// compares the freshly parsed report against the baseline and exits
+// non-zero when any benchmark present in both regressed by more than
+// the tolerance: ns/op or allocs/op grew, or a throughput metric
+// (any `.../s` unit, e.g. evals/s) shrank. A positional argument
+// (`benchjson -compare old.json new.json`) compares two existing
+// report files instead of parsing stdin. Benchmarks present in only
+// one report are listed but never fail the gate, so adding or
+// removing benchmarks does not break CI.
 package main
 
 import (
@@ -16,7 +30,9 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -45,10 +61,69 @@ type Report struct {
 
 func main() {
 	out := flag.String("out", "", "write the JSON report to this file (default stdout)")
+	compare := flag.String("compare", "", "baseline report to gate against; exits non-zero on regression")
+	maxRegress := flag.String("max-regress", "10%", "regression tolerance for -compare, e.g. 15% (a bare number is also read as percent)")
 	flag.Parse()
 
+	var rep Report
+	if *compare != "" && flag.NArg() == 1 {
+		// Pure compare mode: the current report is an existing file.
+		cur, err := readReport(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		rep = *cur
+	} else {
+		if flag.NArg() != 0 {
+			fatal(fmt.Errorf("unexpected arguments %v (a report file argument requires -compare)", flag.Args()))
+		}
+		rep = parseBench(os.Stdin)
+		w := os.Stdout
+		if *out != "" {
+			f, err := os.Create(*out)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			w = f
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fatal(err)
+		}
+	}
+
+	if *compare == "" {
+		return
+	}
+	tol, err := parseMaxRegress(*maxRegress)
+	if err != nil {
+		fatal(err)
+	}
+	base, err := readReport(*compare)
+	if err != nil {
+		fatal(err)
+	}
+	regressions, notes := compareReports(base, &rep, tol)
+	for _, n := range notes {
+		fmt.Fprintln(os.Stderr, "benchjson:", n)
+	}
+	if len(regressions) > 0 {
+		for _, r := range regressions {
+			fmt.Fprintln(os.Stderr, "benchjson: REGRESSION:", r)
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: %d regression(s) beyond %.1f%% vs %s\n",
+			len(regressions), tol*100, *compare)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: no regressions beyond %.1f%% vs %s\n", tol*100, *compare)
+}
+
+// parseBench parses `go test -bench` output into a report.
+func parseBench(r io.Reader) Report {
 	rep := Report{Benchmarks: []Benchmark{}}
-	sc := bufio.NewScanner(os.Stdin)
+	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
 		line := sc.Text()
@@ -70,21 +145,78 @@ func main() {
 	if err := sc.Err(); err != nil {
 		fatal(err)
 	}
+	return rep
+}
 
-	w := os.Stdout
-	if *out != "" {
-		f, err := os.Create(*out)
-		if err != nil {
-			fatal(err)
+// readReport loads a JSON report written by this tool.
+func readReport(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{}
+	if err := json.Unmarshal(data, rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return rep, nil
+}
+
+// parseMaxRegress parses a tolerance like "15%" (or "15") into the
+// fraction 0.15.
+func parseMaxRegress(s string) (float64, error) {
+	v, err := strconv.ParseFloat(strings.TrimSuffix(strings.TrimSpace(s), "%"), 64)
+	if err != nil || v < 0 {
+		return 0, fmt.Errorf("bad -max-regress %q (want e.g. 15%%)", s)
+	}
+	return v / 100, nil
+}
+
+// compareReports gates cur against base: for every benchmark name in
+// both reports it checks the lower-is-better metrics (ns/op,
+// allocs/op) for growth and the throughput metrics (custom units
+// ending in "/s", e.g. evals/s) for shrinkage beyond tol. Benchmarks
+// in only one report produce informational notes, never failures.
+func compareReports(base, cur *Report, tol float64) (regressions, notes []string) {
+	curByName := map[string]*Benchmark{}
+	for i := range cur.Benchmarks {
+		curByName[cur.Benchmarks[i].Name] = &cur.Benchmarks[i]
+	}
+	seen := map[string]bool{}
+	for i := range base.Benchmarks {
+		b := &base.Benchmarks[i]
+		seen[b.Name] = true
+		c, ok := curByName[b.Name]
+		if !ok {
+			notes = append(notes, fmt.Sprintf("%s: in baseline only (skipped)", b.Name))
+			continue
 		}
-		defer f.Close()
-		w = f
+		if b.NsPerOp > 0 && c.NsPerOp > b.NsPerOp*(1+tol) {
+			regressions = append(regressions, fmt.Sprintf("%s: ns/op %.0f -> %.0f (+%.1f%%)",
+				b.Name, b.NsPerOp, c.NsPerOp, 100*(c.NsPerOp/b.NsPerOp-1)))
+		}
+		if b.AllocsPerOp != nil && c.AllocsPerOp != nil && *b.AllocsPerOp > 0 &&
+			float64(*c.AllocsPerOp) > float64(*b.AllocsPerOp)*(1+tol) {
+			regressions = append(regressions, fmt.Sprintf("%s: allocs/op %d -> %d (+%.1f%%)",
+				b.Name, *b.AllocsPerOp, *c.AllocsPerOp, 100*(float64(*c.AllocsPerOp)/float64(*b.AllocsPerOp)-1)))
+		}
+		for unit, bv := range b.Custom {
+			if !strings.HasSuffix(unit, "/s") || bv <= 0 {
+				continue
+			}
+			if cv, ok := c.Custom[unit]; ok && cv < bv*(1-tol) {
+				regressions = append(regressions, fmt.Sprintf("%s: %s %.0f -> %.0f (-%.1f%%)",
+					b.Name, unit, bv, cv, 100*(1-cv/bv)))
+			}
+		}
 	}
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(rep); err != nil {
-		fatal(err)
+	for name := range curByName {
+		if !seen[name] {
+			notes = append(notes, fmt.Sprintf("%s: new benchmark (no baseline)", name))
+		}
 	}
+	sort.Strings(regressions)
+	sort.Strings(notes)
+	return regressions, notes
 }
 
 // parseLine parses one result line of the standard benchmark format,

@@ -1,6 +1,9 @@
 package main
 
-import "testing"
+import (
+	"strings"
+	"testing"
+)
 
 func TestParseLine(t *testing.T) {
 	b, ok := parseLine("BenchmarkDecodeEvaluate-8   	     100	  11221911 ns/op	 1322868 B/op	   23290 allocs/op")
@@ -41,5 +44,102 @@ func TestParseLineRejectsNonResults(t *testing.T) {
 		if _, ok := parseLine(line); ok {
 			t.Fatalf("line %q accepted", line)
 		}
+	}
+}
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Test CPU
+BenchmarkDecodeEvaluate-8   	     512	   2100000 ns/op	   90000 B/op	     309 allocs/op
+BenchmarkDSEParallel/workers=1-8         	       8	 140000000 ns/op	      2674 evals/s	 1000000 B/op	   30000 allocs/op
+BenchmarkDSEParallel/workers=4-8         	       8	 120000000 ns/op	      3100 evals/s	 1000000 B/op	   30000 allocs/op
+`
+
+func sampleReport(t *testing.T) *Report {
+	t.Helper()
+	rep := parseBench(strings.NewReader(sampleBench))
+	if len(rep.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(rep.Benchmarks))
+	}
+	return &rep
+}
+
+func TestParseBenchHeaders(t *testing.T) {
+	rep := sampleReport(t)
+	if rep.GoOS != "linux" || rep.CPU != "Test CPU" || rep.Package != "repro" {
+		t.Fatalf("header = %q/%q/%q", rep.GoOS, rep.CPU, rep.Package)
+	}
+	b := rep.Benchmarks[1]
+	if b.Name != "BenchmarkDSEParallel/workers=1" || b.Custom["evals/s"] != 2674 {
+		t.Fatalf("parsed %+v", b)
+	}
+}
+
+func TestParseMaxRegress(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want float64
+		ok   bool
+	}{
+		{"15%", 0.15, true},
+		{"15", 0.15, true},
+		{" 7.5% ", 0.075, true},
+		{"0%", 0, true},
+		{"-3%", 0, false},
+		{"abc", 0, false},
+	} {
+		got, err := parseMaxRegress(tc.in)
+		if tc.ok != (err == nil) || (tc.ok && got != tc.want) {
+			t.Fatalf("parseMaxRegress(%q) = %v, %v; want %v ok=%v", tc.in, got, err, tc.want, tc.ok)
+		}
+	}
+}
+
+func TestCompareNoRegression(t *testing.T) {
+	base := sampleReport(t)
+	cur := sampleReport(t)
+	// Within tolerance: 10% slower on a 15% gate passes.
+	cur.Benchmarks[0].NsPerOp *= 1.10
+	regs, _ := compareReports(base, cur, 0.15)
+	if len(regs) != 0 {
+		t.Fatalf("unexpected regressions: %v", regs)
+	}
+}
+
+// TestCompareSyntheticRegression is the acceptance check for the gate:
+// a synthetic 20% throughput regression must fail a 15% gate.
+func TestCompareSyntheticRegression(t *testing.T) {
+	base := sampleReport(t)
+	cur := sampleReport(t)
+	cur.Benchmarks[1].Custom["evals/s"] *= 0.80 // 20% throughput loss
+	regs, _ := compareReports(base, cur, 0.15)
+	if len(regs) != 1 || !strings.Contains(regs[0], "evals/s") {
+		t.Fatalf("regressions = %v, want one evals/s entry", regs)
+	}
+}
+
+func TestCompareNsAndAllocRegression(t *testing.T) {
+	base := sampleReport(t)
+	cur := sampleReport(t)
+	cur.Benchmarks[0].NsPerOp *= 1.30 // 30% slower
+	blownUp := *cur.Benchmarks[0].AllocsPerOp * 2
+	cur.Benchmarks[0].AllocsPerOp = &blownUp // alloc-count blowup
+	regs, _ := compareReports(base, cur, 0.15)
+	if len(regs) != 2 {
+		t.Fatalf("regressions = %v, want ns/op and allocs/op entries", regs)
+	}
+}
+
+func TestCompareDisjointBenchmarksOnlyNote(t *testing.T) {
+	base := sampleReport(t)
+	cur := sampleReport(t)
+	cur.Benchmarks[2].Name = "BenchmarkBrandNew"
+	regs, notes := compareReports(base, cur, 0.15)
+	if len(regs) != 0 {
+		t.Fatalf("renamed benchmark failed the gate: %v", regs)
+	}
+	if len(notes) != 2 {
+		t.Fatalf("notes = %v, want baseline-only + new-benchmark", notes)
 	}
 }

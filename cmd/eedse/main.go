@@ -10,6 +10,16 @@
 //	      [-checkpoint cp.json] [-checkpoint-every 10] [-resume cp.json]
 //	      [-progress] [-progress-addr 127.0.0.1:6060]
 //	      [-robust] [-error-rate 1e-5]
+//	      [-islands N] [-migrate-every 10] [-migrants 4]
+//
+// -islands N (N ≥ 1) switches NSGA-II to the island model: N
+// independent populations on derived seed streams, coupled by ring
+// migration every -migrate-every generations (-migrants archive
+// representatives per epoch). -islands 1 is the classic run under the
+// island driver; for a fixed (seed, islands, migration) tuple the
+// merged front is byte-identical at any -workers count. Checkpoints
+// written with -islands use the island checkpoint format and must be
+// resumed with the same -islands/-migrate-every/-migrants values.
 //
 // -robust adds the degraded-mode transfer score (expected BIST transfer
 // completion plus deadline-miss penalty under a CAN bit-error rate) as
@@ -102,6 +112,10 @@ func run() error {
 		robust  = flag.Bool("robust", false, "add the degraded-mode transfer score as a 4th objective (CAN error model, default -error-rate 1e-5)")
 		errRate = flag.Float64("error-rate", 0, "CAN bit-error rate for the robustness objective; > 0 implies -robust")
 
+		islands      = flag.Int("islands", 0, "island-model NSGA-II: number of independent populations coupled by ring migration (0 = classic single-population run)")
+		migrateEvery = flag.Int("migrate-every", 10, "island migration period in generations (with -islands)")
+		migrants     = flag.Int("migrants", 4, "archive representatives exchanged per island per migration epoch (with -islands)")
+
 		checkpoint      = flag.String("checkpoint", "", "periodically write optimizer state to this file (atomically); SIGINT writes a final checkpoint before exiting")
 		checkpointEvery = flag.Int("checkpoint-every", 0, "checkpoint period: generations for nsga2 (default 10), evaluations for random (default 2560)")
 		resumePath      = flag.String("resume", "", "resume the run from this checkpoint file (same spec, decoder, seed and budget flags required)")
@@ -119,6 +133,12 @@ func run() error {
 		*robust = true
 	} else if *robust {
 		*errRate = 1e-5
+	}
+	if *islands < 0 {
+		return fmt.Errorf("-islands must be non-negative, got %d", *islands)
+	}
+	if *islands > 0 && *optimizer != "nsga2" {
+		return fmt.Errorf("-islands requires -optimizer nsga2")
 	}
 
 	// SIGINT/SIGTERM cancel the run context: the exploration stops at the
@@ -202,8 +222,15 @@ func run() error {
 	if *robust {
 		robustNote = fmt.Sprintf(", robust@BER=%g", *errRate)
 	}
+	if *islands > 0 {
+		robustNote += fmt.Sprintf(", islands=%d/migrate=%d", *islands, *migrateEvery)
+	}
+	evalBudget := *pop + *pop*gens
+	if *islands > 1 {
+		evalBudget *= *islands // every island runs its own population
+	}
 	fmt.Fprintf(out, "exploring %s with %s decoder (%s, storage=%s, sbst=%s%s): pop=%d generations=%d (~%d evaluations)\n\n",
-		name, *decoder, *optimizer, *storage, *sbst, robustNote, *pop, gens, *pop+*pop*gens)
+		name, *decoder, *optimizer, *storage, *sbst, robustNote, *pop, gens, evalBudget)
 	if err := out.Flush(); err != nil {
 		return err
 	}
@@ -225,14 +252,22 @@ func run() error {
 		CheckpointEvery: *checkpointEvery,
 	}
 	if *resumePath != "" {
-		cp, err := moea.ReadCheckpointFile(*resumePath)
-		if err != nil {
-			return err
+		if *islands > 0 {
+			icp, err := moea.ReadIslandCheckpointFile(*resumePath)
+			if err != nil {
+				return err
+			}
+			rc.ResumeIslands = icp
+		} else {
+			cp, err := moea.ReadCheckpointFile(*resumePath)
+			if err != nil {
+				return err
+			}
+			if cp.Algorithm != *optimizer {
+				return fmt.Errorf("resume: checkpoint is for optimizer %q, run uses -optimizer %s", cp.Algorithm, *optimizer)
+			}
+			rc.Resume = cp
 		}
-		if cp.Algorithm != *optimizer {
-			return fmt.Errorf("resume: checkpoint is for optimizer %q, run uses -optimizer %s", cp.Algorithm, *optimizer)
-		}
-		rc.Resume = cp
 	}
 	tel := newTelemetry(*optimizer)
 	if *progress {
@@ -267,7 +302,13 @@ func run() error {
 				return err
 			}
 		}
-		res, runErr = ex.RunContext(ctx, moea.Options{PopSize: *pop, Generations: gens, Seed: *seed, Workers: *workers, ArchiveEpsilon: eps}, rc)
+		mopt := moea.Options{PopSize: *pop, Generations: gens, Seed: *seed, Workers: *workers, ArchiveEpsilon: eps}
+		if *islands > 0 {
+			ic := core.IslandConfig{Islands: *islands, MigrateEvery: *migrateEvery, Migrants: *migrants}
+			res, runErr = ex.RunIslandsContext(ctx, mopt, ic, rc)
+		} else {
+			res, runErr = ex.RunContext(ctx, mopt, rc)
+		}
 	case "random":
 		res, runErr = ex.RunRandomContext(ctx, *pop+*pop*gens, *seed, *workers, rc)
 	default:

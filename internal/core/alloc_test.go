@@ -1,0 +1,49 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/moea"
+)
+
+// TestExplorerRunSteadyStateAllocs pins the dispatch overhead of the
+// exploration loop: Explorer.Run must not construct a worker pool per
+// batch (the pre-pool design spawned `workers` goroutines per
+// generation and pushed every genotype through an unbuffered channel).
+// With the greedy decoder on a small spec, the per-evaluation
+// allocation budget is dominated by the decode itself; per-generation
+// orchestration must stay a small constant on top. A per-batch pool
+// rebuild or per-item channel dispatch blows past the bound
+// immediately.
+func TestExplorerRunSteadyStateAllocs(t *testing.T) {
+	spec := smallSpec(t)
+	dec, err := NewGreedyDecoder(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := NewExplorer(spec, dec)
+	const pop, gens = 16, 12
+
+	run := func(workers int) float64 {
+		// One full Run per sample; AllocsPerRun averages over runs.
+		return testing.AllocsPerRun(3, func() {
+			if _, err := ex.Run(moea.Options{PopSize: pop, Generations: gens, Seed: 4, Workers: workers}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+
+	serial := run(1)
+	parallel := run(4)
+	// The parallel run may cost a constant extra (pool construction,
+	// four goroutine stacks, one job header per batch) but must not pay
+	// a per-generation pool rebuild: allow the constant, reject a
+	// per-generation term. 4 goroutines ≈ 10 allocs once; a rebuild
+	// would add ≥ gens × that. Budget: constant 600 over serial (decoder
+	// scratch for extra workers included), which a per-batch rebuild
+	// (~12 gens × ~20 allocs for spawn+waitgroup+channels plus per-item
+	// channel ops) exceeds.
+	if parallel > serial+600 {
+		t.Fatalf("parallel run allocates %.0f vs serial %.0f — per-batch pool construction is back", parallel, serial)
+	}
+}

@@ -21,6 +21,19 @@ type Decoder interface {
 	Decode(genotype []float64) (*model.Implementation, error)
 }
 
+// WorkerDecoder is an optional Decoder extension for per-worker decode
+// state. The explorer calls DecodeWorker with the evaluation pool's
+// stable worker index, letting the decoder pin expensive scratch (a
+// solver, branching arrays) to the worker for the whole run instead of
+// checking it out of a sync.Pool per decode — a pool the GC may empty
+// mid-campaign, silently re-allocating solver state on every cycle.
+// DecodeWorker must return the same implementation as Decode for the
+// same genotype.
+type WorkerDecoder interface {
+	Decoder
+	DecodeWorker(worker int, genotype []float64) (*model.Implementation, error)
+}
+
 // SATDecoder is the paper's SAT-decoding: the genotype orders the
 // pseudo-Boolean solver's decisions over the mapping variables and the
 // solver completes them into a model of Eqs. (2a)–(2h), (3a), (3b) plus
@@ -30,10 +43,18 @@ type SATDecoder struct {
 	// MaxConflicts bounds the per-decode search (0 = solver default).
 	MaxConflicts int
 
-	// states pools one DecoderState (solver + branching + scratch) per
-	// concurrently decoding MOEA worker, so steady-state decodes neither
-	// allocate solver indexes nor contend on shared state.
+	// states pools DecoderStates for callers of the plain Decode path
+	// (tools, tests, ad-hoc decodes). The MOEA evaluation path goes
+	// through DecodeWorker and the pinned per-worker states instead.
 	states sync.Pool
+
+	// workerStates pins one DecoderState per evaluation-pool worker
+	// index. The slice is grown copy-on-write under growMu and published
+	// through the atomic pointer, so the steady-state path is one atomic
+	// load with no locking; unlike the sync.Pool, pinned states survive
+	// GC cycles, keeping the campaign's allocation profile flat.
+	workerStates atomic.Pointer[[]*encode.DecoderState]
+	growMu       sync.Mutex
 
 	// Cumulative pseudo-Boolean solver work across all decodes, for the
 	// explorer's telemetry stream (SolverStatsReporter).
@@ -73,6 +94,52 @@ func (d *SATDecoder) Decode(genotype []float64) (*model.Implementation, error) {
 		return nil, fmt.Errorf("core: SAT decode: %w", err)
 	}
 	return x, nil
+}
+
+// DecodeWorker implements WorkerDecoder: it decodes on the DecoderState
+// pinned to the worker index. Each worker index is driven by exactly
+// one pool goroutine at a time, so the state needs no per-decode
+// locking. Decoding is deterministic per genotype regardless of which
+// state performs it, so the result is identical to Decode's.
+func (d *SATDecoder) DecodeWorker(worker int, genotype []float64) (*model.Implementation, error) {
+	st := d.workerState(worker)
+	x, res, err := st.Decode(genotype, d.MaxConflicts)
+	if res != nil {
+		d.conflicts.Add(int64(res.Conflicts))
+		d.propagations.Add(int64(res.Propagated))
+	}
+	if err != nil {
+		return nil, fmt.Errorf("core: SAT decode: %w", err)
+	}
+	return x, nil
+}
+
+// workerState returns the DecoderState pinned to the worker index,
+// growing the pinned slice on first sight of a new index. The grow path
+// copies under growMu and republishes, never mutating a published
+// slice, so concurrent readers of other indices are unaffected.
+func (d *SATDecoder) workerState(worker int) *encode.DecoderState {
+	if sp := d.workerStates.Load(); sp != nil && worker < len(*sp) && (*sp)[worker] != nil {
+		return (*sp)[worker]
+	}
+	d.growMu.Lock()
+	defer d.growMu.Unlock()
+	var cur []*encode.DecoderState
+	if sp := d.workerStates.Load(); sp != nil {
+		cur = *sp
+	}
+	if worker < len(cur) && cur[worker] != nil {
+		return cur[worker]
+	}
+	n := len(cur)
+	if worker >= n {
+		n = worker + 1
+	}
+	next := make([]*encode.DecoderState, n)
+	copy(next, cur)
+	next[worker] = d.Enc.NewDecoderState()
+	d.workerStates.Store(&next)
+	return next[worker]
 }
 
 // SolverStats implements SolverStatsReporter: the cumulative conflict

@@ -79,7 +79,25 @@ func (e *Explorer) GenotypeLen() int { return e.Decoder.GenotypeLen() }
 // normalization. Evaluate is safe for concurrent use when the decoder
 // is (both built-in decoders are).
 func (e *Explorer) Evaluate(genotype []float64) (moea.Objectives, any) {
-	x, err := e.Decoder.Decode(genotype)
+	return e.score(e.Decoder.Decode(genotype))
+}
+
+// EvaluateWorker implements moea.WorkerProblem: identical scoring to
+// Evaluate, but decoded on the worker's pinned decoder state when the
+// decoder supports it. Decoding is a pure function of the genotype, so
+// the result never depends on the worker index — the property the
+// byte-identical-fronts invariant rests on.
+func (e *Explorer) EvaluateWorker(worker int, genotype []float64) (moea.Objectives, any) {
+	if wd, ok := e.Decoder.(WorkerDecoder); ok {
+		return e.score(wd.DecodeWorker(worker, genotype))
+	}
+	return e.score(e.Decoder.Decode(genotype))
+}
+
+// score turns a decode outcome into the MOEA objective vector and
+// Solution payload; shared by the plain and per-worker evaluation
+// paths.
+func (e *Explorer) score(x *model.Implementation, err error) (moea.Objectives, any) {
 	if err != nil {
 		e.decodeFailures.Add(1)
 		return e.penaltyObjectives(), nil
@@ -188,6 +206,9 @@ type RunControl struct {
 	// checkpoint; the run continues to the configured end and produces a
 	// byte-identical Pareto front to the uninterrupted run.
 	Resume *moea.Checkpoint
+	// ResumeIslands restores an island campaign from a previously
+	// written island checkpoint (RunIslandsContext only).
+	ResumeIslands *moea.IslandCheckpoint
 	// OnProgress, when non-nil, receives a telemetry sample per
 	// generation/chunk on the optimizer goroutine.
 	OnProgress func(Progress)
@@ -225,6 +246,44 @@ func (e *Explorer) RunContext(ctx context.Context, opt moea.Options, rc *RunCont
 		}
 	}
 	mres, err := moea.Run(runCtx, e, mopt)
+	return e.finishRun(mres, err, start)
+}
+
+// IslandConfig selects the island-model NSGA-II driver: Islands
+// independent populations on derived seed streams, coupled by ring
+// migration every MigrateEvery generations (see moea.RunIslands).
+type IslandConfig struct {
+	Islands      int
+	MigrateEvery int
+	Migrants     int
+}
+
+// RunIslandsContext executes an island-model exploration. The
+// (seed, islands, migration) tuple pins the campaign: the merged front
+// is byte-identical at any worker count, and a resumed campaign
+// (RunControl.ResumeIslands) matches the uninterrupted one.
+func (e *Explorer) RunIslandsContext(ctx context.Context, opt moea.Options, ic IslandConfig, rc *RunControl) (*Result, error) {
+	runCtx, cancel, start := e.beginRun(ctx)
+	defer cancel()
+	defer e.endRun()
+
+	iopt := moea.IslandOptions{
+		Islands:      ic.Islands,
+		MigrateEvery: ic.MigrateEvery,
+		Migrants:     ic.Migrants,
+	}
+	if rc != nil {
+		iopt.Resume = rc.ResumeIslands
+		if rc.CheckpointPath != "" {
+			path := rc.CheckpointPath
+			iopt.OnCheckpoint = func(cp *moea.IslandCheckpoint) error { return cp.WriteFile(path) }
+		}
+		if rc.OnProgress != nil {
+			cb := rc.OnProgress
+			iopt.OnProgress = func(mp moea.Progress) { cb(e.progressSample(mp)) }
+		}
+	}
+	mres, err := moea.RunIslands(runCtx, e, opt, iopt)
 	return e.finishRun(mres, err, start)
 }
 

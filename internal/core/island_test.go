@@ -1,0 +1,173 @@
+package core
+
+import (
+	"context"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/casestudy"
+	"repro/internal/model"
+	"repro/internal/moea"
+)
+
+func frontsEqual(t *testing.T, a, b *Result, label string) {
+	t.Helper()
+	if len(a.Solutions) != len(b.Solutions) {
+		t.Fatalf("%s: front size %d vs %d", label, len(a.Solutions), len(b.Solutions))
+	}
+	for i := range a.Solutions {
+		if a.Solutions[i].Objectives != b.Solutions[i].Objectives {
+			t.Fatalf("%s: solution %d = %+v vs %+v",
+				label, i, a.Solutions[i].Objectives, b.Solutions[i].Objectives)
+		}
+	}
+}
+
+// TestExplorerIslandsDeterministicAcrossWorkers is the end-to-end
+// island acceptance gate on the real explorer + SAT decoder: a fixed
+// (seed, islands, migration) tuple must produce the identical merged
+// front at every worker count, exercising the per-worker pinned
+// decoder states across distinct genotype streams.
+func TestExplorerIslandsDeterministicAcrossWorkers(t *testing.T) {
+	spec, err := casestudy.Small(3, 4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := NewSATDecoder(spec, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := NewExplorer(spec, dec)
+	ex.Verify = true
+	ic := IslandConfig{Islands: 3, MigrateEvery: 3, Migrants: 2}
+	var ref *Result
+	for _, w := range []int{1, 2, 4} {
+		res, err := ex.RunIslandsContext(context.Background(),
+			moea.Options{PopSize: 12, Generations: 9, Seed: 13, Workers: w}, ic, nil)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if res.Evaluations == 0 {
+			t.Fatalf("workers=%d: no evaluations recorded", w)
+		}
+		if ref == nil {
+			ref = res
+			continue
+		}
+		frontsEqual(t, ref, res, "island worker sweep")
+	}
+}
+
+// TestExplorerIslandsSingleMatchesPlain: -islands 1 must be the classic
+// exploration under another driver — same seed stream, same schedule.
+func TestExplorerIslandsSingleMatchesPlain(t *testing.T) {
+	spec := smallSpec(t)
+	dec, err := NewGreedyDecoder(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := NewExplorer(spec, dec)
+	opt := moea.Options{PopSize: 16, Generations: 10, Seed: 21}
+	plain, err := ex.Run(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	isl, err := ex.RunIslandsContext(context.Background(), opt, IslandConfig{Islands: 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frontsEqual(t, plain, isl, "islands=1 vs plain")
+}
+
+// TestExplorerIslandsCheckpointResume: an island campaign checkpointed
+// through RunControl resumes byte-identically at a different worker
+// count.
+func TestExplorerIslandsCheckpointResume(t *testing.T) {
+	spec := smallSpec(t)
+	dec, err := NewGreedyDecoder(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := NewExplorer(spec, dec)
+	opt := moea.Options{PopSize: 16, Generations: 12, Seed: 5, Workers: 2}
+	ic := IslandConfig{Islands: 2, MigrateEvery: 4, Migrants: 2}
+
+	full, err := ex.RunIslandsContext(context.Background(), opt, ic, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(t.TempDir(), "island.json")
+	ctx, cancel := context.WithCancel(context.Background())
+	evals := 0
+	stop := &stopAfterDecoder{Decoder: dec, evals: &evals, cancelAt: 16 * 6, cancel: cancel}
+	exCancel := NewExplorer(spec, stop)
+	_, err = exCancel.RunIslandsContext(ctx, opt, ic, &RunControl{CheckpointPath: path})
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+
+	cp, err := moea.ReadIslandCheckpointFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumeOpt := opt
+	resumeOpt.Workers = 4
+	res, err := ex.RunIslandsContext(context.Background(), resumeOpt, ic, &RunControl{ResumeIslands: cp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	frontsEqual(t, full, res, "resumed island campaign")
+	if res.Evaluations != full.Evaluations {
+		t.Fatalf("resumed evaluations %d, want %d", res.Evaluations, full.Evaluations)
+	}
+}
+
+// stopAfterDecoder cancels the run context after a fixed number of
+// decodes, forcing a mid-campaign checkpoint.
+type stopAfterDecoder struct {
+	Decoder
+	evals    *int
+	cancelAt int
+	cancel   context.CancelFunc
+}
+
+func (s *stopAfterDecoder) Decode(g []float64) (*model.Implementation, error) {
+	*s.evals++
+	if *s.evals == s.cancelAt {
+		s.cancel()
+	}
+	return s.Decoder.Decode(g)
+}
+
+// TestSATDecodeWorkerMatchesDecode: the pinned-state decode path must
+// be indistinguishable from the pooled path for the same genotypes.
+func TestSATDecodeWorkerMatchesDecode(t *testing.T) {
+	spec := smallSpec(t)
+	dec, err := NewSATDecoder(spec, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := make([]float64, dec.GenotypeLen())
+	for i := range g {
+		g[i] = float64((i*37)%101) / 101
+	}
+	a, err := dec.Decode(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{0, 3, 1} { // out-of-order first sight grows the slice
+		b, err := dec.DecodeWorker(w, g)
+		if err != nil {
+			t.Fatalf("worker %d: %v", w, err)
+		}
+		if len(a.Binding) != len(b.Binding) {
+			t.Fatalf("worker %d: binding size differs", w)
+		}
+		for tid, r := range a.Binding {
+			if b.Binding[tid] != r {
+				t.Fatalf("worker %d: binding of %s differs from pooled decode", w, tid)
+			}
+		}
+	}
+}

@@ -92,6 +92,13 @@ func (cp *Checkpoint) WriteFile(path string) error {
 	if err != nil {
 		return fmt.Errorf("moea: checkpoint: %w", err)
 	}
+	return writeFileAtomic(path, data)
+}
+
+// writeFileAtomic writes data to path via tmp-file + fsync + rename —
+// the durability contract shared by the single-run and island
+// checkpoint formats.
+func writeFileAtomic(path string, data []byte) error {
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
 	if err != nil {

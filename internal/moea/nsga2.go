@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sort"
 	"time"
 )
 
@@ -97,35 +98,37 @@ type Result struct {
 	Evaluations int
 }
 
-// Run executes NSGA-II on the problem. Cancellation of ctx is honored
-// at generation boundaries: the run stops before starting the next
-// generation, emits a final checkpoint through Options.OnCheckpoint (if
-// set), and returns the partial Result together with ctx.Err(). No
-// goroutines outlive the call — evaluation worker pools are per-batch.
-func Run(ctx context.Context, p Problem, opt Options) (*Result, error) {
+// nsga2 is the stepping form of the optimizer: construction samples (or
+// resumes) the initial population, step() advances one generation, and
+// snapshot() captures resumable state. Run drives one instance to
+// completion; RunIslands drives several in migration epochs over a
+// shared evaluation pool.
+type nsga2 struct {
+	p      Problem
+	opt    Options
+	genLen int
+	src    *prng
+	rng    *rand.Rand
+	pool   *evalPool
+
+	pop, archive []*Individual
+	gen          int // next generation index
+	evals        int // cumulative Problem.Evaluate count (across resumes)
+	runEvals     int // evaluations performed by this process
+}
+
+// newNSGA2 builds a stepping optimizer. The pool is borrowed, not
+// owned: the caller creates it for the run and closes it afterwards,
+// which is what hoists worker-pool construction out of the per-batch
+// (per-generation) loop. opt must already carry defaults.
+func newNSGA2(p Problem, opt Options, pool *evalPool) (*nsga2, error) {
 	genLen := p.GenotypeLen()
 	if genLen <= 0 {
 		return nil, errEmptyGenotype
 	}
-	if ctx == nil {
-		ctx = context.Background()
-	}
-	opt = opt.withDefaults(genLen)
-	src := newPRNG(opt.Seed)
-	rng := rand.New(src)
-	res := &Result{}
-	start := time.Now()
-	runEvals := 0
+	s := &nsga2{p: p, opt: opt, genLen: genLen, src: newPRNG(opt.Seed), pool: pool}
+	s.rng = rand.New(s.src)
 
-	evaluateBatch := func(genos [][]float64) []*Individual {
-		out := evalConcurrent(p, genos, opt.Workers)
-		res.Evaluations += len(genos)
-		runEvals += len(genos)
-		return out
-	}
-
-	var pop, archive []*Individual
-	startGen := 0
 	if cp := opt.Resume; cp != nil {
 		if err := cp.check(AlgorithmNSGA2, genLen); err != nil {
 			return nil, err
@@ -142,7 +145,7 @@ func Run(ctx context.Context, p Problem, opt Options) (*Result, error) {
 		if !equalEpsilon(cp.ArchiveEpsilon, opt.ArchiveEpsilon) {
 			return nil, fmt.Errorf("moea: resume: checkpoint ε-archive %v does not match ArchiveEpsilon %v", cp.ArchiveEpsilon, opt.ArchiveEpsilon)
 		}
-		if err := src.setState(cp.RNG); err != nil {
+		if err := s.src.setState(cp.RNG); err != nil {
 			return nil, err
 		}
 		// Rebuild objectives and payloads by re-evaluating the stored
@@ -150,108 +153,193 @@ func Run(ctx context.Context, p Problem, opt Options) (*Result, error) {
 		// re-inserted in checkpoint order without re-filtering: its entries
 		// are mutually non-dominated by construction. Rebuild evaluations
 		// are not counted — Evaluations continues from the checkpoint.
-		pop = evalConcurrent(p, cp.Population, opt.Workers)
-		archive = evalConcurrent(p, cp.Archive, opt.Workers)
-		res.Evaluations = cp.Evaluations
-		startGen = cp.NextGeneration
-	} else {
-		initial := make([][]float64, opt.PopSize)
-		for i := range initial {
-			g := make([]float64, genLen)
-			for j := range g {
-				g[j] = rng.Float64()
-			}
-			initial[i] = g
-		}
-		pop = evaluateBatch(initial)
-		archive = updateArchiveEps(nil, pop, opt.ArchiveEpsilon)
+		s.pop = pool.evaluate(cp.Population)
+		s.archive = pool.evaluate(cp.Archive)
+		s.evals = cp.Evaluations
+		s.gen = cp.NextGeneration
+		return s, nil
 	}
 
-	snapshot := func(nextGen int) *Checkpoint {
-		return &Checkpoint{
-			Format:         CheckpointFormat,
-			Version:        CheckpointVersion,
-			Algorithm:      AlgorithmNSGA2,
-			Seed:           opt.Seed,
-			GenotypeLen:    genLen,
-			RNG:            src.state(),
-			Evaluations:    res.Evaluations,
-			PopSize:        opt.PopSize,
-			Generations:    opt.Generations,
-			NextGeneration: nextGen,
-			ArchiveEpsilon: opt.ArchiveEpsilon,
-			Population:     genotypes(pop),
-			Archive:        genotypes(archive),
+	initial := make([][]float64, opt.PopSize)
+	for i := range initial {
+		g := make([]float64, genLen)
+		for j := range g {
+			g[j] = s.rng.Float64()
+		}
+		initial[i] = g
+	}
+	s.pop = s.evaluateBatch(initial)
+	s.archive = updateArchiveEps(nil, s.pop, opt.ArchiveEpsilon)
+	return s, nil
+}
+
+func (s *nsga2) evaluateBatch(genos [][]float64) []*Individual {
+	out := s.pool.evaluate(genos)
+	s.evals += len(genos)
+	s.runEvals += len(genos)
+	return out
+}
+
+// step advances the optimizer by one generation: tournament breeding
+// (sequential, one PRNG stream), batch evaluation on the pool,
+// environmental selection and the serial archive fold. The archive is
+// touched only here, on the stepping goroutine, in offspring index
+// order — workers never contend on it.
+func (s *nsga2) step() {
+	opt := s.opt
+	// Rank parents for tournament selection.
+	fronts := sortFronts(s.pop)
+	for _, f := range fronts {
+		assignCrowding(f)
+	}
+	// Breed the whole offspring batch sequentially (rng order), then
+	// evaluate it, possibly in parallel.
+	genos := make([][]float64, 0, opt.PopSize)
+	for len(genos) < opt.PopSize {
+		p1 := tournament(s.rng, s.pop)
+		p2 := tournament(s.rng, s.pop)
+		c1, c2 := crossover(s.rng, p1.Genotype, p2.Genotype, opt.CrossoverRate)
+		mutate(s.rng, c1, opt.MutationRate, opt.MutationStep)
+		mutate(s.rng, c2, opt.MutationRate, opt.MutationStep)
+		genos = append(genos, c1)
+		if len(genos) < opt.PopSize {
+			genos = append(genos, c2)
 		}
 	}
-	finish := func(err error) (*Result, error) {
-		res.Archive = archive
-		res.FinalPopulation = pop
-		return res, err
+	offspring := s.evaluateBatch(genos)
+	// Environmental selection over parents ∪ offspring.
+	union := append(append([]*Individual(nil), s.pop...), offspring...)
+	fronts = sortFronts(union)
+	next := make([]*Individual, 0, opt.PopSize)
+	for _, f := range fronts {
+		assignCrowding(f)
+		if len(next)+len(f) <= opt.PopSize {
+			next = append(next, f...)
+			continue
+		}
+		// Partial front: take the most crowded-distant first.
+		sortByCrowdingDesc(f)
+		next = append(next, f[:opt.PopSize-len(next)]...)
+		break
 	}
+	s.pop = next
+	s.archive = updateArchiveEps(s.archive, offspring, opt.ArchiveEpsilon)
+	s.gen++
+}
 
-	for gen := startGen; gen < opt.Generations; gen++ {
+// snapshot captures the resumable optimizer state; the run continues at
+// generation s.gen.
+func (s *nsga2) snapshot() *Checkpoint {
+	return &Checkpoint{
+		Format:         CheckpointFormat,
+		Version:        CheckpointVersion,
+		Algorithm:      AlgorithmNSGA2,
+		Seed:           s.opt.Seed,
+		GenotypeLen:    s.genLen,
+		RNG:            s.src.state(),
+		Evaluations:    s.evals,
+		PopSize:        s.opt.PopSize,
+		Generations:    s.opt.Generations,
+		NextGeneration: s.gen,
+		ArchiveEpsilon: s.opt.ArchiveEpsilon,
+		Population:     genotypes(s.pop),
+		Archive:        genotypes(s.archive),
+	}
+}
+
+// result packages the current state as a Result.
+func (s *nsga2) result() *Result {
+	return &Result{Archive: s.archive, FinalPopulation: s.pop, Evaluations: s.evals}
+}
+
+// inject replaces the worst individuals of the population with copies
+// of the migrants (island-model migration). "Worst" is the inverse of
+// the crowded-comparison order — highest rank first, lowest crowding
+// first, ties broken by population index — so the replacement set is
+// deterministic. At most half the population is replaced.
+func (s *nsga2) inject(migrants []*Individual) {
+	k := len(migrants)
+	if k > len(s.pop)/2 {
+		k = len(s.pop) / 2
+	}
+	if k == 0 {
+		return
+	}
+	fronts := sortFronts(s.pop)
+	for _, f := range fronts {
+		assignCrowding(f)
+	}
+	idx := make([]int, len(s.pop))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		ia, ib := s.pop[idx[a]], s.pop[idx[b]]
+		if ia.rank != ib.rank {
+			return ia.rank > ib.rank
+		}
+		return ia.crowding < ib.crowding
+	})
+	for j := 0; j < k; j++ {
+		m := migrants[j]
+		s.pop[idx[j]] = &Individual{
+			Genotype:   append([]float64(nil), m.Genotype...),
+			Objectives: append(Objectives(nil), m.Objectives...),
+			Payload:    m.Payload,
+		}
+	}
+}
+
+// Run executes NSGA-II on the problem. Cancellation of ctx is honored
+// at generation boundaries: the run stops before starting the next
+// generation, emits a final checkpoint through Options.OnCheckpoint (if
+// set), and returns the partial Result together with ctx.Err(). No
+// goroutines outlive the call — the evaluation worker pool is created
+// once for the run and released before returning.
+func Run(ctx context.Context, p Problem, opt Options) (*Result, error) {
+	genLen := p.GenotypeLen()
+	if genLen <= 0 {
+		return nil, errEmptyGenotype
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	opt = opt.withDefaults(genLen)
+	pool := newEvalPool(p, opt.Workers)
+	defer pool.close()
+	s, err := newNSGA2(p, opt, pool)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	finish := func(err error) (*Result, error) { return s.result(), err }
+
+	for s.gen < opt.Generations {
 		if ctx.Err() != nil {
 			if opt.OnCheckpoint != nil {
-				if err := opt.OnCheckpoint(snapshot(gen)); err != nil {
+				if err := opt.OnCheckpoint(s.snapshot()); err != nil {
 					return finish(err)
 				}
 			}
 			return finish(ctx.Err())
 		}
-		// Rank parents for tournament selection.
-		fronts := sortFronts(pop)
-		for _, f := range fronts {
-			assignCrowding(f)
-		}
-		// Breed the whole offspring batch sequentially (rng order), then
-		// evaluate it, possibly in parallel.
-		genos := make([][]float64, 0, opt.PopSize)
-		for len(genos) < opt.PopSize {
-			p1 := tournament(rng, pop)
-			p2 := tournament(rng, pop)
-			c1, c2 := crossover(rng, p1.Genotype, p2.Genotype, opt.CrossoverRate)
-			mutate(rng, c1, opt.MutationRate, opt.MutationStep)
-			mutate(rng, c2, opt.MutationRate, opt.MutationStep)
-			genos = append(genos, c1)
-			if len(genos) < opt.PopSize {
-				genos = append(genos, c2)
-			}
-		}
-		offspring := evaluateBatch(genos)
-		// Environmental selection over parents ∪ offspring.
-		union := append(append([]*Individual(nil), pop...), offspring...)
-		fronts = sortFronts(union)
-		next := make([]*Individual, 0, opt.PopSize)
-		for _, f := range fronts {
-			assignCrowding(f)
-			if len(next)+len(f) <= opt.PopSize {
-				next = append(next, f...)
-				continue
-			}
-			// Partial front: take the most crowded-distant first.
-			sortByCrowdingDesc(f)
-			next = append(next, f[:opt.PopSize-len(next)]...)
-			break
-		}
-		pop = next
-		archive = updateArchiveEps(archive, offspring, opt.ArchiveEpsilon)
+		s.step()
 		if opt.OnGeneration != nil {
-			opt.OnGeneration(gen, archive)
+			opt.OnGeneration(s.gen-1, s.archive)
 		}
 		if opt.OnProgress != nil {
 			opt.OnProgress(Progress{
-				Generation:     gen,
+				Generation:     s.gen - 1,
 				Generations:    opt.Generations,
-				Evaluations:    res.Evaluations,
-				RunEvaluations: runEvals,
-				Archive:        archive,
+				Evaluations:    s.evals,
+				RunEvaluations: s.runEvals,
+				Archive:        s.archive,
 				Elapsed:        time.Since(start),
 			})
 		}
 		if opt.OnCheckpoint != nil && opt.CheckpointEvery > 0 &&
-			(gen+1)%opt.CheckpointEvery == 0 && gen+1 < opt.Generations {
-			if err := opt.OnCheckpoint(snapshot(gen + 1)); err != nil {
+			s.gen%opt.CheckpointEvery == 0 && s.gen < opt.Generations {
+			if err := opt.OnCheckpoint(s.snapshot()); err != nil {
 				return finish(err)
 			}
 		}

@@ -62,6 +62,8 @@ func RandomSearchOpt(ctx context.Context, p Problem, opt RandomOptions) (*Result
 	res := &Result{}
 	start := time.Now()
 	runEvals := 0
+	pool := newEvalPool(p, opt.Workers)
+	defer pool.close()
 
 	var archive []*Individual
 	done := 0
@@ -78,7 +80,7 @@ func RandomSearchOpt(ctx context.Context, p Problem, opt RandomOptions) (*Result
 		if err := src.setState(cp.RNG); err != nil {
 			return nil, err
 		}
-		archive = evalConcurrent(p, cp.Archive, opt.Workers)
+		archive = pool.evaluate(cp.Archive)
 		res.Evaluations = cp.Evaluations
 		done = cp.NextEval
 	}
@@ -126,7 +128,7 @@ func RandomSearchOpt(ctx context.Context, p Problem, opt RandomOptions) (*Result
 			}
 			genos[i] = g
 		}
-		batch := evalConcurrent(p, genos, opt.Workers)
+		batch := pool.evaluate(genos)
 		res.Evaluations += n
 		runEvals += n
 		archive = updateArchive(archive, batch)

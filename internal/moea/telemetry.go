@@ -1,7 +1,6 @@
 package moea
 
 import (
-	"sync"
 	"time"
 )
 
@@ -26,40 +25,4 @@ type Progress struct {
 	Archive []*Individual
 	// Elapsed is the wall-clock time since this run (or resume) started.
 	Elapsed time.Duration
-}
-
-// evalConcurrent evaluates the genotypes into fresh individuals, on
-// `workers` goroutines when workers > 1. Output order matches input
-// order, so results are deterministic for any worker count. The worker
-// pool is per-batch: all goroutines exit before the call returns, which
-// keeps cancellation and shutdown leak-free.
-func evalConcurrent(p Problem, genos [][]float64, workers int) []*Individual {
-	out := make([]*Individual, len(genos))
-	eval := func(i int) {
-		obj, payload := p.Evaluate(genos[i])
-		out[i] = &Individual{Genotype: genos[i], Objectives: obj, Payload: payload}
-	}
-	if workers <= 1 || len(genos) == 1 {
-		for i := range genos {
-			eval(i)
-		}
-		return out
-	}
-	var wg sync.WaitGroup
-	work := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range work {
-				eval(i)
-			}
-		}()
-	}
-	for i := range genos {
-		work <- i
-	}
-	close(work)
-	wg.Wait()
-	return out
 }
