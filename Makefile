@@ -4,9 +4,9 @@
 GO ?= go
 
 .PHONY: ci build fmt-check vet test race bench-smoke bench bench-json \
-	bench-gate island-smoke resume-smoke sigint-smoke robust-smoke
+	bench-gate island-smoke resume-smoke sigint-smoke robust-smoke shard-smoke
 
-ci: build fmt-check vet test race bench-smoke resume-smoke sigint-smoke robust-smoke island-smoke
+ci: build fmt-check vet test race bench-smoke resume-smoke sigint-smoke robust-smoke island-smoke shard-smoke
 
 build:
 	$(GO) build ./...
@@ -28,7 +28,7 @@ test:
 # state behind the pooled per-worker decoder, and the fault-injection
 # layer feeding the robustness objective.
 race:
-	$(GO) test -race ./internal/faultsim/ ./internal/moea/ ./internal/core/ ./internal/pbsat/ ./internal/encode/ ./internal/objective/ ./internal/bistgen/ ./internal/can/ ./internal/gateway/
+	$(GO) test -race ./internal/faultsim/ ./internal/moea/ ./internal/core/ ./internal/pbsat/ ./internal/encode/ ./internal/objective/ ./internal/bistgen/ ./internal/can/ ./internal/gateway/ ./internal/shard/
 
 # Fault-injection determinism through the CLI: a robust exploration
 # (4th objective from the seeded CAN error model) must produce
@@ -94,9 +94,9 @@ bench:
 # `make bench-json BENCHTIME=2s`) and override the output file with
 # BENCH_OUT=my-report.json.
 BENCHTIME ?= 1x
-BENCH_OUT ?= BENCH_6.json
+BENCH_OUT ?= BENCH_7.json
 bench-json:
-	$(GO) test -run=NONE -bench 'DecodeEvaluate|DSEParallel|EvalThroughput|Fig5_DSE|TransferUnderErrors' \
+	$(GO) test -run=NONE -bench 'DecodeEvaluate|DSEParallel|EvalThroughput|Fig5_DSE|TransferUnderErrors|IslandEpoch' \
 		-benchmem -benchtime=$(BENCHTIME) . | $(GO) run ./cmd/benchjson -out $(BENCH_OUT)
 	@echo "wrote $(BENCH_OUT)"
 
@@ -115,7 +115,7 @@ MAX_REGRESS ?= 15%
 # decoder state) and reads ~2x the steady state.
 GATE_BENCHTIME ?= 1s
 bench-gate:
-	$(GO) test -run=NONE -bench 'DecodeEvaluate$$|DSEParallel' \
+	$(GO) test -run=NONE -bench 'DecodeEvaluate$$|DSEParallel|IslandEpoch' \
 		-benchmem -benchtime=$(GATE_BENCHTIME) . | \
 		$(GO) run ./cmd/benchjson -out bench-current.json \
 			-compare BENCH_BASELINE.json -max-regress $(MAX_REGRESS)
@@ -146,3 +146,38 @@ island-smoke:
 		-workers 4 -summary -csv $$tmp/ifull.csv >/dev/null || exit 1; \
 	cmp $$tmp/ifull.csv $$tmp/resumed.csv || { echo "island resume front differs" >&2; exit 1; }; \
 	echo "island-smoke: island campaign resumes byte-identically"
+
+# Process-sharding determinism through the CLI: the multi-process
+# orchestrator (-procs) must reproduce the in-process island front byte
+# for byte at any process count, a campaign chunked with -max-epochs
+# must resume — at a different process count — to the identical front,
+# and killing the orchestrator mid-epoch must leave a consistent
+# recovery checkpoint that one more epoch can be stepped from.
+shard-smoke:
+	@tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) build -o $$tmp/eedse ./cmd/eedse || exit 1; \
+	$$tmp/eedse -small -evals 2000 -pop 32 -islands 4 -migrate-every 5 -workers 2 \
+		-summary -csv $$tmp/inproc.csv >/dev/null || exit 1; \
+	$$tmp/eedse -small -evals 2000 -pop 32 -islands 4 -migrate-every 5 -workers 2 \
+		-procs 1 -summary -csv $$tmp/p1.csv >/dev/null || exit 1; \
+	$$tmp/eedse -small -evals 2000 -pop 32 -islands 4 -migrate-every 5 -workers 1 \
+		-procs 4 -summary -csv $$tmp/p4.csv >/dev/null || exit 1; \
+	cmp $$tmp/inproc.csv $$tmp/p1.csv || { echo "-procs 1 front differs from in-process run" >&2; exit 1; }; \
+	cmp $$tmp/inproc.csv $$tmp/p4.csv || { echo "-procs 4 front differs from in-process run" >&2; exit 1; }; \
+	echo "shard-smoke: front byte-identical in-process vs -procs 1 vs -procs 4"; \
+	$$tmp/eedse -small -evals 2000 -pop 32 -islands 4 -migrate-every 5 -workers 2 \
+		-procs 2 -max-epochs 3 -checkpoint $$tmp/cp.json -summary >/dev/null 2>&1 || exit 1; \
+	$$tmp/eedse -small -evals 2000 -pop 32 -islands 4 -migrate-every 5 -workers 2 \
+		-procs 3 -resume $$tmp/cp.json -checkpoint $$tmp/cp.json \
+		-summary -csv $$tmp/resumed.csv >/dev/null || exit 1; \
+	cmp $$tmp/inproc.csv $$tmp/resumed.csv || { echo "resumed sharded front differs" >&2; exit 1; }; \
+	echo "shard-smoke: -max-epochs stop + resume at different -procs byte-identical"; \
+	timeout --preserve-status -s INT 2 $$tmp/eedse -small -evals 100000000 -pop 32 \
+		-islands 4 -migrate-every 2 -procs 2 -workers 1 \
+		-checkpoint $$tmp/kcp.json -summary >/dev/null 2>&1; \
+	rc=$$?; [ $$rc -eq 130 ] || [ $$rc -eq 0 ] || { echo "SIGINT orchestrator exited $$rc" >&2; exit 1; }; \
+	[ -s $$tmp/kcp.json ] || { echo "no recovery checkpoint after SIGINT" >&2; exit 1; }; \
+	$$tmp/eedse -small -evals 100000000 -pop 32 -islands 4 -migrate-every 2 -procs 2 -workers 1 \
+		-max-epochs 1 -resume $$tmp/kcp.json -checkpoint $$tmp/kcp2.json -summary >/dev/null 2>&1 || \
+		{ echo "recovery checkpoint did not resume" >&2; exit 1; }; \
+	echo "shard-smoke: mid-epoch kill left a consistent, resumable recovery checkpoint"

@@ -239,6 +239,58 @@ func benchDSERunControl(b *testing.B, rc *core.RunControl) {
 	b.ReportMetric(float64(evals)/b.Elapsed().Seconds(), "evals/s")
 }
 
+// BenchmarkIslandEpoch measures the unit the process-sharded
+// orchestrator schedules: one migration epoch of a 4-island campaign on
+// the full case study, stepped shard by shard (EpochStep, 2 shards) and
+// merged centrally (MergeShards), swept over worker counts. Each
+// iteration re-steps the same epoch from the same post-migration
+// checkpoint, so the work includes the per-epoch resume rebuild the
+// worker processes pay — the honest critical path of an orchestrated
+// campaign. evals/s counts the epoch's campaign evaluations (islands ×
+// pop × migrate-every); rebuild re-evaluations ride along as overhead.
+func BenchmarkIslandEpoch(b *testing.B) {
+	spec, err := casestudy.Build(casestudy.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	dec, err := core.NewGreedyDecoder(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ex := core.NewExplorer(spec, dec)
+	ic := core.IslandConfig{Islands: 4, MigrateEvery: 5, Migrants: 4}
+	iopt := moea.IslandOptions{Islands: ic.Islands, MigrateEvery: ic.MigrateEvery, Migrants: ic.Migrants}
+	step := func(b *testing.B, opt moea.Options, full *moea.IslandCheckpoint, procs int) *moea.IslandCheckpoint {
+		shards := make([]*moea.IslandShard, procs)
+		for k := range shards {
+			first, count := moea.ShardRange(ic.Islands, procs, k)
+			sh, err := ex.EpochStep(context.Background(), opt, ic, full, first, count)
+			if err != nil {
+				b.Fatal(err)
+			}
+			shards[k] = sh
+		}
+		merged, _, err := moea.MergeShards(shards, iopt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return merged
+	}
+	bootOpt := moea.Options{PopSize: 32, Generations: 15, Seed: 1, Workers: runtime.GOMAXPROCS(0)}
+	full := step(b, bootOpt, nil, 2) // bootstrap epoch 0 once
+	epochEvals := ic.Islands * bootOpt.PopSize * ic.MigrateEvery
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			opt := bootOpt
+			opt.Workers = w
+			for i := 0; i < b.N; i++ {
+				step(b, opt, full, 2)
+			}
+			b.ReportMetric(float64(epochEvals*b.N)/b.Elapsed().Seconds(), "evals/s")
+		})
+	}
+}
+
 // --- E5: Eq. (1) and non-intrusive mirroring -----------------------------
 
 func BenchmarkEq1_TransferTime(b *testing.B) {

@@ -21,6 +21,23 @@
 // written with -islands use the island checkpoint format and must be
 // resumed with the same -islands/-migrate-every/-migrants values.
 //
+// -procs P shards the island campaign across P worker processes: each
+// migration epoch the orchestrator re-execs itself P times in worker
+// mode (one contiguous island subset per worker), merges the partial
+// shard checkpoints, performs the ring migration centrally, writes the
+// full campaign checkpoint (-checkpoint, the recovery point — killing
+// the orchestrator mid-epoch loses at most the epoch in flight) and
+// loops. The front is byte-identical to the in-process -islands run at
+// any -procs and any -workers; -max-epochs N stops deterministically
+// after N merged epochs (continue with -resume). Total evaluation
+// goroutines are -procs × -workers.
+//
+// -epoch-step is the worker mode -procs spawns internally: advance the
+// islands of shard -island-shard k/P by exactly one migration epoch
+// from the -resume campaign checkpoint (without -resume, bootstrap
+// epoch 0), write the partial shard checkpoint to -shard-out, print
+// nothing, exit.
+//
 // -robust adds the degraded-mode transfer score (expected BIST transfer
 // completion plus deadline-miss penalty under a CAN bit-error rate) as
 // a fourth minimized objective; -error-rate sets the bit-error rate and
@@ -53,6 +70,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"strconv"
@@ -66,6 +84,7 @@ import (
 	"repro/internal/moea"
 	"repro/internal/objective"
 	"repro/internal/report"
+	"repro/internal/shard"
 )
 
 // errInterrupted marks a run stopped by SIGINT/SIGTERM after its
@@ -116,6 +135,13 @@ func run() error {
 		migrateEvery = flag.Int("migrate-every", 10, "island migration period in generations (with -islands)")
 		migrants     = flag.Int("migrants", 4, "archive representatives exchanged per island per migration epoch (with -islands)")
 
+		procs     = flag.Int("procs", 0, "shard the island campaign across this many worker processes, merging at migration-epoch boundaries (requires -islands; front byte-identical at any value)")
+		maxEpochs = flag.Int("max-epochs", 0, "with -procs: stop after this many merged migration epochs and keep the checkpoint (0 = run to completion)")
+
+		epochStep   = flag.Bool("epoch-step", false, "worker mode: advance the -island-shard island subset exactly one migration epoch from -resume (or bootstrap epoch 0), write -shard-out, exit")
+		islandShard = flag.String("island-shard", "", "worker mode: contiguous island subset to step, as k/P (shard k of P, requires -epoch-step)")
+		shardOut    = flag.String("shard-out", "", "worker mode: write the partial island shard checkpoint to this file (requires -epoch-step)")
+
 		checkpoint      = flag.String("checkpoint", "", "periodically write optimizer state to this file (atomically); SIGINT writes a final checkpoint before exiting")
 		checkpointEvery = flag.Int("checkpoint-every", 0, "checkpoint period: generations for nsga2 (default 10), evaluations for random (default 2560)")
 		resumePath      = flag.String("resume", "", "resume the run from this checkpoint file (same spec, decoder, seed and budget flags required)")
@@ -139,6 +165,45 @@ func run() error {
 	}
 	if *islands > 0 && *optimizer != "nsga2" {
 		return fmt.Errorf("-islands requires -optimizer nsga2")
+	}
+	if *islands > 0 {
+		if *migrateEvery <= 0 {
+			return fmt.Errorf("-migrate-every must be positive, got %d", *migrateEvery)
+		}
+		if *migrants < 0 {
+			return fmt.Errorf("-migrants must be non-negative, got %d", *migrants)
+		}
+	}
+	if *procs < 0 {
+		return fmt.Errorf("-procs must be non-negative, got %d", *procs)
+	}
+	if *procs > 0 && *islands == 0 {
+		return fmt.Errorf("-procs requires -islands")
+	}
+	if *maxEpochs < 0 {
+		return fmt.Errorf("-max-epochs must be non-negative, got %d", *maxEpochs)
+	}
+	if *maxEpochs > 0 && *procs == 0 {
+		return fmt.Errorf("-max-epochs requires -procs")
+	}
+	if *maxEpochs > 0 && *checkpoint == "" {
+		return fmt.Errorf("-max-epochs requires -checkpoint (the stop point is the checkpoint you resume from)")
+	}
+	if *epochStep != (*islandShard != "") {
+		return fmt.Errorf("-epoch-step and -island-shard must be used together")
+	}
+	if *epochStep {
+		if *islands == 0 {
+			return fmt.Errorf("-epoch-step requires -islands")
+		}
+		if *shardOut == "" {
+			return fmt.Errorf("-epoch-step requires -shard-out")
+		}
+		if *procs > 0 {
+			return fmt.Errorf("-epoch-step (worker mode) conflicts with -procs (orchestrator mode)")
+		}
+	} else if *shardOut != "" {
+		return fmt.Errorf("-shard-out requires -epoch-step")
 	}
 
 	// SIGINT/SIGTERM cancel the run context: the exploration stops at the
@@ -214,6 +279,22 @@ func run() error {
 	if gens < 1 {
 		gens = 1
 	}
+	var eps []float64
+	if *epsilon != "" {
+		if eps, err = parseEpsilon(*epsilon); err != nil {
+			return err
+		}
+	}
+	if *epochStep {
+		// Worker mode: step one shard one epoch, write it, say nothing.
+		ex := core.NewExplorer(spec, dec)
+		if *robust {
+			ex.Robust = objective.RobustConfig{ErrorRate: *errRate}
+		}
+		mopt := moea.Options{PopSize: *pop, Generations: gens, Seed: *seed, Workers: *workers, ArchiveEpsilon: eps}
+		ic := core.IslandConfig{Islands: *islands, MigrateEvery: *migrateEvery, Migrants: *migrants}
+		return runEpochStep(ctx, ex, mopt, ic, *islandShard, *resumePath, *shardOut)
+	}
 	name := specName(*small)
 	if *specPath != "" {
 		name = *specPath
@@ -224,6 +305,9 @@ func run() error {
 	}
 	if *islands > 0 {
 		robustNote += fmt.Sprintf(", islands=%d/migrate=%d", *islands, *migrateEvery)
+	}
+	if *procs > 0 {
+		robustNote += fmt.Sprintf(", procs=%d", *procs)
 	}
 	evalBudget := *pop + *pop*gens
 	if *islands > 1 {
@@ -291,22 +375,56 @@ func run() error {
 	if *robust {
 		ex.Robust = objective.RobustConfig{ErrorRate: *errRate}
 	}
+	// workerArgs reconstructs the campaign flags every epoch-step worker
+	// must share with the orchestrator. The spec-construction flags are
+	// passed through rather than a serialized spec: both builders are
+	// deterministic, so each worker rebuilds the identical specification.
+	var workerArgs []string
+	if *procs > 0 {
+		workerArgs = []string{
+			"-evals", strconv.Itoa(*evals),
+			"-pop", strconv.Itoa(*pop),
+			"-seed", strconv.FormatInt(*seed, 10),
+			"-profiles", strconv.Itoa(*profiles),
+			"-decoder", *decoder,
+			"-storage", *storage,
+			"-sbst", *sbst,
+			"-fd", strconv.Itoa(*fd),
+			"-workers", strconv.Itoa(*workers),
+			"-islands", strconv.Itoa(*islands),
+			"-migrate-every", strconv.Itoa(*migrateEvery),
+			"-migrants", strconv.Itoa(*migrants),
+		}
+		if *small {
+			workerArgs = append(workerArgs, "-small")
+		}
+		if *specPath != "" {
+			workerArgs = append(workerArgs, "-spec", *specPath)
+		}
+		if *measured {
+			workerArgs = append(workerArgs, "-measured")
+		}
+		if *epsilon != "" {
+			workerArgs = append(workerArgs, "-epsilon", *epsilon)
+		}
+		if *robust {
+			workerArgs = append(workerArgs, "-robust", "-error-rate", strconv.FormatFloat(*errRate, 'g', -1, 64))
+		}
+	}
+
 	var res *core.Result
 	var runErr error
 	switch *optimizer {
 	case "nsga2":
-		var eps []float64
-		if *epsilon != "" {
-			eps, err = parseEpsilon(*epsilon)
-			if err != nil {
-				return err
-			}
-		}
 		mopt := moea.Options{PopSize: *pop, Generations: gens, Seed: *seed, Workers: *workers, ArchiveEpsilon: eps}
-		if *islands > 0 {
+		switch {
+		case *procs > 0:
+			ic := core.IslandConfig{Islands: *islands, MigrateEvery: *migrateEvery, Migrants: *migrants}
+			res, runErr = runSharded(ctx, ex, mopt, ic, rc, *procs, *maxEpochs, workerArgs, *progress)
+		case *islands > 0:
 			ic := core.IslandConfig{Islands: *islands, MigrateEvery: *migrateEvery, Migrants: *migrants}
 			res, runErr = ex.RunIslandsContext(ctx, mopt, ic, rc)
-		} else {
+		default:
 			res, runErr = ex.RunContext(ctx, mopt, rc)
 		}
 	case "random":
@@ -375,6 +493,111 @@ func run() error {
 		return errInterrupted
 	}
 	return nil
+}
+
+// runEpochStep is the -epoch-step worker body: advance one contiguous
+// island shard exactly one migration epoch from the full campaign
+// checkpoint (or bootstrap epoch 0) and write the partial shard
+// checkpoint. It prints nothing on success — the orchestrator owns all
+// reporting.
+func runEpochStep(ctx context.Context, ex *core.Explorer, mopt moea.Options, ic core.IslandConfig, shardSpec, resumePath, outPath string) error {
+	k, p, err := parseShardSpec(shardSpec)
+	if err != nil {
+		return err
+	}
+	if p > ic.Islands {
+		return fmt.Errorf("-island-shard %s: %d shards for only %d islands", shardSpec, p, ic.Islands)
+	}
+	first, count := moea.ShardRange(ic.Islands, p, k)
+	var full *moea.IslandCheckpoint
+	if resumePath != "" {
+		if full, err = moea.ReadIslandCheckpointFile(resumePath); err != nil {
+			return err
+		}
+	}
+	sh, err := ex.EpochStep(ctx, mopt, ic, full, first, count)
+	if err != nil {
+		return err
+	}
+	return sh.WriteFile(outPath)
+}
+
+// parseShardSpec parses the -island-shard "k/P" argument.
+func parseShardSpec(s string) (k, p int, err error) {
+	bad := func() (int, int, error) {
+		return 0, 0, fmt.Errorf("-island-shard must be k/P with 0 <= k < P, got %q", s)
+	}
+	i := strings.IndexByte(s, '/')
+	if i <= 0 {
+		return bad()
+	}
+	k, err = strconv.Atoi(s[:i])
+	if err != nil {
+		return bad()
+	}
+	p, err = strconv.Atoi(s[i+1:])
+	if err != nil || p < 1 || k < 0 || k >= p {
+		return bad()
+	}
+	return k, p, nil
+}
+
+// runSharded is the -procs orchestrator body: drive the campaign
+// through internal/shard (spawning this same binary in -epoch-step
+// mode), then rebuild the merged result from the final full checkpoint.
+func runSharded(ctx context.Context, ex *core.Explorer, mopt moea.Options, ic core.IslandConfig, rc *core.RunControl, procs, maxEpochs int, args []string, progress bool) (*core.Result, error) {
+	exe, err := os.Executable()
+	if err != nil {
+		return nil, err
+	}
+	cfg := shard.Config{
+		Binary:         exe,
+		Args:           args,
+		Procs:          procs,
+		Islands:        ic.Islands,
+		MigrateEvery:   ic.MigrateEvery,
+		Migrants:       ic.Migrants,
+		CheckpointPath: rc.CheckpointPath,
+		Resume:         rc.ResumeIslands,
+		MaxEpochs:      maxEpochs,
+		Stderr:         os.Stderr,
+	}
+	cfg, cleanup, err := shard.Bootstrap(cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer cleanup()
+	if cfg.CheckpointPath == "" {
+		// No -checkpoint: keep the recovery point in the (temporary)
+		// work directory so the epoch loop still has one.
+		cfg.CheckpointPath = filepath.Join(cfg.WorkDir, "campaign-checkpoint.json")
+	}
+	if progress {
+		cfg.OnEpoch = func(ep shard.Epoch) {
+			fmt.Fprintf(os.Stderr, "eedse: epoch=%d gen=%d/%d evals=%d procs=%d elapsed=%s\n",
+				ep.Index, ep.Boundary, ep.Generations, ep.Evaluations, ep.Procs, ep.Elapsed.Round(10_000_000))
+		}
+	}
+	final, done, runErr := shard.Run(ctx, cfg)
+	if runErr != nil && !errors.Is(runErr, context.Canceled) {
+		return nil, runErr
+	}
+	if final == nil {
+		// Cancelled before the first epoch merged: nothing to report.
+		return nil, runErr
+	}
+	if !done && runErr == nil {
+		fmt.Fprintf(os.Stderr, "eedse: stopped after %d epoch(s) at -max-epochs; continue with -resume %s\n",
+			maxEpochs, rc.CheckpointPath)
+	}
+	// Rebuild the merged front from the checkpoint. Collection must not
+	// be cancelled by the same SIGINT that stopped the campaign — the
+	// partial front is the point of a graceful stop.
+	res, err := ex.CollectIslands(context.Background(), mopt, ic, final)
+	if err != nil {
+		return nil, err
+	}
+	return res, runErr
 }
 
 func buildSpec(ctx context.Context, small bool, profiles int, sbst string, fd int, measured bool, workers int) (*model.Specification, error) {

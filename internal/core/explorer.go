@@ -287,6 +287,41 @@ func (e *Explorer) RunIslandsContext(ctx context.Context, opt moea.Options, ic I
 	return e.finishRun(mres, err, start)
 }
 
+// EpochStep advances the contiguous island subset [first, first+count)
+// of an island campaign by exactly one migration epoch — the worker
+// unit of the multi-process orchestrator (internal/shard). full is the
+// campaign checkpoint to step from (nil bootstraps epoch 0); the
+// returned shard holds the post-epoch state plus the objective vectors
+// the orchestrator needs to migrate centrally. See moea.EpochStep.
+func (e *Explorer) EpochStep(ctx context.Context, opt moea.Options, ic IslandConfig, full *moea.IslandCheckpoint, first, count int) (*moea.IslandShard, error) {
+	runCtx, cancel, _ := e.beginRun(ctx)
+	defer cancel()
+	defer e.endRun()
+
+	iopt := moea.IslandOptions{Islands: ic.Islands, MigrateEvery: ic.MigrateEvery, Migrants: ic.Migrants}
+	sh, err := moea.EpochStep(runCtx, e, opt, iopt, full, first, count)
+	if verr := e.takeRunError(); verr != nil {
+		return nil, verr
+	}
+	return sh, err
+}
+
+// CollectIslands turns a full island-campaign checkpoint into the
+// exploration Result without advancing any island: the per-island
+// states are restored (re-evaluating their genotypes) and the archives
+// fold in island order — the same merge the in-process driver performs,
+// so a completed multi-process campaign reports a byte-identical front,
+// and a mid-campaign checkpoint yields the partial front.
+func (e *Explorer) CollectIslands(ctx context.Context, opt moea.Options, ic IslandConfig, cp *moea.IslandCheckpoint) (*Result, error) {
+	runCtx, cancel, start := e.beginRun(ctx)
+	defer cancel()
+	defer e.endRun()
+
+	iopt := moea.IslandOptions{Islands: ic.Islands, MigrateEvery: ic.MigrateEvery, Migrants: ic.Migrants}
+	mres, err := moea.MergeIslandCheckpoint(runCtx, e, opt, iopt, cp)
+	return e.finishRun(mres, err, start)
+}
+
 // RunRandom explores with uniform random sampling instead of NSGA-II —
 // the optimizer ablation baseline (DESIGN.md A2 family).
 func (e *Explorer) RunRandom(evals int, seed int64) (*Result, error) {

@@ -186,6 +186,30 @@ func selectMigrants(archive []*Individual, k int) []*Individual {
 	return out
 }
 
+// migrateRing performs one synchronous ring migration over per-island
+// population/archive slices: every island's migrant set is selected
+// first (selectMigrants over its archive), then island i's migrants are
+// injected into ring successor i+1 (injectMigrants worst-replacement),
+// so the exchange is simultaneous and ring order cannot influence what
+// is sent. Populations are mutated in place. The function is a pure
+// transformation of (genotypes, objectives, order) — the in-process
+// epoch loop and the orchestrator's central merge of worker shards call
+// exactly this code, which is what keeps the multi-process campaign
+// byte-identical to the in-process one.
+func migrateRing(pops, archives [][]*Individual, migrants int) {
+	n := len(pops)
+	if n <= 1 {
+		return
+	}
+	sel := make([][]*Individual, n)
+	for i := range archives {
+		sel[i] = selectMigrants(archives[i], migrants)
+	}
+	for i := range pops {
+		injectMigrants(pops[i], sel[(i-1+n)%n])
+	}
+}
+
 // mergeIslandArchives folds the island archives into one global
 // non-dominated set. The fold visits islands in index order and each
 // archive in its deterministic insertion order, so the merged front is
@@ -197,6 +221,78 @@ func mergeIslandArchives(states []*nsga2, eps []float64) []*Individual {
 		merged = updateArchiveEps(merged, s.archive, eps)
 	}
 	return merged
+}
+
+// epochBoundary returns the generation every island advances to in the
+// current epoch: the smallest MigrateEvery multiple strictly beyond the
+// least-advanced island, capped at the generation budget. It is shared
+// by the in-process driver and the process-sharded epoch step, so both
+// compute identical epoch schedules from identical state.
+func epochBoundary(minGen, migrateEvery, generations int) int {
+	boundary := (minGen/migrateEvery + 1) * migrateEvery
+	if boundary > generations {
+		boundary = generations
+	}
+	return boundary
+}
+
+// buildIslandStates constructs the stepping optimizers for the
+// contiguous island subset [first, first+count): each island runs the
+// base options with its derived seed (IslandSeed) and no per-island
+// callbacks — the campaign reports and checkpoints at the island level
+// only. When resume is non-nil, island i restores from resume.States[i]
+// (re-evaluating the stored genotypes exactly). opt must already carry
+// defaults. Both the in-process campaign driver (RunIslands) and the
+// process-sharded epoch step (EpochStep) build their islands here, so
+// the two paths cannot drift apart.
+func buildIslandStates(p Problem, opt Options, resume *IslandCheckpoint, first, count int, pool *evalPool) ([]*nsga2, error) {
+	states := make([]*nsga2, count)
+	for j := range states {
+		i := first + j
+		o := opt
+		o.Seed = IslandSeed(opt.Seed, i)
+		o.OnGeneration, o.OnProgress, o.OnCheckpoint = nil, nil, nil
+		o.Resume = nil
+		if resume != nil {
+			o.Resume = resume.States[i]
+		}
+		s, err := newNSGA2(p, o, pool)
+		if err != nil {
+			return nil, fmt.Errorf("moea: island %d: %w", i, err)
+		}
+		states[j] = s
+	}
+	return states, nil
+}
+
+// snapshotIslands captures a full campaign checkpoint from in-memory
+// island states (states must cover every island, in island order).
+func snapshotIslands(states []*nsga2, opt Options, iopt IslandOptions) *IslandCheckpoint {
+	cp := &IslandCheckpoint{
+		Format:       IslandCheckpointFormat,
+		Version:      IslandCheckpointVersion,
+		Seed:         opt.Seed,
+		Islands:      iopt.Islands,
+		MigrateEvery: iopt.MigrateEvery,
+		Migrants:     iopt.Migrants,
+		States:       make([]*Checkpoint, len(states)),
+	}
+	for i, s := range states {
+		cp.States[i] = s.snapshot()
+	}
+	return cp
+}
+
+// islandResult folds the island states into the campaign Result: merged
+// archive (island order), summed evaluation counts, concatenated final
+// populations.
+func islandResult(states []*nsga2, eps []float64) *Result {
+	res := &Result{Archive: mergeIslandArchives(states, eps)}
+	for _, s := range states {
+		res.Evaluations += s.evals
+		res.FinalPopulation = append(res.FinalPopulation, s.pop...)
+	}
+	return res
 }
 
 // RunIslands executes an island-model NSGA-II campaign: iopt.Islands
@@ -236,47 +332,13 @@ func RunIslands(ctx context.Context, p Problem, opt Options, iopt IslandOptions)
 	pool := newEvalPool(p, opt.Workers)
 	defer pool.close()
 
-	// Per-island options: derived seed, no per-island callbacks — the
-	// campaign reports and checkpoints at the island level only.
-	states := make([]*nsga2, iopt.Islands)
-	for i := range states {
-		o := opt
-		o.Seed = IslandSeed(opt.Seed, i)
-		o.OnGeneration, o.OnProgress, o.OnCheckpoint = nil, nil, nil
-		o.Resume = nil
-		if iopt.Resume != nil {
-			o.Resume = iopt.Resume.States[i]
-		}
-		s, err := newNSGA2(p, o, pool)
-		if err != nil {
-			return nil, fmt.Errorf("moea: island %d: %w", i, err)
-		}
-		states[i] = s
+	states, err := buildIslandStates(p, opt, iopt.Resume, 0, iopt.Islands, pool)
+	if err != nil {
+		return nil, err
 	}
 
-	snapshot := func() *IslandCheckpoint {
-		cp := &IslandCheckpoint{
-			Format:       IslandCheckpointFormat,
-			Version:      IslandCheckpointVersion,
-			Seed:         opt.Seed,
-			Islands:      iopt.Islands,
-			MigrateEvery: iopt.MigrateEvery,
-			Migrants:     iopt.Migrants,
-			States:       make([]*Checkpoint, len(states)),
-		}
-		for i, s := range states {
-			cp.States[i] = s.snapshot()
-		}
-		return cp
-	}
-	result := func() *Result {
-		res := &Result{Archive: mergeIslandArchives(states, opt.ArchiveEpsilon)}
-		for _, s := range states {
-			res.Evaluations += s.evals
-			res.FinalPopulation = append(res.FinalPopulation, s.pop...)
-		}
-		return res
-	}
+	snapshot := func() *IslandCheckpoint { return snapshotIslands(states, opt, iopt) }
+	result := func() *Result { return islandResult(states, opt.ArchiveEpsilon) }
 	start := time.Now()
 
 	for {
@@ -294,10 +356,7 @@ func RunIslands(ctx context.Context, p Problem, opt Options, iopt IslandOptions)
 		if minGen >= opt.Generations {
 			break
 		}
-		boundary := (minGen/iopt.MigrateEvery + 1) * iopt.MigrateEvery
-		if boundary > opt.Generations {
-			boundary = opt.Generations
-		}
+		boundary := epochBoundary(minGen, iopt.MigrateEvery, opt.Generations)
 		for _, s := range states {
 			for s.gen < boundary {
 				if ctx.Err() != nil {
@@ -316,13 +375,12 @@ func RunIslands(ctx context.Context, p Problem, opt Options, iopt IslandOptions)
 		// cannot influence what is sent. Skipped after the final epoch —
 		// migrants could no longer influence any evaluation.
 		if boundary < opt.Generations && iopt.Islands > 1 {
-			migrants := make([][]*Individual, iopt.Islands)
+			pops := make([][]*Individual, len(states))
+			archives := make([][]*Individual, len(states))
 			for i, s := range states {
-				migrants[i] = selectMigrants(s.archive, iopt.Migrants)
+				pops[i], archives[i] = s.pop, s.archive
 			}
-			for i, s := range states {
-				s.inject(migrants[(i-1+iopt.Islands)%iopt.Islands])
-			}
+			migrateRing(pops, archives, iopt.Migrants)
 		}
 		if iopt.OnCheckpoint != nil && boundary < opt.Generations {
 			if err := iopt.OnCheckpoint(snapshot()); err != nil {

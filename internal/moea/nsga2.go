@@ -253,28 +253,37 @@ func (s *nsga2) result() *Result {
 }
 
 // inject replaces the worst individuals of the population with copies
-// of the migrants (island-model migration). "Worst" is the inverse of
-// the crowded-comparison order — highest rank first, lowest crowding
-// first, ties broken by population index — so the replacement set is
-// deterministic. At most half the population is replaced.
+// of the migrants (island-model migration).
 func (s *nsga2) inject(migrants []*Individual) {
+	injectMigrants(s.pop, migrants)
+}
+
+// injectMigrants replaces the worst individuals of pop with copies of
+// the migrants (island-model migration). "Worst" is the inverse of the
+// crowded-comparison order — highest rank first, lowest crowding first,
+// ties broken by population index — so the replacement set is a pure
+// function of (genotypes, objectives, population order): the in-process
+// epoch loop and the multi-process orchestrator performing the same
+// migration on deserialized state produce identical populations. At
+// most half the population is replaced.
+func injectMigrants(pop, migrants []*Individual) {
 	k := len(migrants)
-	if k > len(s.pop)/2 {
-		k = len(s.pop) / 2
+	if k > len(pop)/2 {
+		k = len(pop) / 2
 	}
 	if k == 0 {
 		return
 	}
-	fronts := sortFronts(s.pop)
+	fronts := sortFronts(pop)
 	for _, f := range fronts {
 		assignCrowding(f)
 	}
-	idx := make([]int, len(s.pop))
+	idx := make([]int, len(pop))
 	for i := range idx {
 		idx[i] = i
 	}
 	sort.SliceStable(idx, func(a, b int) bool {
-		ia, ib := s.pop[idx[a]], s.pop[idx[b]]
+		ia, ib := pop[idx[a]], pop[idx[b]]
 		if ia.rank != ib.rank {
 			return ia.rank > ib.rank
 		}
@@ -282,7 +291,7 @@ func (s *nsga2) inject(migrants []*Individual) {
 	})
 	for j := 0; j < k; j++ {
 		m := migrants[j]
-		s.pop[idx[j]] = &Individual{
+		pop[idx[j]] = &Individual{
 			Genotype:   append([]float64(nil), m.Genotype...),
 			Objectives: append(Objectives(nil), m.Objectives...),
 			Payload:    m.Payload,
