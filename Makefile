@@ -4,9 +4,10 @@
 GO ?= go
 
 .PHONY: ci build fmt-check vet test race bench-smoke bench bench-json \
-	bench-gate island-smoke resume-smoke sigint-smoke robust-smoke shard-smoke
+	bench-gate island-smoke resume-smoke sigint-smoke robust-smoke shard-smoke \
+	fleet-smoke
 
-ci: build fmt-check vet test race bench-smoke resume-smoke sigint-smoke robust-smoke island-smoke shard-smoke
+ci: build fmt-check vet test race bench-smoke resume-smoke sigint-smoke robust-smoke island-smoke shard-smoke fleet-smoke
 
 build:
 	$(GO) build ./...
@@ -28,7 +29,7 @@ test:
 # state behind the pooled per-worker decoder, and the fault-injection
 # layer feeding the robustness objective.
 race:
-	$(GO) test -race ./internal/faultsim/ ./internal/moea/ ./internal/core/ ./internal/pbsat/ ./internal/encode/ ./internal/objective/ ./internal/bistgen/ ./internal/can/ ./internal/gateway/ ./internal/shard/
+	$(GO) test -race ./internal/faultsim/ ./internal/moea/ ./internal/core/ ./internal/pbsat/ ./internal/encode/ ./internal/objective/ ./internal/bistgen/ ./internal/can/ ./internal/gateway/ ./internal/shard/ ./internal/fleet/
 
 # Fault-injection determinism through the CLI: a robust exploration
 # (4th objective from the seeded CAN error model) must produce
@@ -94,9 +95,9 @@ bench:
 # `make bench-json BENCHTIME=2s`) and override the output file with
 # BENCH_OUT=my-report.json.
 BENCHTIME ?= 1x
-BENCH_OUT ?= BENCH_7.json
+BENCH_OUT ?= BENCH_8.json
 bench-json:
-	$(GO) test -run=NONE -bench 'DecodeEvaluate|DSEParallel|EvalThroughput|Fig5_DSE|TransferUnderErrors|IslandEpoch' \
+	$(GO) test -run=NONE -bench 'DecodeEvaluate|DSEParallel|EvalThroughput|Fig5_DSE|TransferUnderErrors|IslandEpoch|FleetIngest' \
 		-benchmem -benchtime=$(BENCHTIME) . | $(GO) run ./cmd/benchjson -out $(BENCH_OUT)
 	@echo "wrote $(BENCH_OUT)"
 
@@ -115,7 +116,7 @@ MAX_REGRESS ?= 15%
 # decoder state) and reads ~2x the steady state.
 GATE_BENCHTIME ?= 1s
 bench-gate:
-	$(GO) test -run=NONE -bench 'DecodeEvaluate$$|DSEParallel|IslandEpoch' \
+	$(GO) test -run=NONE -bench 'DecodeEvaluate$$|DSEParallel|IslandEpoch|FleetIngest' \
 		-benchmem -benchtime=$(GATE_BENCHTIME) . | \
 		$(GO) run ./cmd/benchjson -out bench-current.json \
 			-compare BENCH_BASELINE.json -max-regress $(MAX_REGRESS)
@@ -181,3 +182,29 @@ shard-smoke:
 		-max-epochs 1 -resume $$tmp/kcp.json -checkpoint $$tmp/kcp2.json -summary >/dev/null 2>&1 || \
 		{ echo "recovery checkpoint did not resume" >&2; exit 1; }; \
 	echo "shard-smoke: mid-epoch kill left a consistent, resumable recovery checkpoint"
+
+# Fleet-service smoke through the CLI: the seeded population summary
+# must be byte-identical at any shard/worker count, the live HTTP
+# endpoints must serve, and SIGTERM must drain gracefully with a final
+# summary on stdout.
+fleet-smoke:
+	@tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) build -o $$tmp/fleetd ./cmd/fleetd || exit 1; \
+	$$tmp/fleetd -oneshot -vehicles 60 -ecus 3 -sessions-per-ecu 2 -fail-prob 0.3 \
+		-seed 5 -shards 1 -workers 1 2>/dev/null > $$tmp/sum1.json || exit 1; \
+	$$tmp/fleetd -oneshot -vehicles 60 -ecus 3 -sessions-per-ecu 2 -fail-prob 0.3 \
+		-seed 5 -shards 7 -workers 8 2>/dev/null > $$tmp/sum2.json || exit 1; \
+	cmp $$tmp/sum1.json $$tmp/sum2.json || { echo "fleet summary differs across shard/worker counts" >&2; exit 1; }; \
+	echo "fleet-smoke: seeded summary byte-identical at shards=1/workers=1 vs shards=7/workers=8"; \
+	$$tmp/fleetd -addr 127.0.0.1:0 -addr-file $$tmp/addr -vehicles 200 -ecus 4 -seed 3 \
+		> $$tmp/final.json 2> $$tmp/log & pid=$$!; \
+	for i in $$(seq 1 50); do [ -s $$tmp/addr ] && break; sleep 0.1; done; \
+	[ -s $$tmp/addr ] || { echo "fleetd never bound" >&2; cat $$tmp/log >&2; exit 1; }; \
+	addr=$$(cat $$tmp/addr); \
+	$$tmp/fleetd -get "http://$$addr/fleet/summary" > $$tmp/live.json || { kill $$pid; exit 1; }; \
+	grep -q '"vehicles"' $$tmp/live.json || { echo "summary endpoint malformed" >&2; kill $$pid; exit 1; }; \
+	$$tmp/fleetd -get "http://$$addr/fleet/failing" >/dev/null || { kill $$pid; exit 1; }; \
+	$$tmp/fleetd -get "http://$$addr/debug/vars" | grep -q '"fleet"' || { echo "expvar endpoint missing fleet" >&2; kill $$pid; exit 1; }; \
+	kill -TERM $$pid; wait $$pid || { echo "fleetd exited nonzero on SIGTERM" >&2; cat $$tmp/log >&2; exit 1; }; \
+	grep -q '"sessions_completed"' $$tmp/final.json || { echo "no final summary on drain" >&2; exit 1; }; \
+	echo "fleet-smoke: live endpoints served, SIGTERM drained with final summary"

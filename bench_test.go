@@ -16,6 +16,7 @@ import (
 	"repro/internal/diagnosis"
 	"repro/internal/dtc"
 	"repro/internal/faultsim"
+	"repro/internal/fleet"
 	"repro/internal/gateway"
 	"repro/internal/moea"
 	"repro/internal/netlist"
@@ -629,6 +630,45 @@ func BenchmarkTransferUnderErrors(b *testing.B) {
 		}
 		if !res.Delivered {
 			b.Fatalf("transfer failed: %+v", res)
+		}
+	}
+}
+
+// --- E15: fleet-scale ingest --------------------------------------------
+
+// BenchmarkFleetIngest measures the sharded fleet service end to end:
+// a seeded vehicle population streaming BIST records through the
+// reliable session machinery into the lock-striped ingest path, swept
+// over shard and worker counts to expose the contention profile.
+func BenchmarkFleetIngest(b *testing.B) {
+	cfg := fleet.PopulationConfig{
+		Vehicles:       256,
+		ECUs:           []string{"ecu01", "ecu02", "ecu03", "ecu04"},
+		SessionsPerECU: 1,
+		FailProb:       0.1,
+		Seed:           11,
+		ErrorRate:      1e-5,
+	}
+	for _, shards := range []int{1, 4, 8} {
+		for _, workers := range []int{1, 4, 8} {
+			b.Run(fmt.Sprintf("shards=%d/workers=%d", shards, workers), func(b *testing.B) {
+				c := cfg
+				c.Workers = workers
+				b.ReportAllocs()
+				sessions := 0
+				for i := 0; i < b.N; i++ {
+					srv := fleet.New(fleet.Config{Shards: shards})
+					res, err := fleet.RunPopulation(context.Background(), srv, c)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if res.Delivered != res.Sessions {
+						b.Fatalf("degraded sessions under benchmark config: %+v", res)
+					}
+					sessions += res.Sessions
+				}
+				b.ReportMetric(float64(sessions)/b.Elapsed().Seconds(), "sessions/s")
+			})
 		}
 	}
 }

@@ -1,0 +1,214 @@
+// Command fleetd runs the fleet-scale diagnosis service: a long-lived
+// HTTP server ingesting BIST fail-data sessions from a simulated
+// vehicle population over the gateway package's reliable chunked
+// transfer, and serving fleet-level statistics — failing-ECU
+// histograms, DTC-vs-structural repair rollups — as JSON.
+//
+// Modes:
+//
+//	fleetd                          serve, stream the seeded population, drain on SIGTERM
+//	fleetd -oneshot                 stream the population, print the summary JSON, exit
+//	fleetd -get URL                 HTTP GET a URL and print the body (smoke-test client)
+//
+// The population is fully determined by -seed (and the population
+// shape flags), so two -oneshot runs with equal flags print identical
+// bytes regardless of -shards and -workers.
+package main
+
+import (
+	"context"
+	"expvar"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"repro/internal/casestudy"
+	"repro/internal/core"
+	"repro/internal/dtc"
+	"repro/internal/fleet"
+	"repro/internal/gateway"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("fleetd: ")
+	var (
+		addr     = flag.String("addr", "127.0.0.1:8373", "listen address (use :0 for an ephemeral port)")
+		addrFile = flag.String("addr-file", "", "write the bound address to this file (port discovery)")
+		get      = flag.String("get", "", "client mode: GET this URL, print the body, exit")
+		oneshot  = flag.Bool("oneshot", false, "stream the population, print the summary JSON, exit")
+
+		shards      = flag.Int("shards", 8, "lock-striped shards")
+		records     = flag.Int("records", 4096, "fail-memory records per shard (ring capacity)")
+		sessionsCap = flag.Int("sessions-cap", 1024, "open reassembly sessions per shard")
+		vehiclesCap = flag.Int("vehicles-cap", 0, "tracked vehicles per shard (0 = unbounded)")
+
+		vehicles   = flag.Int("vehicles", 200, "population size")
+		ecus       = flag.Int("ecus", 4, "BIST-reporting ECUs per vehicle")
+		sessions   = flag.Int("sessions-per-ecu", 2, "BIST sessions per (vehicle, ECU) stream")
+		failProb   = flag.Float64("fail-prob", 0.1, "probability a session carries fail data")
+		errorRate  = flag.Float64("error-rate", 1e-5, "CAN bit error rate of each vehicle's segment")
+		seed       = flag.Uint64("seed", 1, "population seed")
+		workers    = flag.Int("workers", runtime.NumCPU(), "concurrent ingest workers")
+		chunkBytes = flag.Int("chunk-bytes", 64, "payload bytes per transfer chunk")
+		noArch     = flag.Bool("no-arch", false, "skip the case-study DTC context (no repair rollup)")
+	)
+	flag.Parse()
+
+	if *get != "" {
+		if err := client(*get); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	srv := fleet.New(fleet.Config{
+		Shards:           *shards,
+		PerShardRecords:  *records,
+		PerShardSessions: *sessionsCap,
+		PerShardVehicles: *vehiclesCap,
+	})
+	if !*noArch {
+		arch, err := buildArch(*ecus)
+		if err != nil {
+			log.Fatalf("case-study arch: %v", err)
+		}
+		srv.SetArch(arch)
+	}
+
+	names := make([]string, *ecus)
+	for i := range names {
+		names[i] = fmt.Sprintf("ecu%02d", i+1)
+	}
+	pcfg := fleet.PopulationConfig{
+		Vehicles:       *vehicles,
+		ECUs:           names,
+		SessionsPerECU: *sessions,
+		FailProb:       *failProb,
+		Seed:           *seed,
+		ErrorRate:      *errorRate,
+		Session:        gateway.SessionConfig{ChunkBytes: *chunkBytes},
+		Workers:        *workers,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if *oneshot {
+		res, err := fleet.RunPopulation(ctx, srv, pcfg)
+		if err != nil {
+			log.Fatalf("population: %v", err)
+		}
+		log.Printf("population: %d sessions, %d delivered, %d degraded, %.1f bus-ms",
+			res.Sessions, res.Delivered, res.Degraded, res.BusMS)
+		js, err := srv.SummaryJSON()
+		if err != nil {
+			log.Fatal(err)
+		}
+		os.Stdout.Write(append(js, '\n'))
+		return
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(ln.Addr().String()), 0o644); err != nil {
+			log.Fatal(err)
+		}
+	}
+	log.Printf("listening on %s", ln.Addr())
+
+	mux := http.NewServeMux()
+	mux.Handle("/fleet/", srv.Handler())
+	mux.Handle("/debug/vars", expvar.Handler())
+	expvar.Publish("fleet", expvar.Func(func() any { return srv.Summary() }))
+	hs := &http.Server{Handler: mux}
+	go func() {
+		if err := hs.Serve(ln); err != http.ErrServerClosed {
+			log.Fatalf("serve: %v", err)
+		}
+	}()
+
+	// Stream the population in the background; keep serving after it
+	// finishes so the endpoints stay queryable.
+	popDone := make(chan struct{})
+	go func() {
+		defer close(popDone)
+		res, err := fleet.RunPopulation(ctx, srv, pcfg)
+		if err != nil {
+			log.Printf("population stopped: %v", err)
+		}
+		log.Printf("population: %d sessions, %d delivered, %d degraded, %.1f bus-ms",
+			res.Sessions, res.Delivered, res.Degraded, res.BusMS)
+	}()
+
+	<-ctx.Done()
+	stop()
+	log.Print("signal received; draining")
+	<-popDone // the population context is cancelled; it stops at a session boundary
+	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(shutCtx); err != nil {
+		log.Printf("shutdown: %v", err)
+	}
+	js, err := srv.SummaryJSON()
+	if err != nil {
+		log.Fatal(err)
+	}
+	os.Stdout.Write(append(js, '\n'))
+	log.Print("drained")
+}
+
+// client GETs url and streams the body to stdout — the smoke test's
+// curl replacement.
+func client(url string) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if _, err := io.Copy(os.Stdout, resp.Body); err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	return nil
+}
+
+// buildArch derives the DTC context from the case-study subnet with
+// nECUs ECUs (named ecu01… like the population), bound by the greedy
+// decoder at the all-0.9 genotype — the BIST-everywhere corner used
+// across the experiments.
+func buildArch(nECUs int) (*fleet.Arch, error) {
+	if nECUs < 2 {
+		nECUs = 2
+	}
+	spec, err := casestudy.Small(nECUs, 4, 7)
+	if err != nil {
+		return nil, err
+	}
+	dec, err := core.NewGreedyDecoder(spec)
+	if err != nil {
+		return nil, err
+	}
+	g := make([]float64, dec.GenotypeLen())
+	for i := range g {
+		g[i] = 0.9
+	}
+	x, err := dec.Decode(g)
+	if err != nil {
+		return nil, err
+	}
+	return &fleet.Arch{Codes: dtc.DeriveCodes(x)}, nil
+}

@@ -90,7 +90,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	sink := gateway.NewAssembler(snd.SessionID(), snd.NumChunks())
+	sink, err := gateway.NewAssembler(snd.SessionID(), snd.NumChunks())
+	if err != nil {
+		log.Fatal(err)
+	}
 	ch := gateway.NewFaultyChannel(bus, harsh, sink)
 	first := snd.Run(ch)
 	fmt.Printf("harsh burst (BER 5e-3): delivered=%v, local fallback=%v, controller %v, resume at chunk %d/%d\n",

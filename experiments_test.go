@@ -508,7 +508,10 @@ func TestExperimentE12(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sink := gateway.NewAssembler(snd.SessionID(), snd.NumChunks())
+	sink, err := gateway.NewAssembler(snd.SessionID(), snd.NumChunks())
+	if err != nil {
+		t.Fatal(err)
+	}
 	harsh := gateway.NewFaultyChannel(bus, can.ErrorModel{BitErrorRate: 2e-2, Seed: 9}, sink)
 	first := snd.Run(harsh)
 	if first.Delivered || !first.LocalFallback {

@@ -1,0 +1,315 @@
+// Package fleet scales the paper's central collection task b^R from
+// one vehicle to a fleet: a long-running multi-tenant diagnosis
+// service into which many vehicles concurrently stream their ECUs'
+// BIST fail data over the reliable chunked sessions of the gateway
+// package (SDVDiag's ingest-analyze-report shape).
+//
+// Per-vehicle session state is sharded across N lock-striped shards
+// (vehicle-ID hash selects the shard); each shard owns its reassembly
+// Assemblers, its bounded fail-memory Collector, and its session
+// counters, so ingest from different vehicles contends only within a
+// shard. Memory is bounded end to end: the per-shard Collector is a
+// ring of PerShardRecords slots, the number of concurrently open
+// reassembly sessions and tracked vehicles is capped, and hitting a
+// cap rejects the session with a typed error — the sending vehicle
+// falls back to the session layer's degraded mode (fail data stays in
+// local b^D storage) and retries later, exactly as it would on a
+// degraded bus.
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sync"
+
+	"repro/internal/dtc"
+	"repro/internal/gateway"
+)
+
+// Config sizes the service. Zero values select the defaults.
+type Config struct {
+	// Shards is the number of lock stripes (default 8).
+	Shards int
+	// PerShardRecords bounds each shard's fail-memory ring
+	// (gateway.Collector Capacity; default 4096).
+	PerShardRecords int
+	// PerShardSessions bounds the concurrently open reassembly sessions
+	// per shard (default 1024). Opening one beyond the cap is rejected
+	// with ErrSessionsFull.
+	PerShardSessions int
+	// PerShardVehicles bounds the vehicles tracked per shard
+	// (0 = unbounded). A new vehicle beyond the cap is rejected with
+	// ErrVehiclesFull.
+	PerShardVehicles int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Shards <= 0 {
+		c.Shards = 8
+	}
+	if c.PerShardRecords <= 0 {
+		c.PerShardRecords = 4096
+	}
+	if c.PerShardSessions <= 0 {
+		c.PerShardSessions = 1024
+	}
+	return c
+}
+
+// Typed ingest errors, distinguishable with errors.Is. The
+// backpressure pair (ErrSessionsFull, ErrVehiclesFull) tells the
+// sender to degrade into local storage and retry later; the protocol
+// errors mark streams that can never complete.
+var (
+	// ErrSessionsFull rejects a new session on a shard whose reassembly
+	// slots are exhausted — backpressure, not failure.
+	ErrSessionsFull = errors.New("fleet: shard reassembly sessions exhausted")
+	// ErrVehiclesFull rejects the first session of a vehicle on a shard
+	// whose vehicle table is full.
+	ErrVehiclesFull = errors.New("fleet: shard vehicle table full")
+	// ErrUnknownSession marks a non-initial chunk for a stream with no
+	// open session (never opened, or already completed).
+	ErrUnknownSession = errors.New("fleet: chunk for unknown session")
+	// ErrStaleSession marks a session number at or below the last
+	// completed one of its (vehicle, ECU) stream — a replay.
+	ErrStaleSession = errors.New("fleet: stale session number")
+	// ErrECUMismatch marks a completed record whose embedded ECU name
+	// differs from the stream it arrived on.
+	ErrECUMismatch = errors.New("fleet: record names a different ECU than its stream")
+)
+
+// Server is the fleet-scale diagnosis service. All methods are safe
+// for concurrent use.
+type Server struct {
+	cfg    Config
+	shards []*shard
+
+	// arch, when set, grounds the DTC repair rollup of Summary in an
+	// E/E-architecture's trouble codes. Set before serving.
+	arch *Arch
+}
+
+// New builds a server with cfg's shard layout.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{cfg: cfg, shards: make([]*shard, cfg.Shards)}
+	for i := range s.shards {
+		s.shards[i] = &shard{
+			cfg:       cfg,
+			collector: gateway.Collector{Capacity: cfg.PerShardRecords},
+			open:      make(map[streamKey]*gateway.Assembler),
+			vehicles:  make(map[string]*vehicleState),
+		}
+	}
+	return s
+}
+
+// Arch is the architectural context of the fleet's DTC rollup: the
+// trouble codes of the E/E-architecture's functional applications
+// (dtc.DeriveCodes), whose ambiguity sets the structural fail data is
+// compared against.
+type Arch struct {
+	Codes []dtc.TroubleCode
+}
+
+// SetArch attaches the architectural context. Call before serving;
+// the field is read without synchronization.
+func (s *Server) SetArch(a *Arch) { s.arch = a }
+
+// NumShards returns the shard count.
+func (s *Server) NumShards() int { return len(s.shards) }
+
+// ShardOf returns the shard index owning a vehicle (FNV-1a of the ID).
+func (s *Server) ShardOf(vehicle string) int {
+	h := fnv.New32a()
+	h.Write([]byte(vehicle))
+	return int(h.Sum32() % uint32(len(s.shards)))
+}
+
+// streamKey identifies one (vehicle, ECU) chunk stream. An ECU streams
+// its sessions sequentially, so at most one session per stream is open
+// at a time.
+type streamKey struct {
+	vehicle, ecu string
+}
+
+// shard is one lock stripe: a bounded fail memory, the open reassembly
+// sessions, and the per-vehicle session bookkeeping of its vehicles.
+type shard struct {
+	mu        sync.Mutex
+	cfg       Config
+	collector gateway.Collector
+	open      map[streamKey]*gateway.Assembler
+	free      []*gateway.Assembler // recycled assemblers (pool discipline)
+	vehicles  map[string]*vehicleState
+	stats     counters
+}
+
+// vehicleState is the per-vehicle session bookkeeping.
+type vehicleState struct {
+	ecus map[string]*ecuState
+}
+
+// ecuState tracks one (vehicle, ECU) stream.
+type ecuState struct {
+	// Sessions counts completed (stored) sessions.
+	Sessions uint32
+	// LastSession is the highest completed session number.
+	LastSession uint32
+	// FailSessions counts completed sessions with non-empty fail data.
+	FailSessions uint32
+	// Failing mirrors the most recent session's verdict.
+	Failing bool
+	// LastEntries/LastWindows describe the most recent fail data.
+	LastEntries int
+	LastWindows int
+}
+
+// counters are one shard's monotonic ingest statistics.
+type counters struct {
+	Chunks            uint64 // chunks offered to the shard
+	ChunkErrors       uint64 // chunks rejected by the assembler (CRC, gap, duplicate)
+	SessionsOpened    uint64
+	SessionsCompleted uint64
+	SessionsRejected  uint64 // backpressure rejections (either cap)
+	StaleSessions     uint64
+	CorruptRecords    uint64 // completed sessions whose record failed to parse
+}
+
+func (c *counters) add(o counters) {
+	c.Chunks += o.Chunks
+	c.ChunkErrors += o.ChunkErrors
+	c.SessionsOpened += o.SessionsOpened
+	c.SessionsCompleted += o.SessionsCompleted
+	c.SessionsRejected += o.SessionsRejected
+	c.StaleSessions += o.StaleSessions
+	c.CorruptRecords += o.CorruptRecords
+}
+
+// IngestChunk processes one delivered chunk of a (vehicle, ECU)
+// stream. A chunk with Seq 0 opens the stream's session (subject to
+// the shard's backpressure caps); the chunk completing a session
+// parses and stores the record and retires the assembler. Errors are
+// typed: backpressure (ErrSessionsFull, ErrVehiclesFull) means "retry
+// later", assembler errors (gateway.ErrChunkCRC, ErrChunkGap,
+// ErrChunkDuplicate) mean "retransmit", the rest are protocol
+// violations.
+func (s *Server) IngestChunk(vehicle, ecu string, c gateway.Chunk) error {
+	return s.shards[s.ShardOf(vehicle)].ingest(vehicle, ecu, c)
+}
+
+func (sh *shard) ingest(vehicle, ecu string, c gateway.Chunk) error {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.stats.Chunks++
+
+	vs := sh.vehicles[vehicle]
+	if vs == nil {
+		if sh.cfg.PerShardVehicles > 0 && len(sh.vehicles) >= sh.cfg.PerShardVehicles {
+			sh.stats.SessionsRejected++
+			return fmt.Errorf("%w: %d tracked", ErrVehiclesFull, len(sh.vehicles))
+		}
+		vs = &vehicleState{ecus: make(map[string]*ecuState)}
+		sh.vehicles[vehicle] = vs
+	}
+	es := vs.ecus[ecu]
+	if es == nil {
+		es = &ecuState{}
+		vs.ecus[ecu] = es
+	}
+
+	key := streamKey{vehicle: vehicle, ecu: ecu}
+	asm := sh.open[key]
+	if asm != nil && c.Session != asm.Session && c.Seq == 0 {
+		// The sender abandoned the open session (degraded-mode fallback)
+		// and opened a fresh one with a bumped counter: the new session
+		// supersedes the half-assembled old one instead of wedging the
+		// stream. Replays still bounce off the stale check below.
+		delete(sh.open, key)
+		sh.recycleAssembler(asm)
+		asm = nil
+	}
+	if asm == nil {
+		if c.Seq != 0 {
+			return fmt.Errorf("%w: %s/%s seq %d", ErrUnknownSession, vehicle, ecu, c.Seq)
+		}
+		if es.LastSession > 0 && c.Session <= es.LastSession {
+			sh.stats.StaleSessions++
+			return fmt.Errorf("%w: %s/%s session %d, last completed %d",
+				ErrStaleSession, vehicle, ecu, c.Session, es.LastSession)
+		}
+		if len(sh.open) >= sh.cfg.PerShardSessions {
+			sh.stats.SessionsRejected++
+			return fmt.Errorf("%w: %d open", ErrSessionsFull, len(sh.open))
+		}
+		var err error
+		if asm, err = sh.takeAssembler(c.Session, c.Total); err != nil {
+			return err
+		}
+		sh.open[key] = asm
+		sh.stats.SessionsOpened++
+	}
+
+	if err := asm.Accept(c); err != nil {
+		sh.stats.ChunkErrors++
+		return err
+	}
+	if !asm.Complete() {
+		return nil
+	}
+
+	// Session complete: retire the assembler, parse, store.
+	delete(sh.open, key)
+	defer sh.recycleAssembler(asm)
+	blob, err := asm.Bytes()
+	if err != nil {
+		return err // unreachable: Complete() held
+	}
+	rec, err := gateway.Unmarshal(blob)
+	if err != nil {
+		sh.stats.CorruptRecords++
+		return fmt.Errorf("fleet: reassembled record corrupt: %w", err)
+	}
+	if rec.ECU != ecu {
+		sh.stats.CorruptRecords++
+		return fmt.Errorf("%w: stream %s/%s carries record of %q", ErrECUMismatch, vehicle, ecu, rec.ECU)
+	}
+	stored := rec
+	stored.ECU = vehicle + "/" + ecu
+	sh.collector.Store(stored)
+
+	es.Sessions++
+	es.LastSession = rec.Session
+	es.Failing = !rec.Fail.Pass()
+	es.LastEntries = len(rec.Fail.Entries)
+	es.LastWindows = rec.Fail.Windows
+	if es.Failing {
+		es.FailSessions++
+	}
+	sh.stats.SessionsCompleted++
+	return nil
+}
+
+// takeAssembler arms an assembler from the shard's free list, or a
+// fresh one.
+func (sh *shard) takeAssembler(session uint32, total uint16) (*gateway.Assembler, error) {
+	if n := len(sh.free); n > 0 {
+		a := sh.free[n-1]
+		sh.free = sh.free[:n-1]
+		if err := a.Reset(session, total); err != nil {
+			sh.free = append(sh.free, a)
+			return nil, err
+		}
+		return a, nil
+	}
+	return gateway.NewAssembler(session, total)
+}
+
+// recycleAssembler returns a retired assembler to the free list,
+// keeping its buffer capacity for the next session.
+func (sh *shard) recycleAssembler(a *gateway.Assembler) {
+	if len(sh.free) < 64 {
+		sh.free = append(sh.free, a)
+	}
+}

@@ -1,0 +1,201 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/can"
+	"repro/internal/gateway"
+	"repro/internal/stumps"
+)
+
+// PopulationConfig describes a simulated vehicle population streaming
+// BIST sessions into a Server. Everything is derived from Seed and the
+// vehicle index, so a population's outcome is a pure function of its
+// config — independent of worker count, shard count, and goroutine
+// interleaving (as long as the server's caps are not hit).
+type PopulationConfig struct {
+	// Vehicles is the population size; IDs are "veh00000"….
+	Vehicles int
+	// ECUs are the per-vehicle ECU names reporting BIST sessions.
+	ECUs []string
+	// SessionsPerECU is the number of BIST sessions each (vehicle, ECU)
+	// stream reports (default 1).
+	SessionsPerECU int
+	// FailProb is the probability a session carries fail data.
+	FailProb float64
+	// Windows is the BIST window count per session (default 64);
+	// MaxEntries the largest fail-entry count of a failing session
+	// (default 8).
+	Windows    int
+	MaxEntries int
+	// Seed roots every vehicle's deterministic streams.
+	Seed uint64
+	// Bus and ErrorRate describe each vehicle's CAN segment to the
+	// gateway; Session tunes the sender's retry machinery.
+	Bus       can.Bus
+	ErrorRate float64
+	Session   gateway.SessionConfig
+	// Workers is the ingest concurrency (default 1). Vehicles are
+	// claimed whole, so results are identical at any worker count.
+	Workers int
+}
+
+func (c PopulationConfig) withDefaults() PopulationConfig {
+	if c.SessionsPerECU <= 0 {
+		c.SessionsPerECU = 1
+	}
+	if c.Windows <= 0 {
+		c.Windows = 64
+	}
+	if c.MaxEntries <= 0 {
+		c.MaxEntries = 8
+	}
+	if c.Workers <= 0 {
+		c.Workers = 1
+	}
+	if c.Bus.BitRate == 0 {
+		c.Bus = can.Bus{Name: "diag", BitRate: 500_000, Format: can.Standard}
+	}
+	return c
+}
+
+// PopulationResult aggregates the sender-side outcome of a population
+// run.
+type PopulationResult struct {
+	// Sessions is the number of transfer sessions attempted; Delivered
+	// the fully acknowledged ones; Degraded the local-fallback aborts
+	// (bus degradation or server backpressure).
+	Sessions  int
+	Delivered int
+	Degraded  int
+	// ChunksSent and Retries count wire activity; BusMS the simulated
+	// bus time consumed across all vehicles.
+	ChunksSent int
+	Retries    int
+	BusMS      float64
+}
+
+func (r *PopulationResult) add(o PopulationResult) {
+	r.Sessions += o.Sessions
+	r.Delivered += o.Delivered
+	r.Degraded += o.Degraded
+	r.ChunksSent += o.ChunksSent
+	r.Retries += o.Retries
+	r.BusMS += o.BusMS
+}
+
+// serverSink adapts one (vehicle, ECU) stream onto the server's
+// sharded ingest, satisfying gateway.ChunkSink so FaultyChannel's wire
+// and error-confinement machinery is reused verbatim.
+type serverSink struct {
+	srv          *Server
+	vehicle, ecu string
+}
+
+func (s serverSink) Accept(c gateway.Chunk) error {
+	return s.srv.IngestChunk(s.vehicle, s.ecu, c)
+}
+
+// splitmix-style seed derivation: vehicle and ECU indices select
+// disjoint deterministic streams from one root seed.
+func deriveSeed(root uint64, v, e int) uint64 {
+	return root ^ (uint64(v)+1)*0x9E3779B97F4A7C15 ^ (uint64(e)+1)*0xBF58476D1CE4E5B9
+}
+
+// genFail draws one session's fail data from the stream.
+func genFail(rng *can.ErrorStream, cfg PopulationConfig) stumps.FailData {
+	fd := stumps.FailData{Windows: cfg.Windows}
+	if rng.Float64() >= cfg.FailProb {
+		return fd
+	}
+	n := 1 + int(rng.Uint64()%uint64(cfg.MaxEntries))
+	for i := 0; i < n; i++ {
+		got := rng.Uint64()
+		fd.Entries = append(fd.Entries, stumps.FailEntry{
+			Window: int(rng.Uint64() % uint64(cfg.Windows)),
+			Got:    got,
+			Want:   got ^ 1, // a fail entry is a signature mismatch by definition
+		})
+	}
+	return fd
+}
+
+// runVehicle streams one vehicle's sessions into the server. Each
+// (vehicle, ECU) stream keeps one FaultyChannel across its sessions so
+// the TEC error-confinement state carries over, exactly like a real
+// controller.
+func runVehicle(ctx context.Context, srv *Server, cfg PopulationConfig, v int) (PopulationResult, error) {
+	var res PopulationResult
+	vehicle := fmt.Sprintf("veh%05d", v)
+	for e, ecu := range cfg.ECUs {
+		seed := deriveSeed(cfg.Seed, v, e)
+		rng := can.NewErrorStream(seed)
+		ch := gateway.NewFaultyChannel(cfg.Bus,
+			can.ErrorModel{BitErrorRate: cfg.ErrorRate, Seed: seed ^ 0x94D049BB133111EB},
+			serverSink{srv: srv, vehicle: vehicle, ecu: ecu})
+		var sid uint32
+		for n := 0; n < cfg.SessionsPerECU; n++ {
+			if err := ctx.Err(); err != nil {
+				return res, err
+			}
+			sid++
+			sess, err := gateway.NewSession(ecu, sid, genFail(rng, cfg), cfg.Session)
+			if err != nil {
+				return res, err
+			}
+			out := sess.Run(ch)
+			res.Sessions++
+			res.ChunksSent += out.ChunksSent
+			res.Retries += out.Retries
+			res.BusMS += out.ElapsedMS
+			if out.Delivered {
+				res.Delivered++
+			} else {
+				res.Degraded++
+			}
+		}
+	}
+	return res, nil
+}
+
+// RunPopulation streams the whole population into srv with
+// cfg.Workers concurrent vehicles. Workers claim vehicles whole and
+// per-vehicle results are folded in vehicle order, so the result (and
+// the server's Summary, caps permitting) is byte-identical at any
+// worker count. The context cancels between sessions — a drain point
+// for graceful shutdown.
+func RunPopulation(ctx context.Context, srv *Server, cfg PopulationConfig) (PopulationResult, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.ECUs) == 0 {
+		return PopulationResult{}, fmt.Errorf("fleet: population has no ECUs")
+	}
+	results := make([]PopulationResult, cfg.Vehicles)
+	errs := make([]error, cfg.Vehicles)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				v := int(next.Add(1)) - 1
+				if v >= cfg.Vehicles {
+					return
+				}
+				results[v], errs[v] = runVehicle(ctx, srv, cfg, v)
+			}
+		}()
+	}
+	wg.Wait()
+	var total PopulationResult
+	for v := 0; v < cfg.Vehicles; v++ {
+		total.add(results[v])
+		if errs[v] != nil {
+			return total, errs[v]
+		}
+	}
+	return total, nil
+}

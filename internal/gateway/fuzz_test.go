@@ -6,9 +6,11 @@ import (
 )
 
 // FuzzUnmarshal feeds arbitrary bytes through the wire-format parser:
-// no panics, anything accepted must survive a Marshal round trip, and
+// no panics, anything accepted must survive a Marshal round trip,
 // appending garbage to an accepted blob must be rejected with the typed
-// trailing-garbage error.
+// trailing-garbage error, and truncating one must be rejected as
+// ErrTruncated — including cuts inside the ECU name, where a
+// short-read-tolerant parser would silently misparse.
 func FuzzUnmarshal(f *testing.F) {
 	good, err := Marshal(Record{ECU: "ecu01", Session: 3, Fail: sampleFail(2)})
 	if err != nil {
@@ -17,6 +19,11 @@ func FuzzUnmarshal(f *testing.F) {
 	f.Add(good)
 	f.Add([]byte{})
 	f.Add([]byte{1, 2, 3})
+	// Short-name seeds: declared name length exceeds the remaining data.
+	f.Add([]byte{1, 0, 0, 0, 0xFF, 0xFF, 'a', 'b', 'c'})
+	f.Add(good[:4+2+3]) // cut inside "ecu01"
+	shortName := append([]byte(nil), good[:4+2+3]...)
+	f.Add(append(shortName, 8, 0, 0, 0)) // short name, ≥4 plausible trailing bytes
 	f.Fuzz(func(t *testing.T, data []byte) {
 		r, err := Unmarshal(data)
 		if err != nil {
@@ -35,6 +42,18 @@ func FuzzUnmarshal(f *testing.F) {
 		}
 		if _, err := Unmarshal(append(b, 0xEE)); !errors.Is(err, ErrTrailingGarbage) {
 			t.Fatalf("garbage-appended record accepted: %v", err)
+		}
+		// Any strict prefix is a truncation: the format has no optional
+		// tail. Cut once mid-name (when there is a name) and once before
+		// the final byte.
+		if _, err := Unmarshal(b[:len(b)-1]); !errors.Is(err, ErrTruncated) {
+			t.Fatalf("one-byte truncation accepted: %v", err)
+		}
+		if len(r.ECU) > 0 {
+			cut := 4 + 2 + len(r.ECU)/2
+			if _, err := Unmarshal(b[:cut]); !errors.Is(err, ErrTruncated) {
+				t.Fatalf("mid-name truncation accepted: %v", err)
+			}
 		}
 	})
 }

@@ -11,6 +11,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"io"
 	"sort"
 
 	"repro/internal/stumps"
@@ -27,6 +28,10 @@ var (
 	// the same (ECU, session) pair — a replay or a torn write, never a
 	// legal fail memory.
 	ErrDuplicateSequence = errors.New("gateway: duplicate sequence number")
+	// ErrTruncated marks a record blob that ends before a declared field —
+	// as opposed to ErrTrailingGarbage, which marks bytes left over after
+	// a complete one.
+	ErrTruncated = errors.New("gateway: truncated record")
 )
 
 // Record is one stored BIST session result.
@@ -39,12 +44,69 @@ type Record struct {
 // Collector is the gateway-side fail memory. The zero value is ready
 // to use; Capacity bounds the stored records (oldest evicted first,
 // 0 = unbounded).
+//
+// Bounded collectors store their records in a ring whose backing array
+// never exceeds Capacity slots: eviction overwrites the oldest slot in
+// place, so a long-running collector — a fleet shard ingesting for
+// days — holds O(Capacity) memory, and the evicted records' fail-data
+// payloads become garbage immediately instead of staying pinned by a
+// re-sliced append buffer.
 type Collector struct {
 	Capacity int
 
 	records []Record
+	head    int // index of the oldest record once the ring has wrapped
 	counter map[string]uint32
 }
+
+// push appends one record, evicting the oldest when Capacity is
+// exceeded.
+func (c *Collector) push(rec Record) {
+	switch {
+	case c.Capacity <= 0:
+		c.records = append(c.records, rec)
+	case len(c.records) < c.Capacity:
+		// Still filling: head stays 0, the slice is in ingestion order.
+		// Growth is doubled manually and clamped to Capacity — append's
+		// size-class rounding would otherwise overshoot the bound.
+		if cap(c.records) == len(c.records) {
+			grown := 2 * cap(c.records)
+			if grown == 0 {
+				grown = 8
+			}
+			if grown > c.Capacity {
+				grown = c.Capacity
+			}
+			fresh := make([]Record, len(c.records), grown)
+			copy(fresh, c.records)
+			c.records = fresh
+		}
+		c.records = append(c.records, rec)
+	default:
+		if len(c.records) > c.Capacity {
+			// Capacity was lowered between ingests: move the newest
+			// records into a right-sized buffer, releasing the oversized
+			// backing array.
+			all := c.Records()
+			c.records = make([]Record, c.Capacity)
+			copy(c.records, all[len(all)-c.Capacity:])
+			c.head = 0
+		}
+		c.records[c.head] = rec
+		c.head = (c.head + 1) % len(c.records)
+	}
+}
+
+// forEach visits the stored records oldest first.
+func (c *Collector) forEach(fn func(r *Record)) {
+	n := len(c.records)
+	for i := 0; i < n; i++ {
+		fn(&c.records[(c.head+i)%n])
+	}
+}
+
+// Len returns the number of stored records.
+func (c *Collector) Len() int { return len(c.records) }
 
 // Ingest stores the fail data of one completed session and returns the
 // assigned session number.
@@ -54,26 +116,32 @@ func (c *Collector) Ingest(ecu string, fd stumps.FailData) uint32 {
 	}
 	c.counter[ecu]++
 	rec := Record{ECU: ecu, Session: c.counter[ecu], Fail: fd}
-	c.records = append(c.records, rec)
-	if c.Capacity > 0 && len(c.records) > c.Capacity {
-		c.records = c.records[len(c.records)-c.Capacity:]
-	}
+	c.push(rec)
 	return rec.Session
+}
+
+// Store stores an externally sequenced record verbatim, without
+// touching the collector's own session counters — the fleet ingest
+// path, where the reporting vehicle assigns the session numbers.
+func (c *Collector) Store(rec Record) {
+	c.push(rec)
 }
 
 // Records returns all stored records in ingestion order.
 func (c *Collector) Records() []Record {
-	return append([]Record(nil), c.records...)
+	out := make([]Record, 0, len(c.records))
+	c.forEach(func(r *Record) { out = append(out, *r) })
+	return out
 }
 
 // ByECU returns the stored records of one ECU.
 func (c *Collector) ByECU(ecu string) []Record {
 	var out []Record
-	for _, r := range c.records {
+	c.forEach(func(r *Record) {
 		if r.ECU == ecu {
-			out = append(out, r)
+			out = append(out, *r)
 		}
-	}
+	})
 	return out
 }
 
@@ -81,11 +149,11 @@ func (c *Collector) ByECU(ecu string) []Record {
 // the workshop-repair answer.
 func (c *Collector) FailingECUs() []string {
 	set := make(map[string]bool)
-	for _, r := range c.records {
+	c.forEach(func(r *Record) {
 		if !r.Fail.Pass() {
 			set[r.ECU] = true
 		}
-	}
+	})
 	out := make([]string, 0, len(set))
 	for e := range set {
 		out = append(out, e)
@@ -97,6 +165,7 @@ func (c *Collector) FailingECUs() []string {
 // Clear erases the fail memory (workshop "clear DTCs" analogue).
 func (c *Collector) Clear() {
 	c.records = nil
+	c.head = 0
 }
 
 // StorageBytes returns the current memory footprint of the stored fail
@@ -104,9 +173,9 @@ func (c *Collector) Clear() {
 // 638 bytes per session.
 func (c *Collector) StorageBytes() int {
 	n := 0
-	for _, r := range c.records {
+	c.forEach(func(r *Record) {
 		n += recordHeaderBytes + len(r.ECU) + r.Fail.SizeBytes(32)
-	}
+	})
 	return n
 }
 
@@ -149,34 +218,37 @@ func Unmarshal(data []byte) (Record, error) {
 	var r Record
 	var ecuLen, windows, nEntries uint16
 	if err := binary.Read(buf, binary.LittleEndian, &r.Session); err != nil {
-		return Record{}, fmt.Errorf("gateway: truncated session: %w", err)
+		return Record{}, fmt.Errorf("%w: session: %v", ErrTruncated, err)
 	}
 	if err := binary.Read(buf, binary.LittleEndian, &ecuLen); err != nil {
-		return Record{}, fmt.Errorf("gateway: truncated name length: %w", err)
+		return Record{}, fmt.Errorf("%w: name length: %v", ErrTruncated, err)
 	}
 	name := make([]byte, ecuLen)
-	if _, err := buf.Read(name); err != nil || buf.Len() < 4 {
-		return Record{}, fmt.Errorf("gateway: truncated name")
+	if _, err := io.ReadFull(buf, name); err != nil {
+		// io.ReadFull never tolerates a short read the way buf.Read does:
+		// a blob ending inside the declared name is truncated, full stop,
+		// regardless of what (if anything) follows.
+		return Record{}, fmt.Errorf("%w: ECU name: %v", ErrTruncated, err)
 	}
 	r.ECU = string(name)
 	if err := binary.Read(buf, binary.LittleEndian, &windows); err != nil {
-		return Record{}, err
+		return Record{}, fmt.Errorf("%w: windows: %v", ErrTruncated, err)
 	}
 	if err := binary.Read(buf, binary.LittleEndian, &nEntries); err != nil {
-		return Record{}, err
+		return Record{}, fmt.Errorf("%w: entry count: %v", ErrTruncated, err)
 	}
 	r.Fail.Windows = int(windows)
 	for i := 0; i < int(nEntries); i++ {
 		var w uint16
 		var e stumps.FailEntry
 		if err := binary.Read(buf, binary.LittleEndian, &w); err != nil {
-			return Record{}, fmt.Errorf("gateway: truncated entry %d: %w", i, err)
+			return Record{}, fmt.Errorf("%w: entry %d: %v", ErrTruncated, i, err)
 		}
 		if err := binary.Read(buf, binary.LittleEndian, &e.Got); err != nil {
-			return Record{}, fmt.Errorf("gateway: truncated entry %d: %w", i, err)
+			return Record{}, fmt.Errorf("%w: entry %d: %v", ErrTruncated, i, err)
 		}
 		if err := binary.Read(buf, binary.LittleEndian, &e.Want); err != nil {
-			return Record{}, fmt.Errorf("gateway: truncated entry %d: %w", i, err)
+			return Record{}, fmt.Errorf("%w: entry %d: %v", ErrTruncated, i, err)
 		}
 		e.Window = int(w)
 		r.Fail.Entries = append(r.Fail.Entries, e)
@@ -191,13 +263,21 @@ func Unmarshal(data []byte) (Record, error) {
 // record.
 func (c *Collector) Export() ([]byte, error) {
 	var buf bytes.Buffer
-	for _, r := range c.records {
-		b, err := Marshal(r)
+	var exportErr error
+	c.forEach(func(r *Record) {
+		if exportErr != nil {
+			return
+		}
+		b, err := Marshal(*r)
 		if err != nil {
-			return nil, err
+			exportErr = err
+			return
 		}
 		binary.Write(&buf, binary.LittleEndian, uint32(len(b)))
 		buf.Write(b)
+	})
+	if exportErr != nil {
+		return nil, exportErr
 	}
 	return buf.Bytes(), nil
 }

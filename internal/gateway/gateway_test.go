@@ -1,6 +1,8 @@
 package gateway
 
 import (
+	"errors"
+	"fmt"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -51,6 +53,65 @@ func TestCapacityEvictsOldest(t *testing.T) {
 	recs := c.Records()
 	if len(recs) != 2 || recs[0].ECU != "b" || recs[1].ECU != "c" {
 		t.Fatalf("records = %+v", recs)
+	}
+}
+
+// TestCapacityBackingArrayBounded pins the eviction fix: sustained
+// ingest through a bounded collector must keep the live backing array
+// at O(Capacity) slots. The old re-slicing eviction
+// (records[len-Capacity:]) kept appending into an ever-growing array
+// and pinned all of it.
+func TestCapacityBackingArrayBounded(t *testing.T) {
+	c := Collector{Capacity: 16}
+	for i := 0; i < 10_000; i++ {
+		c.Ingest(fmt.Sprintf("ecu%02d", i%37), sampleFail(4))
+	}
+	if got := cap(c.records); got > 16 {
+		t.Fatalf("backing array grew to %d slots, want ≤ Capacity (16)", got)
+	}
+	recs := c.Records()
+	if len(recs) != 16 {
+		t.Fatalf("records = %d, want 16", len(recs))
+	}
+	// Newest 16 in ingestion order: the last ingested ECU closes the list.
+	if want := fmt.Sprintf("ecu%02d", 9_999%37); recs[15].ECU != want {
+		t.Fatalf("newest record %q, want %q", recs[15].ECU, want)
+	}
+	for i := 1; i < len(recs); i++ {
+		if prev, cur := recs[i-1], recs[i]; prev.ECU == cur.ECU && prev.Session >= cur.Session {
+			t.Fatalf("ingestion order lost at %d: %+v then %+v", i, prev, cur)
+		}
+	}
+	// Queries and export still see the ring in order after wrapping.
+	blob, err := c.Export()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Import(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 16 || back[0].ECU != recs[0].ECU || back[15].ECU != recs[15].ECU {
+		t.Fatalf("export/import of wrapped ring differs: %+v", back)
+	}
+}
+
+// TestCapacityLoweredBetweenIngests: shrinking Capacity on a live
+// collector must drop the oldest records and release the oversized
+// backing array on the next ingest.
+func TestCapacityLoweredBetweenIngests(t *testing.T) {
+	c := Collector{Capacity: 8}
+	for i := 0; i < 8; i++ {
+		c.Ingest("a", sampleFail(1))
+	}
+	c.Capacity = 3
+	c.Ingest("b", sampleFail(1))
+	recs := c.Records()
+	if len(recs) != 3 || cap(c.records) > 3 {
+		t.Fatalf("len=%d cap=%d after lowering Capacity, want 3/≤3", len(recs), cap(c.records))
+	}
+	if recs[2].ECU != "b" || recs[0].ECU != "a" {
+		t.Fatalf("wrong survivors: %+v", recs)
 	}
 }
 
@@ -111,6 +172,38 @@ func TestMarshalRoundTripProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestUnmarshalTruncatedName pins the io.ReadFull fix: a blob whose
+// declared ECU name runs past the end of the data is a truncated
+// record, reported with ErrTruncated — regardless of how many bytes
+// happen to follow the short name.
+func TestUnmarshalTruncatedName(t *testing.T) {
+	good, err := Marshal(Record{ECU: "ecu-zero-seven", Session: 9, Fail: sampleFail(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cut mid-name: 4 B session + 2 B name length + part of the name.
+	cut := good[:4+2+5]
+	if _, err := Unmarshal(cut); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("mid-name cut: got %v, want ErrTruncated", err)
+	}
+	// The old parser's special trap: a short name with ≥ 4 bytes of data
+	// left after it (name length says 14, only 5 name bytes plus the
+	// windows+entries fields survive). buf.Read would have swallowed the
+	// later fields into the name.
+	short := append([]byte(nil), good[:4+2+5]...)
+	short = append(short, 0x08, 0x00, 0x00, 0x00) // plausible windows+entries
+	got, err := Unmarshal(short)
+	if !errors.Is(err, ErrTruncated) {
+		t.Fatalf("short name with trailing fields: got (%+v, %v), want ErrTruncated", got, err)
+	}
+	// Every strict prefix of a valid blob is truncated.
+	for _, k := range []int{0, 3, 4, 5, len(good) / 2, len(good) - 1} {
+		if _, err := Unmarshal(good[:k]); !errors.Is(err, ErrTruncated) {
+			t.Fatalf("prefix of %d bytes: got %v, want ErrTruncated", k, err)
+		}
 	}
 }
 

@@ -49,6 +49,13 @@ var (
 	ErrChunkGap = errors.New("gateway: chunk sequence gap")
 	// ErrChunkDuplicate marks a chunk already assembled.
 	ErrChunkDuplicate = errors.New("gateway: duplicate chunk")
+	// ErrZeroChunks marks a session announcing zero chunks: such an
+	// assembler would be born Complete with an empty buffer and no
+	// validation at all, so it is rejected outright.
+	ErrZeroChunks = errors.New("gateway: session with zero chunks")
+	// ErrRecordTooLarge marks a record whose chunk count overflows the
+	// uint16 sequence space of the wire format.
+	ErrRecordTooLarge = errors.New("gateway: record too large for uint16 chunk count")
 )
 
 // Assembler is the gateway-side reassembly buffer of one session. It
@@ -63,15 +70,34 @@ type Assembler struct {
 }
 
 // NewAssembler prepares reassembly of a session split into total
-// chunks.
-func NewAssembler(session uint32, total uint16) *Assembler {
-	return &Assembler{Session: session, Total: total}
+// chunks. A zero-chunk session is rejected with ErrZeroChunks.
+func NewAssembler(session uint32, total uint16) (*Assembler, error) {
+	if total == 0 {
+		return nil, fmt.Errorf("%w: session %d", ErrZeroChunks, session)
+	}
+	return &Assembler{Session: session, Total: total}, nil
+}
+
+// Reset re-arms the assembler for a new session, retaining the
+// reassembly buffer's capacity — the pool discipline of the fleet
+// ingest path.
+func (a *Assembler) Reset(session uint32, total uint16) error {
+	if total == 0 {
+		return fmt.Errorf("%w: session %d", ErrZeroChunks, session)
+	}
+	a.Session, a.Total, a.next = session, total, 0
+	a.buf = a.buf[:0]
+	return nil
 }
 
 // Accept validates and appends one chunk. Chunks must arrive in
 // sequence order with intact CRCs; anything else is rejected with a
 // typed error and leaves the buffer untouched.
 func (a *Assembler) Accept(c Chunk) error {
+	if a.Total == 0 {
+		// A zero-value Assembler constructed around NewAssembler.
+		return fmt.Errorf("%w: assembler not armed", ErrZeroChunks)
+	}
 	if c.Session != a.Session {
 		return fmt.Errorf("gateway: chunk for session %d, assembling %d", c.Session, a.Session)
 	}
@@ -89,8 +115,9 @@ func (a *Assembler) Accept(c Chunk) error {
 	return nil
 }
 
-// Complete reports whether every chunk has arrived.
-func (a *Assembler) Complete() bool { return a.next == a.Total }
+// Complete reports whether every chunk has arrived. A zero-chunk
+// assembler is never complete — an empty buffer has validated nothing.
+func (a *Assembler) Complete() bool { return a.Total > 0 && a.next == a.Total }
 
 // Bytes returns the reassembled record; an error if chunks are missing.
 func (a *Assembler) Bytes() ([]byte, error) {
@@ -115,6 +142,13 @@ type StateReporter interface {
 	State() can.ControllerState
 }
 
+// ChunkSink is the receiving end of a chunk transfer: an *Assembler
+// for a point-to-point session, or a fleet shard routing many vehicles'
+// sessions into sharded assemblers.
+type ChunkSink interface {
+	Accept(c Chunk) error
+}
+
 // FaultyChannel carries chunks over a CAN segment under a can.ErrorModel:
 // every attempt is corrupted with the chunk's wire-length error
 // probability drawn from the model's seeded stream, errors cost an
@@ -124,7 +158,7 @@ type StateReporter interface {
 type FaultyChannel struct {
 	Bus   can.Bus
 	Model can.ErrorModel
-	Sink  *Assembler
+	Sink  ChunkSink
 
 	stream *can.ErrorStream
 	ctr    can.ErrorCounters
@@ -134,7 +168,7 @@ type FaultyChannel struct {
 }
 
 // NewFaultyChannel wires a channel over bus into sink.
-func NewFaultyChannel(bus can.Bus, m can.ErrorModel, sink *Assembler) *FaultyChannel {
+func NewFaultyChannel(bus can.Bus, m can.ErrorModel, sink ChunkSink) *FaultyChannel {
 	return &FaultyChannel{Bus: bus, Model: m, Sink: sink, stream: can.NewErrorStream(m.Seed)}
 }
 
@@ -259,7 +293,7 @@ func NewSession(ecu string, session uint32, fd stumps.FailData, cfg SessionConfi
 		total = 1
 	}
 	if total > 0xFFFF {
-		return nil, fmt.Errorf("gateway: record needs %d chunks, max %d", total, 0xFFFF)
+		return nil, fmt.Errorf("%w: %d chunks of %d bytes", ErrRecordTooLarge, total, size)
 	}
 	s := &Session{cfg: cfg, sid: session}
 	for i := 0; i < total; i++ {
@@ -354,7 +388,10 @@ func (c *Collector) IngestReliable(ecu string, fd stumps.FailData, bus can.Bus, 
 	if err != nil {
 		return TransferResult{}, err
 	}
-	asm := NewAssembler(sid, sess.NumChunks())
+	asm, err := NewAssembler(sid, sess.NumChunks())
+	if err != nil {
+		return TransferResult{}, err
+	}
 	res := sess.Run(NewFaultyChannel(bus, m, asm))
 	if !res.Delivered {
 		return res, nil
@@ -367,10 +404,7 @@ func (c *Collector) IngestReliable(ecu string, fd stumps.FailData, bus can.Bus, 
 	if err != nil {
 		return res, fmt.Errorf("gateway: reassembled record corrupt: %w", err)
 	}
-	c.records = append(c.records, rec)
-	if c.Capacity > 0 && len(c.records) > c.Capacity {
-		c.records = c.records[len(c.records)-c.Capacity:]
-	}
+	c.push(rec)
 	return res, nil
 }
 

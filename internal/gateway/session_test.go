@@ -10,13 +10,23 @@ import (
 
 var sessionBus = can.Bus{Name: "bus1", BitRate: 500_000, Format: can.Standard}
 
+// mustAssembler arms an assembler or fails the test.
+func mustAssembler(t *testing.T, session uint32, total uint16) *Assembler {
+	t.Helper()
+	a, err := NewAssembler(session, total)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
 func TestSessionLosslessDelivery(t *testing.T) {
 	fd := sampleFail(5)
 	sess, err := NewSession("ecu01", 7, fd, SessionConfig{ChunkBytes: 16})
 	if err != nil {
 		t.Fatal(err)
 	}
-	asm := NewAssembler(7, sess.NumChunks())
+	asm := mustAssembler(t, 7, sess.NumChunks())
 	res := sess.Run(NewFaultyChannel(sessionBus, can.ErrorModel{}, asm))
 	if !res.Delivered || res.LocalFallback || res.Retries != 0 {
 		t.Fatalf("lossless transfer degraded: %+v", res)
@@ -42,7 +52,7 @@ func TestSessionRetriesThroughErrors(t *testing.T) {
 		t.Fatal(err)
 	}
 	m := can.ErrorModel{BitErrorRate: 1e-3, Seed: 11}
-	asm := NewAssembler(1, sess.NumChunks())
+	asm := mustAssembler(t, 1, sess.NumChunks())
 	ch := NewFaultyChannel(sessionBus, m, asm)
 	res := sess.Run(ch)
 	if !res.Delivered {
@@ -72,7 +82,7 @@ func TestSessionDeterministic(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		asm := NewAssembler(2, sess.NumChunks())
+		asm := mustAssembler(t, 2, sess.NumChunks())
 		return sess.Run(NewFaultyChannel(sessionBus, m, asm))
 	}
 	a, b := run(), run()
@@ -113,7 +123,7 @@ func TestSessionDegradedFallbackAndResume(t *testing.T) {
 	if sess.NumChunks() < 3 {
 		t.Fatalf("test needs ≥3 chunks, got %d", sess.NumChunks())
 	}
-	asm := NewAssembler(3, sess.NumChunks())
+	asm := mustAssembler(t, 3, sess.NumChunks())
 	first := &busOffChannel{inner: NewFaultyChannel(sessionBus, can.ErrorModel{}, asm), after: 2}
 	res := sess.Run(first)
 	if res.Delivered || !res.LocalFallback {
@@ -152,7 +162,7 @@ func TestAssemblerTypedErrors(t *testing.T) {
 		c.CRC = c.Checksum()
 		return c
 	}
-	a := NewAssembler(1, 3)
+	a := mustAssembler(t, 1, 3)
 	bad := mk(0)
 	bad.Data[1] ^= 0x01
 	if err := a.Accept(bad); !errors.Is(err, ErrChunkCRC) {
@@ -169,6 +179,85 @@ func TestAssemblerTypedErrors(t *testing.T) {
 	}
 	if _, err := a.Bytes(); err == nil {
 		t.Fatal("incomplete assembler handed out bytes")
+	}
+}
+
+// TestAssemblerZeroChunks pins the Total == 0 edge: such an assembler
+// used to be born Complete() with an empty, unvalidated buffer.
+func TestAssemblerZeroChunks(t *testing.T) {
+	if _, err := NewAssembler(5, 0); !errors.Is(err, ErrZeroChunks) {
+		t.Fatalf("NewAssembler(5, 0): got %v, want ErrZeroChunks", err)
+	}
+	a := mustAssembler(t, 5, 2)
+	if err := a.Reset(6, 0); !errors.Is(err, ErrZeroChunks) {
+		t.Fatalf("Reset(6, 0): got %v, want ErrZeroChunks", err)
+	}
+	// A zero-value Assembler (bypassing the constructor) must neither
+	// accept chunks nor report completion.
+	var zero Assembler
+	if zero.Complete() {
+		t.Fatal("zero-value assembler reports Complete")
+	}
+	c := Chunk{Session: 0, Seq: 0, Total: 0}
+	c.CRC = c.Checksum()
+	if err := zero.Accept(c); !errors.Is(err, ErrZeroChunks) {
+		t.Fatalf("zero-value Accept: got %v, want ErrZeroChunks", err)
+	}
+	if _, err := zero.Bytes(); err == nil {
+		t.Fatal("zero-value assembler handed out bytes")
+	}
+}
+
+// TestAssemblerReset: a recycled assembler keeps its buffer capacity
+// but none of the previous session's bytes.
+func TestAssemblerReset(t *testing.T) {
+	fd := sampleFail(5)
+	sess, err := NewSession("ecu09", 1, fd, SessionConfig{ChunkBytes: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	asm := mustAssembler(t, 1, sess.NumChunks())
+	if res := sess.Run(NewFaultyChannel(sessionBus, can.ErrorModel{}, asm)); !res.Delivered {
+		t.Fatalf("first session not delivered: %+v", res)
+	}
+	if err := asm.Reset(2, sess.NumChunks()); err != nil {
+		t.Fatal(err)
+	}
+	if asm.Complete() {
+		t.Fatal("reset assembler still complete")
+	}
+	sess2, err := NewSession("ecu09", 2, fd, SessionConfig{ChunkBytes: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := sess2.Run(NewFaultyChannel(sessionBus, can.ErrorModel{}, asm)); !res.Delivered {
+		t.Fatalf("session into recycled assembler not delivered: %+v", res)
+	}
+	blob, err := asm.Bytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := Unmarshal(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Session != 2 || !reflect.DeepEqual(rec.Fail, fd) {
+		t.Fatalf("recycled assembler produced %+v", rec)
+	}
+}
+
+// TestSessionRecordTooLarge: a record that would need more than 0xFFFF
+// chunks is rejected sender-side with the typed error instead of
+// overflowing the uint16 sequence space.
+func TestSessionRecordTooLarge(t *testing.T) {
+	big := sampleFail(4000) // 4000 entries × 18 B ≫ 0xFFFF 1-byte chunks
+	_, err := NewSession("ecu10", 1, big, SessionConfig{ChunkBytes: 1})
+	if !errors.Is(err, ErrRecordTooLarge) {
+		t.Fatalf("oversized record: got %v, want ErrRecordTooLarge", err)
+	}
+	// The same record is fine at a sane chunk size.
+	if _, err := NewSession("ecu10", 1, big, SessionConfig{ChunkBytes: 64}); err != nil {
+		t.Fatalf("record rejected at 64-byte chunks: %v", err)
 	}
 }
 
