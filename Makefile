@@ -5,9 +5,9 @@ GO ?= go
 
 .PHONY: ci build fmt-check vet test race bench-smoke bench bench-json \
 	bench-gate island-smoke resume-smoke sigint-smoke robust-smoke shard-smoke \
-	fleet-smoke
+	fleet-smoke obs-smoke
 
-ci: build fmt-check vet test race bench-smoke resume-smoke sigint-smoke robust-smoke island-smoke shard-smoke fleet-smoke
+ci: build fmt-check vet test race bench-smoke resume-smoke sigint-smoke robust-smoke island-smoke shard-smoke fleet-smoke obs-smoke
 
 build:
 	$(GO) build ./...
@@ -26,10 +26,11 @@ test:
 
 # The concurrent packages: sharded fault simulation, the MOEA worker
 # pool, the explorer that drives it, the shared decode/propagation
-# state behind the pooled per-worker decoder, and the fault-injection
-# layer feeding the robustness objective.
+# state behind the pooled per-worker decoder, the fault-injection
+# layer feeding the robustness objective, and the lock-free
+# observability layer.
 race:
-	$(GO) test -race ./internal/faultsim/ ./internal/moea/ ./internal/core/ ./internal/pbsat/ ./internal/encode/ ./internal/objective/ ./internal/bistgen/ ./internal/can/ ./internal/gateway/ ./internal/shard/ ./internal/fleet/
+	$(GO) test -race ./internal/faultsim/ ./internal/moea/ ./internal/core/ ./internal/pbsat/ ./internal/encode/ ./internal/objective/ ./internal/bistgen/ ./internal/can/ ./internal/gateway/ ./internal/shard/ ./internal/fleet/ ./internal/obs/
 
 # Fault-injection determinism through the CLI: a robust exploration
 # (4th objective from the seeded CAN error model) must produce
@@ -208,3 +209,45 @@ fleet-smoke:
 	kill -TERM $$pid; wait $$pid || { echo "fleetd exited nonzero on SIGTERM" >&2; cat $$tmp/log >&2; exit 1; }; \
 	grep -q '"sessions_completed"' $$tmp/final.json || { echo "no final summary on drain" >&2; exit 1; }; \
 	echo "fleet-smoke: live endpoints served, SIGTERM drained with final summary"
+
+# Observability smoke through the CLI: a traced campaign must produce
+# the identical front to the untraced one, both flight-recorder files
+# must validate through cmd/obsdump with the expected stages and metric
+# series, and the live /metrics endpoint must serve the unified
+# registry (fleet ingest counters and per-stage latency histograms
+# from one scrape).
+obs-smoke:
+	@tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) build -o $$tmp/eedse ./cmd/eedse || exit 1; \
+	$(GO) build -o $$tmp/fleetd ./cmd/fleetd || exit 1; \
+	$(GO) build -o $$tmp/obsdump ./cmd/obsdump || exit 1; \
+	$$tmp/eedse -small -evals 2000 -pop 32 -workers 4 -summary \
+		-csv $$tmp/plain.csv >/dev/null || exit 1; \
+	$$tmp/eedse -small -evals 2000 -pop 32 -workers 4 -summary \
+		-csv $$tmp/traced.csv -trace-out $$tmp/dse.jsonl >/dev/null || exit 1; \
+	cmp $$tmp/plain.csv $$tmp/traced.csv || { echo "-trace-out changed the Pareto front" >&2; exit 1; }; \
+	$$tmp/obsdump $$tmp/dse.jsonl > $$tmp/dse.txt || { echo "obsdump rejected the campaign trace" >&2; exit 1; }; \
+	for s in generation decode objective; do \
+		grep -q "$$s" $$tmp/dse.txt || { echo "campaign trace missing $$s spans" >&2; cat $$tmp/dse.txt >&2; exit 1; }; \
+	done; \
+	$$tmp/obsdump -metrics $$tmp/dse.jsonl | grep -q '^dse_evaluations_total=' || \
+		{ echo "campaign trace missing dse metric snapshots" >&2; exit 1; }; \
+	echo "obs-smoke: traced campaign front identical, flight recorder validated"; \
+	$$tmp/fleetd -oneshot -vehicles 40 -ecus 3 -seed 5 -trace-out $$tmp/fleet.jsonl >/dev/null 2>&1 || exit 1; \
+	$$tmp/obsdump $$tmp/fleet.jsonl > $$tmp/fleet.txt || { echo "obsdump rejected the fleet trace" >&2; exit 1; }; \
+	for s in chunk_accept session_assembly gateway_session; do \
+		grep -q "$$s" $$tmp/fleet.txt || { echo "fleet trace missing $$s spans" >&2; cat $$tmp/fleet.txt >&2; exit 1; }; \
+	done; \
+	echo "obs-smoke: fleet ingest flight recorder validated"; \
+	$$tmp/fleetd -addr 127.0.0.1:0 -addr-file $$tmp/addr -vehicles 50 -ecus 3 -seed 3 \
+		>/dev/null 2> $$tmp/log & pid=$$!; \
+	for i in $$(seq 1 50); do [ -s $$tmp/addr ] && break; sleep 0.1; done; \
+	[ -s $$tmp/addr ] || { echo "fleetd never bound" >&2; cat $$tmp/log >&2; exit 1; }; \
+	addr=$$(cat $$tmp/addr); \
+	$$tmp/fleetd -get "http://$$addr/metrics" > $$tmp/metrics.txt || { kill $$pid; exit 1; }; \
+	for s in fleet_chunks_total fleet_sessions_completed_total fleet_sessions_rejected_total \
+			obs_stage_duration_seconds_bucket obs_stage_events_total; do \
+		grep -q "^$$s" $$tmp/metrics.txt || { echo "/metrics missing $$s" >&2; kill $$pid; exit 1; }; \
+	done; \
+	kill -TERM $$pid; wait $$pid >/dev/null 2>&1 || true; \
+	echo "obs-smoke: /metrics served the unified registry series"

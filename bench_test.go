@@ -20,6 +20,7 @@ import (
 	"repro/internal/gateway"
 	"repro/internal/moea"
 	"repro/internal/netlist"
+	"repro/internal/obs"
 	"repro/internal/reseed"
 	"repro/internal/schedule"
 	"repro/internal/simulate"
@@ -146,6 +147,37 @@ func BenchmarkDecodeEvaluate(b *testing.B) {
 		b.Fatal(err)
 	}
 	ex := core.NewExplorer(spec, dec)
+	rng := rand.New(rand.NewSource(1))
+	genotypes := make([][]float64, 64)
+	for i := range genotypes {
+		g := make([]float64, dec.GenotypeLen())
+		for j := range g {
+			g[j] = rng.Float64()
+		}
+		genotypes[i] = g
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ex.Evaluate(genotypes[i%len(genotypes)])
+	}
+}
+
+// BenchmarkDecodeEvaluateObs is the hot loop of BenchmarkDecodeEvaluate
+// with a live tracer (event recording on), quantifying the per-span
+// metering overhead against the untraced baseline. The gated baseline
+// stays the untraced variant — this one is informational.
+func BenchmarkDecodeEvaluateObs(b *testing.B) {
+	spec, err := casestudy.Build(casestudy.Options{ProfilesPerECU: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	dec, err := core.NewSATDecoder(spec, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ex := core.NewExplorer(spec, dec)
+	ex.Obs = obs.NewTracer(obs.NewRegistry(), obs.TracerConfig{Record: true, BufferCap: 1024})
 	rng := rand.New(rand.NewSource(1))
 	genotypes := make([][]float64, 64)
 	for i := range genotypes {

@@ -56,18 +56,21 @@
 // and still emit the partial Pareto front, and -resume continues a
 // checkpointed run to a byte-identical front. -progress streams one
 // structured line per generation to stderr; -progress-addr additionally
-// serves the same counters as JSON over HTTP (expvar, /debug/vars).
+// serves the same counters as JSON over HTTP (expvar, /debug/vars),
+// Prometheus text on /metrics, and the pprof handlers on /debug/pprof.
+// -trace-out records per-stage spans (SAT decode, objective evaluation,
+// generation steps, migration epochs, shard spawns/merges) plus
+// periodic metric snapshots as JSONL — a flight recorder for post-hoc
+// analysis with cmd/obsdump. Tracing is purely observational: fronts
+// are byte-identical with it on or off.
 package main
 
 import (
 	"bufio"
 	"context"
 	"errors"
-	"expvar"
 	"flag"
 	"fmt"
-	"net"
-	"net/http"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -77,12 +80,14 @@ import (
 	"strings"
 	"sync"
 	"syscall"
+	"time"
 
 	"repro/internal/casestudy"
 	"repro/internal/core"
 	"repro/internal/model"
 	"repro/internal/moea"
 	"repro/internal/objective"
+	"repro/internal/obs"
 	"repro/internal/report"
 	"repro/internal/shard"
 )
@@ -103,7 +108,7 @@ func main() {
 	}
 }
 
-func run() error {
+func run() (err error) {
 	var (
 		evals     = flag.Int("evals", 20000, "number of implementations to evaluate (paper: 100000)")
 		pop       = flag.Int("pop", 128, "MOEA population size")
@@ -146,7 +151,8 @@ func run() error {
 		checkpointEvery = flag.Int("checkpoint-every", 0, "checkpoint period: generations for nsga2 (default 10), evaluations for random (default 2560)")
 		resumePath      = flag.String("resume", "", "resume the run from this checkpoint file (same spec, decoder, seed and budget flags required)")
 		progress        = flag.Bool("progress", false, "stream one structured progress line per generation to stderr")
-		progressAddr    = flag.String("progress-addr", "", "serve live run telemetry as expvar JSON on this address (GET /debug/vars)")
+		progressAddr    = flag.String("progress-addr", "", "serve live run telemetry on this address: Prometheus text on /metrics, expvar JSON on /debug/vars, pprof on /debug/pprof")
+		traceOut        = flag.String("trace-out", "", "stream per-stage trace events and periodic metric snapshots as JSONL to this file (flight recorder; inspect with cmd/obsdump)")
 	)
 	flag.Parse()
 	if !*fig5 && !*fig6 && !*summary {
@@ -218,7 +224,6 @@ func run() error {
 	out := bufio.NewWriter(os.Stdout)
 
 	var spec *model.Specification
-	var err error
 	if *specPath != "" {
 		f, ferr := os.Open(*specPath)
 		if ferr != nil {
@@ -285,9 +290,37 @@ func run() error {
 			return err
 		}
 	}
+
+	// Observability. The registry/tracer/recorder trio only exists when
+	// something consumes it (-progress-addr or -trace-out); plain runs
+	// keep nil handles and the zero-cost no-op fast path everywhere.
+	// Event recording (the flight-recorder ring buffers) is enabled only
+	// with -trace-out; a bare -progress-addr still meters stage latency
+	// histograms but buffers no events.
+	var (
+		reg    *obs.Registry
+		tracer *obs.Tracer
+	)
+	if *progressAddr != "" || *traceOut != "" {
+		reg = obs.NewRegistry()
+		tracer = obs.NewTracer(reg, obs.TracerConfig{Record: *traceOut != ""})
+	}
+	if *traceOut != "" {
+		rec, rerr := obs.NewRecorder(*traceOut, tracer, reg, 0)
+		if rerr != nil {
+			return fmt.Errorf("trace-out: %w", rerr)
+		}
+		defer func() {
+			if cerr := rec.Close(); cerr != nil && err == nil {
+				err = fmt.Errorf("trace-out: %w", cerr)
+			}
+		}()
+	}
+
 	if *epochStep {
 		// Worker mode: step one shard one epoch, write it, say nothing.
 		ex := core.NewExplorer(spec, dec)
+		ex.Obs = tracer
 		if *robust {
 			ex.Robust = objective.RobustConfig{ErrorRate: *errRate}
 		}
@@ -353,25 +386,26 @@ func run() error {
 			rc.Resume = cp
 		}
 	}
-	tel := newTelemetry(*optimizer)
+	tel := newTelemetry(*optimizer, reg)
 	if *progress {
 		rc.OnProgress = tel.observe(func(p core.Progress) { tel.printLine(os.Stderr, p) })
 	}
+	if reg != nil && rc.OnProgress == nil {
+		// Something scrapes or records telemetry: keep the snapshot fresh
+		// even without -progress.
+		rc.OnProgress = tel.observe(nil)
+	}
 	if *progressAddr != "" {
-		if rc.OnProgress == nil {
-			rc.OnProgress = tel.observe(nil)
+		srv, serr := obs.Serve(*progressAddr, obs.NewMux(reg))
+		if serr != nil {
+			return fmt.Errorf("progress endpoint: %w", serr)
 		}
-		srv := &http.Server{Addr: *progressAddr} // serves expvar's /debug/vars
-		ln, err := net.Listen("tcp", *progressAddr)
-		if err != nil {
-			return fmt.Errorf("progress endpoint: %w", err)
-		}
-		fmt.Fprintf(os.Stderr, "eedse: progress endpoint on http://%s/debug/vars\n", ln.Addr())
-		go srv.Serve(ln)
-		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "eedse: progress endpoint on http://%s/debug/vars (Prometheus on /metrics)\n", srv.Addr())
+		defer srv.Shutdown(2 * time.Second)
 	}
 
 	ex := core.NewExplorer(spec, dec)
+	ex.Obs = tracer
 	if *robust {
 		ex.Robust = objective.RobustConfig{ErrorRate: *errRate}
 	}
@@ -420,7 +454,7 @@ func run() error {
 		switch {
 		case *procs > 0:
 			ic := core.IslandConfig{Islands: *islands, MigrateEvery: *migrateEvery, Migrants: *migrants}
-			res, runErr = runSharded(ctx, ex, mopt, ic, rc, *procs, *maxEpochs, workerArgs, *progress)
+			res, runErr = runSharded(ctx, ex, mopt, ic, rc, *procs, *maxEpochs, workerArgs, *progress, tracer)
 		case *islands > 0:
 			ic := core.IslandConfig{Islands: *islands, MigrateEvery: *migrateEvery, Migrants: *migrants}
 			res, runErr = ex.RunIslandsContext(ctx, mopt, ic, rc)
@@ -545,7 +579,7 @@ func parseShardSpec(s string) (k, p int, err error) {
 // runSharded is the -procs orchestrator body: drive the campaign
 // through internal/shard (spawning this same binary in -epoch-step
 // mode), then rebuild the merged result from the final full checkpoint.
-func runSharded(ctx context.Context, ex *core.Explorer, mopt moea.Options, ic core.IslandConfig, rc *core.RunControl, procs, maxEpochs int, args []string, progress bool) (*core.Result, error) {
+func runSharded(ctx context.Context, ex *core.Explorer, mopt moea.Options, ic core.IslandConfig, rc *core.RunControl, procs, maxEpochs int, args []string, progress bool, tracer *obs.Tracer) (*core.Result, error) {
 	exe, err := os.Executable()
 	if err != nil {
 		return nil, err
@@ -561,6 +595,7 @@ func runSharded(ctx context.Context, ex *core.Explorer, mopt moea.Options, ic co
 		Resume:         rc.ResumeIslands,
 		MaxEpochs:      maxEpochs,
 		Stderr:         os.Stderr,
+		Obs:            tracer,
 	}
 	cfg, cleanup, err := shard.Bootstrap(cfg)
 	if err != nil {
@@ -643,9 +678,12 @@ func specName(small bool) string {
 	return "DATE'14 case study (15 ECUs, 3 CAN buses)"
 }
 
-// telemetry publishes the latest explorer progress sample both as
-// structured stderr lines and through the process-wide expvar map
-// "dse" (served on -progress-addr as /debug/vars).
+// telemetry publishes the latest explorer progress sample as
+// structured stderr lines, through the process-wide expvar map "dse"
+// (served on -progress-addr as /debug/vars, same shape as before the
+// obs registry existed), and as pull-style registry series on
+// /metrics. Both HTTP views read the same mutex-guarded sample, so
+// they never disagree.
 type telemetry struct {
 	optimizer string
 
@@ -654,27 +692,42 @@ type telemetry struct {
 	seen bool
 }
 
-// expvarOnce guards the process-wide expvar registration (Publish
-// panics on duplicate names).
-var (
-	expvarOnce sync.Once
-	expvarTel  *telemetry
-	expvarMu   sync.Mutex
-)
-
-func newTelemetry(optimizer string) *telemetry {
+func newTelemetry(optimizer string, reg *obs.Registry) *telemetry {
 	t := &telemetry{optimizer: optimizer}
-	expvarMu.Lock()
-	expvarTel = t
-	expvarMu.Unlock()
-	expvarOnce.Do(func() {
-		expvar.Publish("dse", expvar.Func(func() any {
-			expvarMu.Lock()
-			t := expvarTel
-			expvarMu.Unlock()
-			return t.snapshot()
-		}))
-	})
+	obs.PublishExpvar("dse", func() any { return t.snapshot() })
+	if reg == nil {
+		return t
+	}
+	sample := func(f func(core.Progress) float64) func() float64 {
+		return func() float64 {
+			t.mu.Lock()
+			defer t.mu.Unlock()
+			if !t.seen {
+				return 0
+			}
+			return f(t.last)
+		}
+	}
+	reg.GaugeFunc("dse_generation", "current MOEA generation",
+		sample(func(p core.Progress) float64 { return float64(p.Generation) }))
+	reg.GaugeFunc("dse_generations", "configured generation budget",
+		sample(func(p core.Progress) float64 { return float64(p.Generations) }))
+	reg.CounterFunc("dse_evaluations_total", "implementations evaluated",
+		sample(func(p core.Progress) float64 { return float64(p.Evaluations) }))
+	reg.GaugeFunc("dse_evals_per_sec", "evaluation throughput over the run so far",
+		sample(func(p core.Progress) float64 { return p.EvalsPerSec }))
+	reg.GaugeFunc("dse_archive_size", "non-dominated archive size",
+		sample(func(p core.Progress) float64 { return float64(p.ArchiveSize) }))
+	reg.GaugeFunc("dse_hypervolume", "archive hypervolume indicator",
+		sample(func(p core.Progress) float64 { return p.Hypervolume }))
+	reg.CounterFunc("dse_decode_failures_total", "genotypes the decoder rejected",
+		sample(func(p core.Progress) float64 { return float64(p.DecodeFailures) }))
+	reg.CounterFunc("dse_solver_conflicts_total", "SAT decoder conflicts",
+		sample(func(p core.Progress) float64 { return float64(p.SolverConflicts) }))
+	reg.CounterFunc("dse_solver_propagations_total", "SAT decoder propagations",
+		sample(func(p core.Progress) float64 { return float64(p.SolverPropagations) }))
+	reg.GaugeFunc("dse_elapsed_seconds", "wall-clock time since the run started",
+		sample(func(p core.Progress) float64 { return p.Elapsed.Seconds() }))
 	return t
 }
 

@@ -12,17 +12,22 @@
 //
 // The population is fully determined by -seed (and the population
 // shape flags), so two -oneshot runs with equal flags print identical
-// bytes regardless of -shards and -workers.
+// bytes regardless of -shards and -workers — and regardless of whether
+// tracing is on: the obs layer is purely observational.
+//
+// The server mounts the shared diagnostic surface next to /fleet/:
+// Prometheus text on /metrics, expvar JSON on /debug/vars (map "fleet"
+// carries the summary), and pprof on /debug/pprof. -trace-out records
+// ingest spans (chunk accepts, session assembly, gateway transfers)
+// plus periodic metric snapshots as JSONL for cmd/obsdump.
 package main
 
 import (
 	"context"
-	"expvar"
 	"flag"
 	"fmt"
 	"io"
 	"log"
-	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -35,6 +40,7 @@ import (
 	"repro/internal/dtc"
 	"repro/internal/fleet"
 	"repro/internal/gateway"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -60,6 +66,8 @@ func main() {
 		workers    = flag.Int("workers", runtime.NumCPU(), "concurrent ingest workers")
 		chunkBytes = flag.Int("chunk-bytes", 64, "payload bytes per transfer chunk")
 		noArch     = flag.Bool("no-arch", false, "skip the case-study DTC context (no repair rollup)")
+
+		traceOut = flag.String("trace-out", "", "stream ingest trace events and metric snapshots as JSONL to this file (flight recorder; inspect with cmd/obsdump)")
 	)
 	flag.Parse()
 
@@ -76,6 +84,27 @@ func main() {
 		PerShardSessions: *sessionsCap,
 		PerShardVehicles: *vehiclesCap,
 	})
+
+	// Observability: one registry backs /metrics, the expvar bridge and
+	// the flight recorder; the tracer meters ingest stages and buffers
+	// events only when -trace-out asks for them.
+	reg := obs.NewRegistry()
+	tracer := obs.NewTracer(reg, obs.TracerConfig{Record: *traceOut != ""})
+	srv.SetObs(tracer)
+	fleet.RegisterMetrics(reg, srv)
+	var rec *obs.Recorder
+	if *traceOut != "" {
+		var err error
+		if rec, err = obs.NewRecorder(*traceOut, tracer, reg, 0); err != nil {
+			log.Fatalf("trace-out: %v", err)
+		}
+	}
+	closeTrace := func() {
+		if err := rec.Close(); err != nil { // nil-safe without -trace-out
+			log.Fatalf("trace-out: %v", err)
+		}
+	}
+
 	if !*noArch {
 		arch, err := buildArch(*ecus)
 		if err != nil {
@@ -97,6 +126,7 @@ func main() {
 		ErrorRate:      *errorRate,
 		Session:        gateway.SessionConfig{ChunkBytes: *chunkBytes},
 		Workers:        *workers,
+		Obs:            tracer,
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -114,30 +144,23 @@ func main() {
 			log.Fatal(err)
 		}
 		os.Stdout.Write(append(js, '\n'))
+		closeTrace()
 		return
 	}
 
-	ln, err := net.Listen("tcp", *addr)
+	mux := obs.NewMux(reg)
+	mux.Handle("/fleet/", srv.Handler())
+	obs.PublishExpvar("fleet", func() any { return srv.Summary() })
+	hs, err := obs.Serve(*addr, mux)
 	if err != nil {
 		log.Fatal(err)
 	}
 	if *addrFile != "" {
-		if err := os.WriteFile(*addrFile, []byte(ln.Addr().String()), 0o644); err != nil {
+		if err := os.WriteFile(*addrFile, []byte(hs.Addr()), 0o644); err != nil {
 			log.Fatal(err)
 		}
 	}
-	log.Printf("listening on %s", ln.Addr())
-
-	mux := http.NewServeMux()
-	mux.Handle("/fleet/", srv.Handler())
-	mux.Handle("/debug/vars", expvar.Handler())
-	expvar.Publish("fleet", expvar.Func(func() any { return srv.Summary() }))
-	hs := &http.Server{Handler: mux}
-	go func() {
-		if err := hs.Serve(ln); err != http.ErrServerClosed {
-			log.Fatalf("serve: %v", err)
-		}
-	}()
+	log.Printf("listening on %s", hs.Addr())
 
 	// Stream the population in the background; keep serving after it
 	// finishes so the endpoints stay queryable.
@@ -156,9 +179,7 @@ func main() {
 	stop()
 	log.Print("signal received; draining")
 	<-popDone // the population context is cancelled; it stops at a session boundary
-	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
-	defer cancel()
-	if err := hs.Shutdown(shutCtx); err != nil {
+	if err := hs.Shutdown(5 * time.Second); err != nil {
 		log.Printf("shutdown: %v", err)
 	}
 	js, err := srv.SummaryJSON()
@@ -166,6 +187,7 @@ func main() {
 		log.Fatal(err)
 	}
 	os.Stdout.Write(append(js, '\n'))
+	closeTrace()
 	log.Print("drained")
 }
 

@@ -1,0 +1,263 @@
+// Command obsdump renders a flight-recorder file written by eedse or
+// fleetd (-trace-out): a JSONL stream of stage spans, marks, dropped
+// counts, and periodic metric snapshots (see internal/obs).
+//
+// Usage:
+//
+//	obsdump trace.jsonl             per-stage latency table (count, p50/p90/p99/max, total)
+//	obsdump -timeline trace.jsonl   chronological span/mark listing (campaign timeline)
+//	obsdump -metrics trace.jsonl    final metric snapshot as sorted key=value lines
+//
+// obsdump validates as it parses — a malformed line, a missing or
+// mismatched meta header, or an unknown record type is a hard error —
+// so it doubles as the smoke test's trace-file checker.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"time"
+
+	"repro/internal/obs"
+)
+
+func main() {
+	var (
+		timeline = flag.Bool("timeline", false, "print every span and mark in chronological order instead of the per-stage table")
+		metrics  = flag.Bool("metrics", false, "print the final metric snapshot instead of the per-stage table")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: obsdump [-timeline|-metrics] trace.jsonl")
+		os.Exit(2)
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "obsdump:", err)
+		os.Exit(1)
+	}
+	tr, err := parseTrace(f)
+	f.Close()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "obsdump:", err)
+		os.Exit(1)
+	}
+	out := bufio.NewWriter(os.Stdout)
+	switch {
+	case *timeline:
+		writeTimeline(out, tr)
+	case *metrics:
+		writeMetrics(out, tr)
+	default:
+		writeStageTable(out, tr)
+	}
+	if err := out.Flush(); err != nil {
+		fmt.Fprintln(os.Stderr, "obsdump:", err)
+		os.Exit(1)
+	}
+}
+
+// trace is a fully parsed flight-recorder file.
+type trace struct {
+	Meta    obs.TraceLine
+	Events  []obs.TraceLine // spans and marks, file order
+	Metrics map[string]any  // last snapshot seen (nil if none)
+	Dropped uint64          // summed dropped counts
+}
+
+// parseTrace reads and validates a flight-recorder JSONL stream. Every
+// line must parse, the first line must be the meta header with the
+// expected format and version, and every record type must be known.
+func parseTrace(r io.Reader) (*trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024) // metric snapshots can be wide
+	tr := &trace{}
+	n := 0
+	for sc.Scan() {
+		n++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var line obs.TraceLine
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			return nil, fmt.Errorf("line %d: %v", n, err)
+		}
+		if n == 1 {
+			if line.Type != "meta" {
+				return nil, fmt.Errorf("line 1: expected meta header, got type %q", line.Type)
+			}
+			if line.Format != obs.TraceFormat {
+				return nil, fmt.Errorf("line 1: format %q, want %q", line.Format, obs.TraceFormat)
+			}
+			if line.Version != obs.TraceVersion {
+				return nil, fmt.Errorf("line 1: version %d, want %d", line.Version, obs.TraceVersion)
+			}
+			tr.Meta = line
+			continue
+		}
+		switch line.Type {
+		case "span", "mark":
+			if line.Stage == "" {
+				return nil, fmt.Errorf("line %d: %s without stage", n, line.Type)
+			}
+			tr.Events = append(tr.Events, line)
+		case "metrics":
+			tr.Metrics = line.Metrics
+		case "dropped":
+			tr.Dropped += line.Count
+		case "meta":
+			return nil, fmt.Errorf("line %d: duplicate meta header", n)
+		default:
+			return nil, fmt.Errorf("line %d: unknown record type %q", n, line.Type)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, fmt.Errorf("empty trace file")
+	}
+	return tr, nil
+}
+
+// stageStats aggregates one stage's spans and marks.
+type stageStats struct {
+	Stage   string
+	Spans   int
+	Marks   int
+	TotalUS int64
+	durs    []int64 // span durations, sorted by aggregate()
+}
+
+// aggregate folds the events into per-stage stats, ordered by total
+// time descending (mark-only stages last, by count).
+func aggregate(events []obs.TraceLine) []*stageStats {
+	byStage := map[string]*stageStats{}
+	var order []*stageStats
+	for i := range events {
+		e := &events[i]
+		st := byStage[e.Stage]
+		if st == nil {
+			st = &stageStats{Stage: e.Stage}
+			byStage[e.Stage] = st
+			order = append(order, st)
+		}
+		if e.Type == "span" {
+			st.Spans++
+			st.TotalUS += e.DurUS
+			st.durs = append(st.durs, e.DurUS)
+		} else {
+			st.Marks++
+		}
+	}
+	for _, st := range order {
+		sort.Slice(st.durs, func(i, j int) bool { return st.durs[i] < st.durs[j] })
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		if order[i].TotalUS != order[j].TotalUS {
+			return order[i].TotalUS > order[j].TotalUS
+		}
+		return order[i].Marks > order[j].Marks
+	})
+	return order
+}
+
+// percentile returns the nearest-rank p-th percentile (0 < p <= 100)
+// of the sorted microsecond durations, or 0 when empty.
+func percentile(sorted []int64, p float64) int64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(float64(len(sorted))*p/100 + 0.5)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}
+
+// fmtUS renders a microsecond quantity as a rounded duration.
+func fmtUS(us int64) string {
+	d := time.Duration(us) * time.Microsecond
+	switch {
+	case d >= time.Second:
+		return d.Round(time.Millisecond).String()
+	case d >= time.Millisecond:
+		return d.Round(10 * time.Microsecond).String()
+	default:
+		return d.String()
+	}
+}
+
+func writeStageTable(w io.Writer, tr *trace) {
+	fmt.Fprintf(w, "trace %s v%d, started %s: %d events", tr.Meta.Format, tr.Meta.Version, tr.Meta.Wall, len(tr.Events))
+	if tr.Dropped > 0 {
+		fmt.Fprintf(w, " (+%d dropped)", tr.Dropped)
+	}
+	fmt.Fprintln(w)
+	stats := aggregate(tr.Events)
+	if len(stats) == 0 {
+		fmt.Fprintln(w, "no spans recorded (was the producer run with -trace-out?)")
+		return
+	}
+	fmt.Fprintf(w, "%-18s %8s %8s  %10s %10s %10s %10s  %12s\n",
+		"stage", "spans", "marks", "p50", "p90", "p99", "max", "total")
+	for _, st := range stats {
+		if st.Spans == 0 {
+			fmt.Fprintf(w, "%-18s %8d %8d  %10s %10s %10s %10s  %12s\n",
+				st.Stage, 0, st.Marks, "-", "-", "-", "-", "-")
+			continue
+		}
+		fmt.Fprintf(w, "%-18s %8d %8d  %10s %10s %10s %10s  %12s\n",
+			st.Stage, st.Spans, st.Marks,
+			fmtUS(percentile(st.durs, 50)),
+			fmtUS(percentile(st.durs, 90)),
+			fmtUS(percentile(st.durs, 99)),
+			fmtUS(st.durs[len(st.durs)-1]),
+			fmtUS(st.TotalUS))
+	}
+}
+
+func writeTimeline(w io.Writer, tr *trace) {
+	events := make([]obs.TraceLine, len(tr.Events))
+	copy(events, tr.Events)
+	sort.SliceStable(events, func(i, j int) bool { return events[i].StartUS < events[j].StartUS })
+	for i := range events {
+		e := &events[i]
+		worker := ""
+		if e.Worker != nil && *e.Worker >= 0 {
+			worker = fmt.Sprintf(" worker=%d", *e.Worker)
+		}
+		if e.Type == "mark" {
+			fmt.Fprintf(w, "%12s  %-18s mark%s\n", "+"+fmtUS(e.StartUS), e.Stage, worker)
+			continue
+		}
+		fmt.Fprintf(w, "%12s  %-18s %s%s\n", "+"+fmtUS(e.StartUS), e.Stage, fmtUS(e.DurUS), worker)
+	}
+}
+
+func writeMetrics(w io.Writer, tr *trace) {
+	if tr.Metrics == nil {
+		fmt.Fprintln(w, "no metric snapshots in trace")
+		return
+	}
+	keys := make([]string, 0, len(tr.Metrics))
+	for k := range tr.Metrics {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		b, err := json.Marshal(tr.Metrics[k])
+		if err != nil {
+			b = []byte(fmt.Sprintf("%v", tr.Metrics[k]))
+		}
+		fmt.Fprintf(w, "%s=%s\n", k, b)
+	}
+}

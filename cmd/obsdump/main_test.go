@@ -1,0 +1,108 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const goodTrace = `{"type":"meta","format":"eedse-obs-trace","version":1,"wall":"2026-01-01T00:00:00Z"}
+{"type":"span","stage":"decode","worker":0,"start_us":10,"dur_us":100}
+{"type":"span","stage":"decode","worker":1,"start_us":20,"dur_us":300}
+{"type":"span","stage":"objective","worker":0,"start_us":120,"dur_us":50}
+{"type":"mark","stage":"backpressure","start_us":130}
+{"type":"dropped","count":3}
+{"type":"metrics","start_us":500,"metrics":{"rt_ops_total":9,"dse_hypervolume":1.25}}
+{"type":"metrics","start_us":900,"metrics":{"rt_ops_total":12,"dse_hypervolume":1.5}}
+`
+
+func TestParseTrace(t *testing.T) {
+	tr, err := parseTrace(strings.NewReader(goodTrace))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Events) != 4 {
+		t.Fatalf("events = %d, want 4", len(tr.Events))
+	}
+	if tr.Dropped != 3 {
+		t.Fatalf("dropped = %d, want 3", tr.Dropped)
+	}
+	// The last snapshot wins.
+	if got := tr.Metrics["rt_ops_total"]; got != float64(12) {
+		t.Fatalf("rt_ops_total = %v, want 12", got)
+	}
+}
+
+func TestParseTraceRejectsBadInput(t *testing.T) {
+	cases := map[string]string{
+		"empty":         "",
+		"no meta":       `{"type":"span","stage":"decode","start_us":1,"dur_us":1}` + "\n",
+		"bad format":    `{"type":"meta","format":"other","version":1}` + "\n",
+		"bad version":   `{"type":"meta","format":"eedse-obs-trace","version":99}` + "\n",
+		"malformed":     "{\"type\":\"meta\",\"format\":\"eedse-obs-trace\",\"version\":1}\nnot json\n",
+		"unknown type":  "{\"type\":\"meta\",\"format\":\"eedse-obs-trace\",\"version\":1}\n{\"type\":\"bogus\"}\n",
+		"span no stage": "{\"type\":\"meta\",\"format\":\"eedse-obs-trace\",\"version\":1}\n{\"type\":\"span\",\"dur_us\":1}\n",
+		"double meta":   "{\"type\":\"meta\",\"format\":\"eedse-obs-trace\",\"version\":1}\n{\"type\":\"meta\",\"format\":\"eedse-obs-trace\",\"version\":1}\n",
+	}
+	for name, in := range cases {
+		if _, err := parseTrace(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: parse accepted invalid input", name)
+		}
+	}
+}
+
+func TestAggregateOrdersByTotal(t *testing.T) {
+	tr, err := parseTrace(strings.NewReader(goodTrace))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := aggregate(tr.Events)
+	if len(stats) != 3 {
+		t.Fatalf("stages = %d, want 3", len(stats))
+	}
+	if stats[0].Stage != "decode" || stats[1].Stage != "objective" {
+		t.Fatalf("order = %s, %s; want decode, objective first", stats[0].Stage, stats[1].Stage)
+	}
+	if stats[0].Spans != 2 || stats[0].TotalUS != 400 {
+		t.Fatalf("decode: spans=%d total=%d, want 2/400", stats[0].Spans, stats[0].TotalUS)
+	}
+	last := stats[2]
+	if last.Stage != "backpressure" || last.Marks != 1 || last.Spans != 0 {
+		t.Fatalf("mark-only stage mishandled: %+v", last)
+	}
+}
+
+func TestPercentileNearestRank(t *testing.T) {
+	durs := []int64{10, 20, 30, 40, 50, 60, 70, 80, 90, 100}
+	cases := []struct {
+		p    float64
+		want int64
+	}{{50, 50}, {90, 90}, {99, 100}, {100, 100}, {1, 10}}
+	for _, c := range cases {
+		if got := percentile(durs, c.p); got != c.want {
+			t.Errorf("p%g = %d, want %d", c.p, got, c.want)
+		}
+	}
+	if got := percentile(nil, 50); got != 0 {
+		t.Errorf("p50 of empty = %d, want 0", got)
+	}
+}
+
+func TestWritersSmoke(t *testing.T) {
+	tr, err := parseTrace(strings.NewReader(goodTrace))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var table, timeline, metrics strings.Builder
+	writeStageTable(&table, tr)
+	writeTimeline(&timeline, tr)
+	writeMetrics(&metrics, tr)
+	if !strings.Contains(table.String(), "decode") || !strings.Contains(table.String(), "p99") {
+		t.Errorf("stage table missing content:\n%s", table.String())
+	}
+	if !strings.Contains(timeline.String(), "worker=1") || !strings.Contains(timeline.String(), "mark") {
+		t.Errorf("timeline missing content:\n%s", timeline.String())
+	}
+	if !strings.Contains(metrics.String(), "dse_hypervolume=1.5") {
+		t.Errorf("metrics missing content:\n%s", metrics.String())
+	}
+}

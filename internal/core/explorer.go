@@ -12,6 +12,7 @@ import (
 	"repro/internal/model"
 	"repro/internal/moea"
 	"repro/internal/objective"
+	"repro/internal/obs"
 )
 
 // Solution is one evaluated implementation in the result set.
@@ -48,6 +49,11 @@ type Explorer struct {
 	// objective.EvaluateRobust). The zero value keeps the classic
 	// three-objective exploration bit-identical.
 	Robust objective.RobustConfig
+	// Obs, when non-nil, times decode and objective evaluation per
+	// worker and threads through to the optimizer's generation and
+	// migration spans. Purely observational — it never touches RNG state
+	// or evaluation order; nil costs one check per evaluation.
+	Obs *obs.Tracer
 
 	decodeFailures atomic.Int64
 
@@ -79,7 +85,10 @@ func (e *Explorer) GenotypeLen() int { return e.Decoder.GenotypeLen() }
 // normalization. Evaluate is safe for concurrent use when the decoder
 // is (both built-in decoders are).
 func (e *Explorer) Evaluate(genotype []float64) (moea.Objectives, any) {
-	return e.score(e.Decoder.Decode(genotype))
+	sp := e.Obs.StartW(0, obs.StageDecode)
+	x, err := e.Decoder.Decode(genotype)
+	sp.End()
+	return e.score(0, x, err)
 }
 
 // EvaluateWorker implements moea.WorkerProblem: identical scoring to
@@ -88,16 +97,24 @@ func (e *Explorer) Evaluate(genotype []float64) (moea.Objectives, any) {
 // the result never depends on the worker index — the property the
 // byte-identical-fronts invariant rests on.
 func (e *Explorer) EvaluateWorker(worker int, genotype []float64) (moea.Objectives, any) {
+	sp := e.Obs.StartW(worker, obs.StageDecode)
+	var (
+		x   *model.Implementation
+		err error
+	)
 	if wd, ok := e.Decoder.(WorkerDecoder); ok {
-		return e.score(wd.DecodeWorker(worker, genotype))
+		x, err = wd.DecodeWorker(worker, genotype)
+	} else {
+		x, err = e.Decoder.Decode(genotype)
 	}
-	return e.score(e.Decoder.Decode(genotype))
+	sp.End()
+	return e.score(worker, x, err)
 }
 
 // score turns a decode outcome into the MOEA objective vector and
 // Solution payload; shared by the plain and per-worker evaluation
 // paths.
-func (e *Explorer) score(x *model.Implementation, err error) (moea.Objectives, any) {
+func (e *Explorer) score(worker int, x *model.Implementation, err error) (moea.Objectives, any) {
 	if err != nil {
 		e.decodeFailures.Add(1)
 		return e.penaltyObjectives(), nil
@@ -111,7 +128,9 @@ func (e *Explorer) score(x *model.Implementation, err error) (moea.Objectives, a
 			return e.penaltyObjectives(), nil
 		}
 	}
+	sp := e.Obs.StartW(worker, obs.StageObjective)
 	v := objective.EvaluateRobust(x, e.Robust)
+	sp.End()
 	return moea.Objectives(v.Minimized()), Solution{Impl: x, Objectives: v}
 }
 
@@ -230,6 +249,7 @@ func (e *Explorer) RunContext(ctx context.Context, opt moea.Options, rc *RunCont
 	defer e.endRun()
 
 	mopt := opt
+	mopt.Obs = e.Obs
 	if rc != nil {
 		mopt.Resume = rc.Resume
 		if rc.CheckpointPath != "" {
@@ -267,6 +287,7 @@ func (e *Explorer) RunIslandsContext(ctx context.Context, opt moea.Options, ic I
 	defer cancel()
 	defer e.endRun()
 
+	opt.Obs = e.Obs
 	iopt := moea.IslandOptions{
 		Islands:      ic.Islands,
 		MigrateEvery: ic.MigrateEvery,
@@ -298,6 +319,7 @@ func (e *Explorer) EpochStep(ctx context.Context, opt moea.Options, ic IslandCon
 	defer cancel()
 	defer e.endRun()
 
+	opt.Obs = e.Obs
 	iopt := moea.IslandOptions{Islands: ic.Islands, MigrateEvery: ic.MigrateEvery, Migrants: ic.Migrants}
 	sh, err := moea.EpochStep(runCtx, e, opt, iopt, full, first, count)
 	if verr := e.takeRunError(); verr != nil {

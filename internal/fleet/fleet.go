@@ -22,9 +22,11 @@ import (
 	"fmt"
 	"hash/fnv"
 	"sync"
+	"time"
 
 	"repro/internal/dtc"
 	"repro/internal/gateway"
+	"repro/internal/obs"
 )
 
 // Config sizes the service. Zero values select the defaults.
@@ -88,6 +90,10 @@ type Server struct {
 	// arch, when set, grounds the DTC repair rollup of Summary in an
 	// E/E-architecture's trouble codes. Set before serving.
 	arch *Arch
+
+	// obs, when set, times chunk accepts and session assembly and marks
+	// backpressure rejections. Set before serving.
+	obs *obs.Tracer
 }
 
 // New builds a server with cfg's shard layout.
@@ -117,6 +123,16 @@ type Arch struct {
 // the field is read without synchronization.
 func (s *Server) SetArch(a *Arch) { s.arch = a }
 
+// SetObs attaches the observability tracer. Call before serving; the
+// field is read without synchronization. Purely observational: ingest
+// outcomes and summaries are byte-identical with or without a tracer.
+func (s *Server) SetObs(t *obs.Tracer) {
+	s.obs = t
+	for _, sh := range s.shards {
+		sh.obs = t
+	}
+}
+
 // NumShards returns the shard count.
 func (s *Server) NumShards() int { return len(s.shards) }
 
@@ -144,6 +160,12 @@ type shard struct {
 	free      []*gateway.Assembler // recycled assemblers (pool discipline)
 	vehicles  map[string]*vehicleState
 	stats     counters
+
+	// obs and openedAt exist only when tracing: openedAt remembers when
+	// each open session started so completion can emit the
+	// session_assembly duration. Untraced servers never allocate the map.
+	obs      *obs.Tracer
+	openedAt map[streamKey]time.Time
 }
 
 // vehicleState is the per-vehicle session bookkeeping.
@@ -196,7 +218,13 @@ func (c *counters) add(o counters) {
 // ErrChunkDuplicate) mean "retransmit", the rest are protocol
 // violations.
 func (s *Server) IngestChunk(vehicle, ecu string, c gateway.Chunk) error {
-	return s.shards[s.ShardOf(vehicle)].ingest(vehicle, ecu, c)
+	sp := s.obs.Start(obs.StageChunkAccept)
+	err := s.shards[s.ShardOf(vehicle)].ingest(vehicle, ecu, c)
+	sp.End()
+	if err != nil && s.obs != nil && (errors.Is(err, ErrSessionsFull) || errors.Is(err, ErrVehiclesFull)) {
+		s.obs.Mark(obs.StageBackpressure)
+	}
+	return err
 }
 
 func (sh *shard) ingest(vehicle, ecu string, c gateway.Chunk) error {
@@ -227,6 +255,7 @@ func (sh *shard) ingest(vehicle, ecu string, c gateway.Chunk) error {
 		// supersedes the half-assembled old one instead of wedging the
 		// stream. Replays still bounce off the stale check below.
 		delete(sh.open, key)
+		delete(sh.openedAt, key)
 		sh.recycleAssembler(asm)
 		asm = nil
 	}
@@ -249,6 +278,12 @@ func (sh *shard) ingest(vehicle, ecu string, c gateway.Chunk) error {
 		}
 		sh.open[key] = asm
 		sh.stats.SessionsOpened++
+		if sh.obs != nil {
+			if sh.openedAt == nil {
+				sh.openedAt = make(map[streamKey]time.Time)
+			}
+			sh.openedAt[key] = time.Now()
+		}
 	}
 
 	if err := asm.Accept(c); err != nil {
@@ -261,6 +296,12 @@ func (sh *shard) ingest(vehicle, ecu string, c gateway.Chunk) error {
 
 	// Session complete: retire the assembler, parse, store.
 	delete(sh.open, key)
+	if sh.obs != nil {
+		if t0, ok := sh.openedAt[key]; ok {
+			delete(sh.openedAt, key)
+			sh.obs.ObserveSince(obs.StageSessionAssembly, t0)
+		}
+	}
 	defer sh.recycleAssembler(asm)
 	blob, err := asm.Bytes()
 	if err != nil {

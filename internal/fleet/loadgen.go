@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/can"
 	"repro/internal/gateway"
+	"repro/internal/obs"
 	"repro/internal/stumps"
 )
 
@@ -41,6 +42,10 @@ type PopulationConfig struct {
 	// Workers is the ingest concurrency (default 1). Vehicles are
 	// claimed whole, so results are identical at any worker count.
 	Workers int
+	// Obs, when non-nil, is threaded into every sender session so
+	// gateway transfers show up as gateway_session spans and degraded
+	// marks. Purely observational.
+	Obs *obs.Tracer
 }
 
 func (c PopulationConfig) withDefaults() PopulationConfig {
@@ -58,6 +63,9 @@ func (c PopulationConfig) withDefaults() PopulationConfig {
 	}
 	if c.Bus.BitRate == 0 {
 		c.Bus = can.Bus{Name: "diag", BitRate: 500_000, Format: can.Standard}
+	}
+	if c.Obs != nil {
+		c.Session.Obs = c.Obs
 	}
 	return c
 }

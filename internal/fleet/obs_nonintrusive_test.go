@@ -1,0 +1,104 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestFleetObsNonIntrusive pins the observability invariant on the
+// ingest side: with a live tracer (event recording on) a seeded
+// population produces byte-identical summary JSON and an identical
+// sender-side result at every shard and worker count, because spans
+// only time work that already happened — the transfer clock stays
+// simulated and the assembly order untouched.
+func TestFleetObsNonIntrusive(t *testing.T) {
+	cfg := PopulationConfig{
+		Vehicles: 24, ECUs: []string{"ecuA", "ecuB"}, SessionsPerECU: 2,
+		FailProb: 0.3, Seed: 11, ErrorRate: 1e-5,
+	}
+	type run struct{ shards, workers int }
+	runs := []run{{1, 1}, {4, 4}, {3, 8}}
+
+	var wantJSON []byte
+	var wantRes PopulationResult
+	for i, r := range runs {
+		for _, traced := range []bool{false, true} {
+			srv := New(Config{Shards: r.shards})
+			c := cfg
+			c.Workers = r.workers
+			var tracer *obs.Tracer
+			if traced {
+				reg := obs.NewRegistry()
+				tracer = obs.NewTracer(reg, obs.TracerConfig{Record: true})
+				srv.SetObs(tracer)
+				c.Obs = tracer
+			}
+			res, err := RunPopulation(context.Background(), srv, c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			js, err := srv.SummaryJSON()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if wantJSON == nil {
+				wantJSON, wantRes = js, res
+				continue
+			}
+			if res != wantRes {
+				t.Fatalf("run %d traced=%v: result %+v != %+v", i, traced, res, wantRes)
+			}
+			if !bytes.Equal(js, wantJSON) {
+				t.Fatalf("run %d (shards=%d workers=%d traced=%v) summary differs:\n%s\nvs\n%s",
+					i, r.shards, r.workers, traced, js, wantJSON)
+			}
+			if traced {
+				stages := map[obs.Stage]bool{}
+				for _, e := range tracer.Drain(nil) {
+					stages[e.Stage] = true
+				}
+				for _, s := range []obs.Stage{obs.StageChunkAccept, obs.StageSessionAssembly, obs.StageGatewaySession} {
+					if !stages[s] {
+						t.Fatalf("run %d: no %s spans recorded", i, s)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestFleetObsBackpressureMark checks that a cap-rejected session
+// surfaces as a backpressure mark without changing the typed error the
+// sender sees.
+func TestFleetObsBackpressureMark(t *testing.T) {
+	reg := obs.NewRegistry()
+	tracer := obs.NewTracer(reg, obs.TracerConfig{Record: true})
+	srv := New(Config{Shards: 1, PerShardSessions: 1})
+	srv.SetObs(tracer)
+
+	a := chunksFor(t, "ecuA", 1, failData(2))
+	// First stream occupies the only reassembly slot; the second open
+	// must bounce with the same error it would without tracing.
+	if err := srv.IngestChunk("v1", "ecuA", a[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.IngestChunk("v2", "ecuA", a[0]); !errors.Is(err, ErrSessionsFull) {
+		t.Fatalf("second open: %v", err)
+	}
+	marks := 0
+	for _, e := range tracer.Drain(nil) {
+		if e.Stage == obs.StageBackpressure {
+			marks++
+		}
+	}
+	if marks != 1 {
+		t.Fatalf("backpressure marks = %d, want 1", marks)
+	}
+	if got := srv.Stats().SessionsRejected; got != 1 {
+		t.Fatalf("sessions rejected = %d, want 1", got)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"math"
 
 	"repro/internal/can"
+	"repro/internal/obs"
 	"repro/internal/stumps"
 )
 
@@ -231,6 +232,10 @@ type SessionConfig struct {
 	MaxRetries int     // retransmissions per chunk before giving up (default 8)
 	BackoffMS  float64 // first retry backoff, doubled per retry (default 1)
 	TimeoutMS  float64 // per-session budget, 0 = unbounded
+	// Obs, when non-nil, times each Run as a gateway_session span and
+	// marks degraded-mode fallbacks. Purely observational: transfer time
+	// stays simulated and deterministic.
+	Obs *obs.Tracer
 }
 
 func (c SessionConfig) chunkBytes() int {
@@ -329,6 +334,16 @@ func degraded(ch Channel) bool {
 // accumulate from the channel's per-attempt cost and the retry
 // backoffs, so runs are deterministic.
 func (s *Session) Run(ch Channel) TransferResult {
+	sp := s.cfg.Obs.Start(obs.StageGatewaySession)
+	res := s.run(ch)
+	sp.End()
+	if res.LocalFallback {
+		s.cfg.Obs.Mark(obs.StageDegraded)
+	}
+	return res
+}
+
+func (s *Session) run(ch Channel) TransferResult {
 	var res TransferResult
 	for !s.Done() {
 		if degraded(ch) {

@@ -7,6 +7,8 @@ import (
 	"os"
 	"sort"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Island checkpoint file format identifiers. The file embeds one
@@ -375,12 +377,14 @@ func RunIslands(ctx context.Context, p Problem, opt Options, iopt IslandOptions)
 		// cannot influence what is sent. Skipped after the final epoch —
 		// migrants could no longer influence any evaluation.
 		if boundary < opt.Generations && iopt.Islands > 1 {
+			sp := opt.Obs.Start(obs.StageMigration)
 			pops := make([][]*Individual, len(states))
 			archives := make([][]*Individual, len(states))
 			for i, s := range states {
 				pops[i], archives[i] = s.pop, s.archive
 			}
 			migrateRing(pops, archives, iopt.Migrants)
+			sp.End()
 		}
 		if iopt.OnCheckpoint != nil && boundary < opt.Generations {
 			if err := iopt.OnCheckpoint(snapshot()); err != nil {

@@ -7,6 +7,8 @@ import (
 	"math/rand"
 	"sort"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // errEmptyGenotype rejects problems whose genotype has no genes.
@@ -64,6 +66,11 @@ type Options struct {
 	// CheckpointEvery is the generation period of OnCheckpoint calls
 	// (0 = only on cancellation).
 	CheckpointEvery int
+	// Obs, when non-nil, times each generation step (and, via the
+	// problem, finer stages) on the observability tracer. Purely
+	// observational: it never touches RNG state or evaluation order, and
+	// a nil tracer costs one nil check per generation.
+	Obs *obs.Tracer
 }
 
 func (o Options) withDefaults(genLen int) Options {
@@ -187,6 +194,8 @@ func (s *nsga2) evaluateBatch(genos [][]float64) []*Individual {
 // order — workers never contend on it.
 func (s *nsga2) step() {
 	opt := s.opt
+	sp := opt.Obs.Start(obs.StageGeneration)
+	defer sp.End()
 	// Rank parents for tournament selection.
 	fronts := sortFronts(s.pop)
 	for _, f := range fronts {

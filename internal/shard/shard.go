@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"repro/internal/moea"
+	"repro/internal/obs"
 )
 
 // WorkerSpec describes one epoch-step worker invocation.
@@ -106,6 +107,9 @@ type Config struct {
 	// worker-mode flags. Tests inject an in-process stepper here, and it
 	// is the seam for launching workers on remote machines.
 	Spawn func(ctx context.Context, w WorkerSpec) error
+	// Obs, when non-nil, times each worker spawn and the central merge on
+	// the observability tracer. Purely observational.
+	Obs *obs.Tracer
 }
 
 // Run drives the campaign to completion (or MaxEpochs, or
@@ -181,6 +185,8 @@ func Run(ctx context.Context, cfg Config) (*moea.IslandCheckpoint, bool, error) 
 			wg.Add(1)
 			go func(w WorkerSpec) {
 				defer wg.Done()
+				sp := cfg.Obs.StartW(w.Shard, obs.StageShardSpawn)
+				defer sp.End()
 				if err := spawn(epochCtx, w); err != nil {
 					mu.Lock()
 					if werr == nil {
@@ -202,6 +208,7 @@ func Run(ctx context.Context, cfg Config) (*moea.IslandCheckpoint, bool, error) 
 			return cur, false, werr
 		}
 
+		msp := cfg.Obs.Start(obs.StageShardMerge)
 		shards := make([]*moea.IslandShard, procs)
 		for k, w := range specs {
 			sh, err := moea.ReadIslandShardFile(w.OutPath)
@@ -219,6 +226,7 @@ func Run(ctx context.Context, cfg Config) (*moea.IslandCheckpoint, bool, error) 
 		if err := merged.WriteFile(cfg.CheckpointPath); err != nil {
 			return cur, false, err
 		}
+		msp.End()
 		cur = merged
 
 		if cfg.OnEpoch != nil {
