@@ -5,9 +5,9 @@ GO ?= go
 
 .PHONY: ci build fmt-check vet test race bench-smoke bench bench-json \
 	bench-gate island-smoke resume-smoke sigint-smoke robust-smoke shard-smoke \
-	fleet-smoke obs-smoke
+	fleet-smoke obs-smoke crash-smoke
 
-ci: build fmt-check vet test race bench-smoke resume-smoke sigint-smoke robust-smoke island-smoke shard-smoke fleet-smoke obs-smoke
+ci: build fmt-check vet test race bench-smoke resume-smoke sigint-smoke robust-smoke island-smoke shard-smoke fleet-smoke obs-smoke crash-smoke
 
 build:
 	$(GO) build ./...
@@ -30,7 +30,7 @@ test:
 # layer feeding the robustness objective, and the lock-free
 # observability layer.
 race:
-	$(GO) test -race ./internal/faultsim/ ./internal/moea/ ./internal/core/ ./internal/pbsat/ ./internal/encode/ ./internal/objective/ ./internal/bistgen/ ./internal/can/ ./internal/gateway/ ./internal/shard/ ./internal/fleet/ ./internal/obs/
+	$(GO) test -race ./internal/faultsim/ ./internal/moea/ ./internal/core/ ./internal/pbsat/ ./internal/encode/ ./internal/objective/ ./internal/bistgen/ ./internal/can/ ./internal/gateway/ ./internal/shard/ ./internal/fleet/ ./internal/obs/ ./internal/durable/
 
 # Fault-injection determinism through the CLI: a robust exploration
 # (4th objective from the seeded CAN error model) must produce
@@ -96,9 +96,9 @@ bench:
 # `make bench-json BENCHTIME=2s`) and override the output file with
 # BENCH_OUT=my-report.json.
 BENCHTIME ?= 1x
-BENCH_OUT ?= BENCH_8.json
+BENCH_OUT ?= BENCH_9.json
 bench-json:
-	$(GO) test -run=NONE -bench 'DecodeEvaluate|DSEParallel|EvalThroughput|Fig5_DSE|TransferUnderErrors|IslandEpoch|FleetIngest' \
+	$(GO) test -run=NONE -bench 'DecodeEvaluate|DSEParallel|EvalThroughput|Fig5_DSE|TransferUnderErrors|IslandEpoch|FleetIngest|FleetRecovery' \
 		-benchmem -benchtime=$(BENCHTIME) . | $(GO) run ./cmd/benchjson -out $(BENCH_OUT)
 	@echo "wrote $(BENCH_OUT)"
 
@@ -209,6 +209,29 @@ fleet-smoke:
 	kill -TERM $$pid; wait $$pid || { echo "fleetd exited nonzero on SIGTERM" >&2; cat $$tmp/log >&2; exit 1; }; \
 	grep -q '"sessions_completed"' $$tmp/final.json || { echo "no final summary on drain" >&2; exit 1; }; \
 	echo "fleet-smoke: live endpoints served, SIGTERM drained with final summary"
+
+# Crash-safety smoke through the CLI: SIGKILL fleetd (via its own
+# -kill-after-commits hook) at three seeded points mid-ingest, restart
+# on the same -data-dir, and require the recovered summary to be
+# byte-identical to an uninterrupted oneshot run — no acked session
+# lost, no unacked session double-counted.
+CRASH_FLAGS = -vehicles 40 -ecus 3 -sessions-per-ecu 2 -fail-prob 0.3 -seed 5 -workers 4
+crash-smoke:
+	@tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) build -o $$tmp/fleetd ./cmd/fleetd || exit 1; \
+	$$tmp/fleetd -oneshot $(CRASH_FLAGS) 2>/dev/null > $$tmp/ref.json || exit 1; \
+	for n in 15 120 235; do \
+		d=$$tmp/data-$$n; \
+		$$tmp/fleetd -oneshot $(CRASH_FLAGS) -data-dir $$d -kill-after-commits $$n \
+			>/dev/null 2>&1; \
+		rc=$$?; [ $$rc -eq 137 ] || { echo "kill at commit $$n: expected SIGKILL (137), got $$rc" >&2; exit 1; }; \
+		$$tmp/fleetd -oneshot $(CRASH_FLAGS) -data-dir $$d 2> $$tmp/log-$$n > $$tmp/rec-$$n.json || \
+			{ echo "restart after kill at commit $$n failed" >&2; cat $$tmp/log-$$n >&2; exit 1; }; \
+		grep -q "recovered" $$tmp/log-$$n || { echo "restart did not report recovery" >&2; exit 1; }; \
+		cmp $$tmp/ref.json $$tmp/rec-$$n.json || \
+			{ echo "summary differs after crash at commit $$n" >&2; exit 1; }; \
+		echo "crash-smoke: kill -9 at commit $$n -> recovered summary byte-identical"; \
+	done
 
 # Observability smoke through the CLI: a traced campaign must produce
 # the identical front to the untraced one, both flight-recorder files

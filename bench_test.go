@@ -704,3 +704,94 @@ func BenchmarkFleetIngest(b *testing.B) {
 		}
 	}
 }
+
+// --- E17: durable fleet persistence -------------------------------------
+
+// BenchmarkFleetIngestDurable is BenchmarkFleetIngest with the WAL on:
+// every session commit is framed, CRC'd, and group-commit-fsynced to a
+// real data directory before it is acknowledged. Compared against
+// FleetIngest it prices the durability guarantee; the group commit
+// keeps the per-session cost roughly flat as workers grow.
+func BenchmarkFleetIngestDurable(b *testing.B) {
+	cfg := fleet.PopulationConfig{
+		Vehicles:       256,
+		ECUs:           []string{"ecu01", "ecu02", "ecu03", "ecu04"},
+		SessionsPerECU: 1,
+		FailProb:       0.1,
+		Seed:           11,
+		ErrorRate:      1e-5,
+	}
+	for _, workers := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("shards=8/workers=%d", workers), func(b *testing.B) {
+			c := cfg
+			c.Workers = workers
+			b.ReportAllocs()
+			sessions := 0
+			for i := 0; i < b.N; i++ {
+				srv := fleet.New(fleet.Config{Shards: 8})
+				if _, err := srv.OpenDurable(fleet.DurableConfig{
+					Dir: filepath.Join(b.TempDir(), "data"),
+				}); err != nil {
+					b.Fatal(err)
+				}
+				res, err := fleet.RunPopulation(context.Background(), srv, c)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Delivered != res.Sessions {
+					b.Fatalf("degraded sessions under benchmark config: %+v", res)
+				}
+				if err := srv.CloseDurable(); err != nil {
+					b.Fatal(err)
+				}
+				sessions += res.Sessions
+			}
+			b.ReportMetric(float64(sessions)/b.Elapsed().Seconds(), "sessions/s")
+		})
+	}
+}
+
+// BenchmarkFleetRecovery measures cold-start recovery: replaying a
+// WAL-only data directory (no snapshot, the worst case) of a full
+// population back into an empty server.
+func BenchmarkFleetRecovery(b *testing.B) {
+	cfg := fleet.PopulationConfig{
+		Vehicles:       256,
+		ECUs:           []string{"ecu01", "ecu02", "ecu03", "ecu04"},
+		SessionsPerECU: 1,
+		FailProb:       0.1,
+		Seed:           11,
+		ErrorRate:      1e-5,
+		Workers:        8,
+	}
+	dir := filepath.Join(b.TempDir(), "data")
+	seedSrv := fleet.New(fleet.Config{Shards: 8})
+	// SnapshotEvery < 0 disables snapshots entirely: recovery must
+	// replay every commit from the log.
+	if _, err := seedSrv.OpenDurable(fleet.DurableConfig{Dir: dir, SnapshotEvery: -1}); err != nil {
+		b.Fatal(err)
+	}
+	res, err := fleet.RunPopulation(context.Background(), seedSrv, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := seedSrv.CloseDurable(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		srv := fleet.New(fleet.Config{Shards: 8})
+		rec, err := srv.OpenDurable(fleet.DurableConfig{Dir: dir, SnapshotEvery: -1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rec.Entries != res.Sessions {
+			b.Fatalf("recovered %d entries, want %d", rec.Entries, res.Sessions)
+		}
+		b.StopTimer()
+		srv.KillDurable() // leave the log untouched for the next iteration
+		b.StartTimer()
+	}
+	b.ReportMetric(float64(res.Sessions), "sessions")
+}

@@ -68,6 +68,11 @@ func main() {
 		noArch     = flag.Bool("no-arch", false, "skip the case-study DTC context (no repair rollup)")
 
 		traceOut = flag.String("trace-out", "", "stream ingest trace events and metric snapshots as JSONL to this file (flight recorder; inspect with cmd/obsdump)")
+
+		dataDir      = flag.String("data-dir", "", "durable storage directory (WAL + snapshots); empty keeps the service in-RAM only")
+		snapEvery    = flag.Int("snapshot-every", 0, "snapshot after this many WAL commits (0 = durable package default)")
+		snapInterval = flag.Duration("snapshot-interval", 0, "also snapshot on this wall-clock period (0 = off)")
+		killAfter    = flag.Uint64("kill-after-commits", 0, "crash-test hook: SIGKILL this process at the Nth durable commit")
 	)
 	flag.Parse()
 
@@ -91,6 +96,32 @@ func main() {
 	reg := obs.NewRegistry()
 	tracer := obs.NewTracer(reg, obs.TracerConfig{Record: *traceOut != ""})
 	srv.SetObs(tracer)
+
+	// Durable storage: recover whatever a previous process committed,
+	// then WAL every further session commit. Must precede
+	// RegisterMetrics so the store's series are exported too.
+	if *dataDir != "" {
+		dcfg := fleet.DurableConfig{
+			Dir:              *dataDir,
+			SnapshotEvery:    *snapEvery,
+			SnapshotInterval: *snapInterval,
+			Obs:              tracer,
+		}
+		if n := *killAfter; n > 0 {
+			dcfg.OnCommit = func(lsn uint64) {
+				if lsn == n {
+					syscall.Kill(os.Getpid(), syscall.SIGKILL)
+				}
+			}
+		}
+		rec, err := srv.OpenDurable(dcfg)
+		if err != nil {
+			log.Fatalf("data-dir: %v", err)
+		}
+		log.Printf("recovered %s: snapshot lsn %d + %d wal entries -> lsn %d (%d bytes truncated, %d segments dropped, %d snapshots skipped) in %s",
+			*dataDir, rec.SnapshotLSN, rec.Entries, rec.LastLSN,
+			rec.TruncatedBytes, rec.RemovedSegments, rec.SkippedSnapshots, rec.Elapsed.Round(time.Microsecond))
+	}
 	fleet.RegisterMetrics(reg, srv)
 	var rec *obs.Recorder
 	if *traceOut != "" {
@@ -127,6 +158,10 @@ func main() {
 		Session:        gateway.SessionConfig{ChunkBytes: *chunkBytes},
 		Workers:        *workers,
 		Obs:            tracer,
+		// With durable storage, the senders resume: sessions the recovered
+		// state already committed are skipped, the rest are re-sent with
+		// their per-session seeds — identical bytes to the first attempt.
+		Resume: *dataDir != "",
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -137,13 +172,14 @@ func main() {
 		if err != nil {
 			log.Fatalf("population: %v", err)
 		}
-		log.Printf("population: %d sessions, %d delivered, %d degraded, %.1f bus-ms",
-			res.Sessions, res.Delivered, res.Degraded, res.BusMS)
+		log.Printf("population: %d sessions, %d delivered, %d degraded, %d skipped, %.1f bus-ms",
+			res.Sessions, res.Delivered, res.Degraded, res.Skipped, res.BusMS)
 		js, err := srv.SummaryJSON()
 		if err != nil {
 			log.Fatal(err)
 		}
 		os.Stdout.Write(append(js, '\n'))
+		closeDurable(srv)
 		closeTrace()
 		return
 	}
@@ -187,25 +223,52 @@ func main() {
 		log.Fatal(err)
 	}
 	os.Stdout.Write(append(js, '\n'))
+	closeDurable(srv)
 	closeTrace()
 	log.Print("drained")
 }
 
+// closeDurable snapshots and closes the store, reporting (but
+// surviving) a degraded disk: the summary was already printed from the
+// in-RAM state, which stays authoritative for this process.
+func closeDurable(srv *fleet.Server) {
+	if err := srv.CloseDurable(); err != nil {
+		log.Printf("durable close: %v", err)
+	}
+}
+
 // client GETs url and streams the body to stdout — the smoke test's
-// curl replacement.
+// curl replacement. Bounded: a per-request timeout instead of the
+// default client's unbounded wait, and three attempts with doubling
+// backoff so a just-restarting server doesn't fail the smoke test.
 func client(url string) error {
-	resp, err := http.Get(url)
-	if err != nil {
-		return err
+	hc := &http.Client{Timeout: 10 * time.Second}
+	backoff := 100 * time.Millisecond
+	var lastErr error
+	for attempt := 0; attempt < 3; attempt++ {
+		if attempt > 0 {
+			time.Sleep(backoff)
+			backoff *= 2
+		}
+		resp, err := hc.Get(url)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			lastErr = fmt.Errorf("GET %s: %s", url, resp.Status)
+			continue
+		}
+		_, err = io.Copy(os.Stdout, resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return err // partial body already written; retrying would duplicate it
+		}
+		return nil
 	}
-	defer resp.Body.Close()
-	if _, err := io.Copy(os.Stdout, resp.Body); err != nil {
-		return err
-	}
-	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("GET %s: %s", url, resp.Status)
-	}
-	return nil
+	return fmt.Errorf("after 3 attempts: %w", lastErr)
 }
 
 // buildArch derives the DTC context from the case-study subnet with

@@ -1,0 +1,374 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/durable"
+)
+
+// chaosPopulation is the shared load profile of the durability tests:
+// small enough to iterate over many seeds, lossy enough (1e-5) that
+// the retry machinery actually fires, and clean enough that every
+// session eventually commits — the regime where a recovered run must
+// be byte-identical to an uninterrupted one.
+func chaosPopulation(workers int) PopulationConfig {
+	return PopulationConfig{
+		Vehicles: 12, ECUs: []string{"ecuA", "ecuB"}, SessionsPerECU: 3,
+		FailProb: 0.4, Seed: 99, ErrorRate: 1e-5, Workers: workers,
+	}
+}
+
+// referenceJSON runs cfg against a plain in-RAM server and returns its
+// summary — the oracle every durable run is compared against.
+func referenceJSON(t *testing.T, shards int, cfg PopulationConfig) []byte {
+	t.Helper()
+	srv := New(Config{Shards: shards})
+	if _, err := RunPopulation(context.Background(), srv, cfg); err != nil {
+		t.Fatal(err)
+	}
+	js, err := srv.SummaryJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return js
+}
+
+func openDurable(t *testing.T, shards int, fs durable.FS, cfg DurableConfig) (*Server, durable.Recovery) {
+	t.Helper()
+	srv := New(Config{Shards: shards})
+	cfg.Dir = "data"
+	cfg.FS = fs
+	rec, err := srv.OpenDurable(cfg)
+	if err != nil {
+		t.Fatalf("OpenDurable: %v", err)
+	}
+	return srv, rec
+}
+
+func summaryJSON(t *testing.T, srv *Server) []byte {
+	t.Helper()
+	js, err := srv.SummaryJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return js
+}
+
+// TestDurableOnVsOff: turning the WAL on must not change a single byte
+// of the summary, and a clean close/reopen must restore it exactly.
+func TestDurableOnVsOff(t *testing.T) {
+	cfg := chaosPopulation(4)
+	want := referenceJSON(t, 4, cfg)
+
+	fs := durable.NewMemFS()
+	srv, _ := openDurable(t, 4, fs, DurableConfig{SnapshotEvery: 16})
+	if _, err := RunPopulation(context.Background(), srv, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if got := summaryJSON(t, srv); !bytes.Equal(got, want) {
+		t.Fatalf("durable-on summary differs:\n%s\nvs\n%s", got, want)
+	}
+	if err := srv.CloseDurable(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	// Clean reopen: everything came through the final snapshot.
+	srv2, rec := openDurable(t, 4, fs, DurableConfig{})
+	if rec.LastLSN == 0 {
+		t.Fatal("reopen recovered nothing")
+	}
+	if got := summaryJSON(t, srv2); !bytes.Equal(got, want) {
+		t.Fatalf("reopened summary differs:\n%s\nvs\n%s", got, want)
+	}
+	if err := srv2.CloseDurable(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDurableRecoveryShardWorkerMatrix: recovery lands on the identical
+// summary no matter the shard count or worker count on either side of
+// the restart — shard routing is recomputed, not persisted.
+func TestDurableRecoveryShardWorkerMatrix(t *testing.T) {
+	cfg := chaosPopulation(1)
+	want := referenceJSON(t, 1, cfg)
+
+	type side struct{ shards, workers int }
+	pairs := []struct{ before, after side }{
+		{side{1, 1}, side{8, 4}},
+		{side{8, 4}, side{3, 2}},
+		{side{5, 8}, side{1, 1}},
+	}
+	for _, p := range pairs {
+		fs := durable.NewMemFS()
+		run := cfg
+		run.Workers = p.before.workers
+		srv, _ := openDurable(t, p.before.shards, fs, DurableConfig{SnapshotEvery: 8})
+		if _, err := RunPopulation(context.Background(), srv, run); err != nil {
+			t.Fatal(err)
+		}
+		// Crash without the final snapshot: recovery must rebuild from
+		// an intermediate snapshot plus the WAL tail.
+		srv.KillDurable()
+		fs.Crash(1)
+
+		srv2, _ := openDurable(t, p.after.shards, fs, DurableConfig{})
+		if got := summaryJSON(t, srv2); !bytes.Equal(got, want) {
+			t.Fatalf("%+v: recovered summary differs:\n%s\nvs\n%s", p, got, want)
+		}
+		// All sessions committed, so a resumed population skips all.
+		run.Workers = p.after.workers
+		run.Resume = true
+		res, err := RunPopulation(context.Background(), srv2, run)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Sessions != 0 || res.Skipped != cfg.Vehicles*len(cfg.ECUs)*cfg.SessionsPerECU {
+			t.Fatalf("%+v: resume sent %d sessions, skipped %d", p, res.Sessions, res.Skipped)
+		}
+		if got := summaryJSON(t, srv2); !bytes.Equal(got, want) {
+			t.Fatalf("%+v: summary changed after no-op resume", p)
+		}
+		srv2.CloseDurable()
+	}
+}
+
+// TestSeededCrashRecovery is the in-process chaos harness: interrupt
+// the ingest at a seeded commit count, simulate the power cut
+// (Kill + MemFS.Crash with a seeded partial tail), restart, resume the
+// senders, and require the summary byte-identical to an uninterrupted
+// run. Seeds sweep the crash point across the whole ingest and the
+// torn-tail length across frames.
+func TestSeededCrashRecovery(t *testing.T) {
+	cfg := chaosPopulation(4)
+	want := referenceJSON(t, 4, cfg)
+	total := cfg.Vehicles * len(cfg.ECUs) * cfg.SessionsPerECU
+
+	for seed := uint64(1); seed <= 12; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			fs := durable.NewMemFS()
+			killAt := 1 + seed*uint64(total)/13 // crash points spread over the run
+
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			srv, _ := openDurable(t, 4, fs, DurableConfig{
+				SnapshotEvery: 8,
+				OnCommit: func(lsn uint64) {
+					if lsn == killAt {
+						cancel()
+					}
+				},
+			})
+			_, err := RunPopulation(ctx, srv, cfg)
+			if err != nil && !errors.Is(err, context.Canceled) {
+				t.Fatal(err)
+			}
+			srv.KillDurable()
+			fs.Crash(seed)
+
+			// Some crashes leave trailing garbage instead of a clean cut:
+			// simulate by appending junk to every WAL segment.
+			if seed%3 == 0 {
+				names, err := fs.ReadDir("data")
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, name := range names {
+					if bytes.HasPrefix([]byte(name), []byte("wal-")) {
+						data, err := fs.ReadFile("data/" + name)
+						if err != nil {
+							t.Fatal(err)
+						}
+						fs.WriteFile("data/"+name, append(data, 0xde, 0xad, 0xbe, 0xef))
+					}
+				}
+			}
+
+			srv2, rec := openDurable(t, 4, fs, DurableConfig{SnapshotEvery: 8})
+			if rec.LastLSN < killAt {
+				t.Fatalf("recovered LSN %d below acked commit %d", rec.LastLSN, killAt)
+			}
+			resume := cfg
+			resume.Resume = true
+			res, err := RunPopulation(context.Background(), srv2, resume)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Skipped < int(killAt) {
+				t.Fatalf("resume skipped %d < %d acked sessions", res.Skipped, killAt)
+			}
+			if got := summaryJSON(t, srv2); !bytes.Equal(got, want) {
+				t.Fatalf("recovered summary differs after crash at commit %d:\n%s\nvs\n%s", killAt, got, want)
+			}
+			if err := srv2.CloseDurable(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestPartialSessionCrash: a session cut down mid-reassembly is not
+// committed — recovery must not see half a session, and redelivering
+// it from scratch must land it exactly once.
+func TestPartialSessionCrash(t *testing.T) {
+	fs := durable.NewMemFS()
+	srv, _ := openDurable(t, 2, fs, DurableConfig{})
+
+	full := chunksFor(t, "ecuA", 1, failData(3))
+	if len(full) < 3 {
+		t.Fatalf("want ≥3 chunks, got %d", len(full))
+	}
+	ingestAll(t, srv, "veh00001", "ecuA", chunksFor(t, "ecuA", 1, failData(2))[:]) // committed stream
+	for _, c := range full[:len(full)-1] {                                         // partial stream
+		if err := srv.IngestChunk("veh00002", "ecuA", c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv.KillDurable()
+	fs.Crash(7)
+
+	srv2, rec := openDurable(t, 2, fs, DurableConfig{})
+	if rec.Entries != 1 && rec.LastLSN != 1 {
+		t.Fatalf("want exactly the committed session recovered, got %+v", rec)
+	}
+	sum := srv2.Summary()
+	if sum.SessionsCompleted != 1 || sum.OpenSessions != 0 {
+		t.Fatalf("completed/open = %d/%d after recovery", sum.SessionsCompleted, sum.OpenSessions)
+	}
+	if got := srv2.LastCommitted("veh00002", "ecuA"); got != 0 {
+		t.Fatalf("partial session committed: LastCommitted=%d", got)
+	}
+	// Redeliver the interrupted session in full.
+	ingestAll(t, srv2, "veh00002", "ecuA", full)
+	if got := srv2.LastCommitted("veh00002", "ecuA"); got != 1 {
+		t.Fatalf("redelivered session not committed: LastCommitted=%d", got)
+	}
+	if sum := srv2.Summary(); sum.SessionsCompleted != 2 {
+		t.Fatalf("completed = %d, want 2", sum.SessionsCompleted)
+	}
+	srv2.CloseDurable()
+}
+
+// TestStorageDegradedReadOnly: when the disk starts failing mid-run the
+// service must turn read-only — typed backpressure to senders, summary
+// still serveable, zero panics — and a restart on the surviving prefix
+// must come back clean.
+func TestStorageDegradedReadOnly(t *testing.T) {
+	cfg := chaosPopulation(4)
+	fs := durable.NewMemFS()
+	var syncs atomic.Uint64
+	diskDead := errors.New("disk failed")
+	fs.Fault = func(op, name string) error {
+		if op == "sync" && syncs.Add(1) > 10 {
+			return diskDead
+		}
+		return nil
+	}
+	srv, _ := openDurable(t, 4, fs, DurableConfig{SnapshotEvery: 4})
+	res, err := RunPopulation(context.Background(), srv, cfg)
+	if err != nil {
+		t.Fatalf("population must complete degraded, not fail: %v", err)
+	}
+	if !srv.StorageDegraded() {
+		t.Fatal("store not degraded after fsync failures")
+	}
+	if res.Degraded == 0 {
+		t.Fatal("no sessions fell back to local storage")
+	}
+	if srv.StorageRejects() == 0 {
+		t.Fatal("degraded fast-fail gate never fired")
+	}
+	// The summary must still serve (read path unaffected).
+	if _, err := srv.SummaryJSON(); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.CloseDurable(); !errors.Is(err, durable.ErrStorageDegraded) {
+		t.Fatalf("close on degraded store: %v", err)
+	}
+
+	// Disk replaced: recovery of the surviving prefix, then a resumed
+	// population must complete fully and commit everything.
+	fs.Fault = nil
+	srv2, _ := openDurable(t, 4, fs, DurableConfig{SnapshotEvery: 16})
+	resume := cfg
+	resume.Resume = true
+	res2, err := RunPopulation(context.Background(), srv2, resume)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Degraded != 0 {
+		t.Fatalf("%d sessions degraded after disk replacement", res2.Degraded)
+	}
+	want := referenceJSON(t, 4, cfg)
+	if got := summaryJSON(t, srv2); !bytes.Equal(got, want) {
+		t.Fatalf("post-replacement summary differs:\n%s\nvs\n%s", got, want)
+	}
+	if err := srv2.CloseDurable(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDegradedIngestTyped: once degraded, IngestChunk fails fast with
+// ErrStorageDegraded (wrapped, errors.Is-able) and marks backpressure.
+func TestDegradedIngestTyped(t *testing.T) {
+	fs := durable.NewMemFS()
+	srv, _ := openDurable(t, 1, fs, DurableConfig{})
+	fs.Fault = func(op, name string) error {
+		if op == "sync" {
+			return errors.New("no space left on device")
+		}
+		return nil
+	}
+	chunks := chunksFor(t, "ecuA", 1, failData(1))
+	var last error
+	for _, c := range chunks {
+		if last = srv.IngestChunk("v1", "ecuA", c); last != nil {
+			break
+		}
+	}
+	if !errors.Is(last, durable.ErrStorageDegraded) {
+		t.Fatalf("want ErrStorageDegraded, got %v", last)
+	}
+	// Every later chunk fails fast the same way.
+	if err := srv.IngestChunk("v2", "ecuA", chunks[0]); !errors.Is(err, durable.ErrStorageDegraded) {
+		t.Fatalf("fast-fail gate: %v", err)
+	}
+	if srv.StorageRejects() == 0 {
+		t.Fatal("rejects not counted")
+	}
+	if sum := srv.Summary(); sum.SessionsCompleted != 0 {
+		t.Fatalf("session committed on a dead disk: %+v", sum)
+	}
+}
+
+// TestCommitEntryCodec round-trips both outcomes and rejects
+// truncations at every length.
+func TestCommitEntryCodec(t *testing.T) {
+	blob := []byte("record-bytes")
+	buf := appendCommitEntry(nil, entryStored, "veh00042", "ecuB", 7, 9, 2, blob)
+	e, err := decodeCommitEntry(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.outcome != entryStored || e.vehicle != "veh00042" || e.ecu != "ecuB" ||
+		e.session != 7 || e.chunks != 9 || e.chunkErrors != 2 || !bytes.Equal(e.blob, blob) {
+		t.Fatalf("round trip: %+v", e)
+	}
+	corrupt := appendCommitEntry(nil, entryCorrupt, "v", "e", 1, 3, 1, nil)
+	if e, err := decodeCommitEntry(corrupt); err != nil || e.outcome != entryCorrupt || len(e.blob) != 0 {
+		t.Fatalf("corrupt entry: %+v err=%v", e, err)
+	}
+	for n := 0; n < len(buf); n++ {
+		if _, err := decodeCommitEntry(buf[:n]); err == nil {
+			t.Fatalf("truncation to %d bytes decoded", n)
+		}
+	}
+	if _, err := decodeCommitEntry(appendCommitEntry(nil, 9, "v", "e", 1, 1, 0, nil)); err == nil {
+		t.Fatal("unknown outcome decoded")
+	}
+}

@@ -22,9 +22,11 @@ import (
 	"fmt"
 	"hash/fnv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/dtc"
+	"repro/internal/durable"
 	"repro/internal/gateway"
 	"repro/internal/obs"
 )
@@ -94,6 +96,29 @@ type Server struct {
 	// obs, when set, times chunk accepts and session assembly and marks
 	// backpressure rejections. Set before serving.
 	obs *obs.Tracer
+
+	// store, when set via OpenDurable, write-ahead-logs every committed
+	// session before it is applied, making acknowledged evidence
+	// crash-durable. nil keeps the original in-RAM semantics.
+	store *durable.Store
+	// committed mirrors the counters already folded into commit entries
+	// — the only counters a snapshot persists. Live shard stats also
+	// count in-flight wire activity that a crash legitimately loses
+	// (the senders redo it identically on resume).
+	committed committedCounters
+	// storageRejects counts ingest calls bounced by degraded storage.
+	storageRejects atomic.Uint64
+}
+
+// committedCounters aggregates the durably committed portion of the
+// ingest counters. Atomics, because commits happen under different
+// shard locks concurrently.
+type committedCounters struct {
+	chunks      atomic.Uint64
+	chunkErrors atomic.Uint64
+	opened      atomic.Uint64
+	completed   atomic.Uint64
+	corrupt     atomic.Uint64
 }
 
 // New builds a server with cfg's shard layout.
@@ -102,9 +127,10 @@ func New(cfg Config) *Server {
 	s := &Server{cfg: cfg, shards: make([]*shard, cfg.Shards)}
 	for i := range s.shards {
 		s.shards[i] = &shard{
+			srv:       s,
 			cfg:       cfg,
 			collector: gateway.Collector{Capacity: cfg.PerShardRecords},
-			open:      make(map[streamKey]*gateway.Assembler),
+			open:      make(map[streamKey]*openSession),
 			vehicles:  make(map[string]*vehicleState),
 		}
 	}
@@ -154,18 +180,31 @@ type streamKey struct {
 // sessions, and the per-vehicle session bookkeeping of its vehicles.
 type shard struct {
 	mu        sync.Mutex
+	srv       *Server
 	cfg       Config
 	collector gateway.Collector
-	open      map[streamKey]*gateway.Assembler
-	free      []*gateway.Assembler // recycled assemblers (pool discipline)
+	open      map[streamKey]*openSession
+	free      []*openSession // recycled sessions (pool discipline)
 	vehicles  map[string]*vehicleState
 	stats     counters
 
-	// obs and openedAt exist only when tracing: openedAt remembers when
-	// each open session started so completion can emit the
-	// session_assembly duration. Untraced servers never allocate the map.
-	obs      *obs.Tracer
-	openedAt map[streamKey]time.Time
+	// entryBuf is the reused WAL-entry scratch buffer of the durable
+	// commit path.
+	entryBuf []byte
+
+	obs *obs.Tracer
+}
+
+// openSession is one in-flight reassembly: the assembler plus the wire
+// deltas this session has accrued. The deltas are folded into the
+// session's durable commit entry on completion — state that was never
+// committed simply never happened as far as recovery is concerned, and
+// the sender redoes it identically on resume.
+type openSession struct {
+	asm         *gateway.Assembler
+	chunks      uint64 // chunks offered while this session was open
+	chunkErrors uint64 // assembler rejections among them
+	openedAt    time.Time
 }
 
 // vehicleState is the per-vehicle session bookkeeping.
@@ -179,6 +218,11 @@ type ecuState struct {
 	Sessions uint32
 	// LastSession is the highest completed session number.
 	LastSession uint32
+	// LastCommitted is the highest session number whose outcome —
+	// stored or corrupt — was committed. The stale check dedups on it,
+	// so a session replayed after a crash-recovery (or a sender resume)
+	// can never be double-counted.
+	LastCommitted uint32
 	// FailSessions counts completed sessions with non-empty fail data.
 	FailSessions uint32
 	// Failing mirrors the most recent session's verdict.
@@ -218,10 +262,20 @@ func (c *counters) add(o counters) {
 // ErrChunkDuplicate) mean "retransmit", the rest are protocol
 // violations.
 func (s *Server) IngestChunk(vehicle, ecu string, c gateway.Chunk) error {
+	if s.store != nil && s.store.Degraded() {
+		// Degraded read-only mode: the WAL can no longer honor the
+		// ack-durability contract, so nothing new is accepted. Surfaced
+		// as backpressure — senders fall back to local storage exactly
+		// as they would on a full shard.
+		s.storageRejects.Add(1)
+		s.obs.Mark(obs.StageBackpressure)
+		return fmt.Errorf("fleet: %w", durable.ErrStorageDegraded)
+	}
 	sp := s.obs.Start(obs.StageChunkAccept)
 	err := s.shards[s.ShardOf(vehicle)].ingest(vehicle, ecu, c)
 	sp.End()
-	if err != nil && s.obs != nil && (errors.Is(err, ErrSessionsFull) || errors.Is(err, ErrVehiclesFull)) {
+	if err != nil && s.obs != nil && (errors.Is(err, ErrSessionsFull) || errors.Is(err, ErrVehiclesFull) ||
+		errors.Is(err, durable.ErrStorageDegraded)) {
 		s.obs.Mark(obs.StageBackpressure)
 	}
 	return err
@@ -248,73 +302,107 @@ func (sh *shard) ingest(vehicle, ecu string, c gateway.Chunk) error {
 	}
 
 	key := streamKey{vehicle: vehicle, ecu: ecu}
-	asm := sh.open[key]
-	if asm != nil && c.Session != asm.Session && c.Seq == 0 {
+	os := sh.open[key]
+	if os != nil && c.Session != os.asm.Session && c.Seq == 0 {
 		// The sender abandoned the open session (degraded-mode fallback)
 		// and opened a fresh one with a bumped counter: the new session
 		// supersedes the half-assembled old one instead of wedging the
-		// stream. Replays still bounce off the stale check below.
+		// stream. Its uncommitted deltas die with it. Replays still
+		// bounce off the stale check below.
 		delete(sh.open, key)
-		delete(sh.openedAt, key)
-		sh.recycleAssembler(asm)
-		asm = nil
+		sh.recycleSession(os)
+		os = nil
 	}
-	if asm == nil {
+	if os == nil {
 		if c.Seq != 0 {
 			return fmt.Errorf("%w: %s/%s seq %d", ErrUnknownSession, vehicle, ecu, c.Seq)
 		}
-		if es.LastSession > 0 && c.Session <= es.LastSession {
+		if es.LastCommitted > 0 && c.Session <= es.LastCommitted {
 			sh.stats.StaleSessions++
-			return fmt.Errorf("%w: %s/%s session %d, last completed %d",
-				ErrStaleSession, vehicle, ecu, c.Session, es.LastSession)
+			return fmt.Errorf("%w: %s/%s session %d, last committed %d",
+				ErrStaleSession, vehicle, ecu, c.Session, es.LastCommitted)
 		}
 		if len(sh.open) >= sh.cfg.PerShardSessions {
 			sh.stats.SessionsRejected++
 			return fmt.Errorf("%w: %d open", ErrSessionsFull, len(sh.open))
 		}
 		var err error
-		if asm, err = sh.takeAssembler(c.Session, c.Total); err != nil {
+		if os, err = sh.takeSession(c.Session, c.Total); err != nil {
 			return err
 		}
-		sh.open[key] = asm
+		sh.open[key] = os
 		sh.stats.SessionsOpened++
 		if sh.obs != nil {
-			if sh.openedAt == nil {
-				sh.openedAt = make(map[streamKey]time.Time)
-			}
-			sh.openedAt[key] = time.Now()
+			os.openedAt = time.Now()
 		}
 	}
 
-	if err := asm.Accept(c); err != nil {
+	os.chunks++
+	if err := os.asm.Accept(c); err != nil {
 		sh.stats.ChunkErrors++
+		os.chunkErrors++
 		return err
 	}
-	if !asm.Complete() {
+	if !os.asm.Complete() {
 		return nil
 	}
 
-	// Session complete: retire the assembler, parse, store.
-	delete(sh.open, key)
-	if sh.obs != nil {
-		if t0, ok := sh.openedAt[key]; ok {
-			delete(sh.openedAt, key)
-			sh.obs.ObserveSince(obs.StageSessionAssembly, t0)
-		}
-	}
-	defer sh.recycleAssembler(asm)
-	blob, err := asm.Bytes()
+	// Session complete: decide the outcome, commit it to the WAL (when
+	// durable), then apply it. State mutations happen strictly after a
+	// successful commit, so RAM never gets ahead of the log.
+	blob, err := os.asm.Bytes()
 	if err != nil {
 		return err // unreachable: Complete() held
 	}
-	rec, err := gateway.Unmarshal(blob)
-	if err != nil {
-		sh.stats.CorruptRecords++
-		return fmt.Errorf("fleet: reassembled record corrupt: %w", err)
+	rec, uerr := gateway.Unmarshal(blob)
+	outcome := entryStored
+	var retErr error
+	switch {
+	case uerr != nil:
+		outcome = entryCorrupt
+		retErr = fmt.Errorf("fleet: reassembled record corrupt: %w", uerr)
+	case rec.ECU != ecu:
+		outcome = entryCorrupt
+		retErr = fmt.Errorf("%w: stream %s/%s carries record of %q", ErrECUMismatch, vehicle, ecu, rec.ECU)
 	}
-	if rec.ECU != ecu {
+
+	if sh.srv.store != nil {
+		entryBlob := blob
+		if outcome == entryCorrupt {
+			entryBlob = nil
+		}
+		sh.entryBuf = appendCommitEntry(sh.entryBuf[:0], outcome, vehicle, ecu, c.Session, os.chunks, os.chunkErrors, entryBlob)
+		if _, err := sh.srv.store.Append(sh.entryBuf); err != nil {
+			// Nothing was applied: the session is retired unacked and
+			// the sender's retries hit the degraded fast path above.
+			delete(sh.open, key)
+			sh.recycleSession(os)
+			return fmt.Errorf("fleet: commit %s/%s session %d: %w", vehicle, ecu, c.Session, err)
+		}
+	}
+
+	delete(sh.open, key)
+	if sh.obs != nil && !os.openedAt.IsZero() {
+		sh.obs.ObserveSince(obs.StageSessionAssembly, os.openedAt)
+	}
+	sh.applyCommit(es, outcome, c.Session, os.chunks, os.chunkErrors, rec, vehicle, ecu)
+	sh.recycleSession(os)
+	return retErr
+}
+
+// applyCommit folds one committed session outcome into the shard —
+// the single mutation point shared by live ingest and WAL replay, so
+// both roads lead to identical state.
+func (sh *shard) applyCommit(es *ecuState, outcome byte, session uint32, chunks, chunkErrors uint64, rec gateway.Record, vehicle, ecu string) {
+	cc := &sh.srv.committed
+	cc.chunks.Add(chunks)
+	cc.chunkErrors.Add(chunkErrors)
+	cc.opened.Add(1)
+	es.LastCommitted = session
+	if outcome == entryCorrupt {
 		sh.stats.CorruptRecords++
-		return fmt.Errorf("%w: stream %s/%s carries record of %q", ErrECUMismatch, vehicle, ecu, rec.ECU)
+		cc.corrupt.Add(1)
+		return
 	}
 	stored := rec
 	stored.ECU = vehicle + "/" + ecu
@@ -329,28 +417,32 @@ func (sh *shard) ingest(vehicle, ecu string, c gateway.Chunk) error {
 		es.FailSessions++
 	}
 	sh.stats.SessionsCompleted++
-	return nil
+	cc.completed.Add(1)
 }
 
-// takeAssembler arms an assembler from the shard's free list, or a
-// fresh one.
-func (sh *shard) takeAssembler(session uint32, total uint16) (*gateway.Assembler, error) {
+// takeSession arms a pooled open session, or a fresh one.
+func (sh *shard) takeSession(session uint32, total uint16) (*openSession, error) {
 	if n := len(sh.free); n > 0 {
-		a := sh.free[n-1]
+		os := sh.free[n-1]
 		sh.free = sh.free[:n-1]
-		if err := a.Reset(session, total); err != nil {
-			sh.free = append(sh.free, a)
+		if err := os.asm.Reset(session, total); err != nil {
+			sh.free = append(sh.free, os)
 			return nil, err
 		}
-		return a, nil
+		os.chunks, os.chunkErrors, os.openedAt = 0, 0, time.Time{}
+		return os, nil
 	}
-	return gateway.NewAssembler(session, total)
+	asm, err := gateway.NewAssembler(session, total)
+	if err != nil {
+		return nil, err
+	}
+	return &openSession{asm: asm}, nil
 }
 
-// recycleAssembler returns a retired assembler to the free list,
-// keeping its buffer capacity for the next session.
-func (sh *shard) recycleAssembler(a *gateway.Assembler) {
+// recycleSession returns a retired session to the free list, keeping
+// its assembler's buffer capacity for the next session.
+func (sh *shard) recycleSession(os *openSession) {
 	if len(sh.free) < 64 {
-		sh.free = append(sh.free, a)
+		sh.free = append(sh.free, os)
 	}
 }

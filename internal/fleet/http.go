@@ -7,9 +7,13 @@ import (
 
 // Handler serves the fleet JSON API:
 //
-//	GET /fleet/summary      — fleet-level Summary
-//	GET /fleet/vehicle/{id} — one vehicle's status (404 if unknown)
-//	GET /fleet/failing      — currently failing (vehicle, ECU) streams
+//	GET /fleet/summary           — fleet-level Summary
+//	GET /fleet/vehicle/{id}      — one vehicle's status (404 if unknown)
+//	GET /fleet/failing           — currently failing (vehicle, ECU) streams
+//	GET /fleet/resume/{id}/{ecu} — highest durably committed session of
+//	                               one stream (0 when unknown); senders
+//	                               reconnecting after a server restart
+//	                               skip everything at or below it
 //
 // It extends the expvar telemetry endpoint of cmd/eedse with the
 // fleet's own aggregates; cmd/fleetd mounts both on one mux.
@@ -25,6 +29,19 @@ func (s *Server) Handler() http.Handler {
 			return
 		}
 		writeJSON(w, v)
+	})
+	mux.HandleFunc("GET /fleet/resume/{id}/{ecu}", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, struct {
+			Vehicle       string `json:"vehicle"`
+			ECU           string `json:"ecu"`
+			LastCommitted uint32 `json:"last_committed"`
+			Degraded      bool   `json:"degraded"`
+		}{
+			Vehicle:       r.PathValue("id"),
+			ECU:           r.PathValue("ecu"),
+			LastCommitted: s.LastCommitted(r.PathValue("id"), r.PathValue("ecu")),
+			Degraded:      s.StorageDegraded(),
+		})
 	})
 	mux.HandleFunc("GET /fleet/failing", func(w http.ResponseWriter, r *http.Request) {
 		failing := s.Failing()

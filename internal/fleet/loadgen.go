@@ -42,6 +42,11 @@ type PopulationConfig struct {
 	// Workers is the ingest concurrency (default 1). Vehicles are
 	// claimed whole, so results are identical at any worker count.
 	Workers int
+	// Resume skips every session the server has already durably
+	// committed (Server.LastCommitted) instead of re-sending it — the
+	// sender side of crash recovery. Safe on a fresh server: nothing is
+	// committed, so nothing is skipped.
+	Resume bool
 	// Obs, when non-nil, is threaded into every sender session so
 	// gateway transfers show up as gateway_session spans and degraded
 	// marks. Purely observational.
@@ -79,6 +84,9 @@ type PopulationResult struct {
 	Sessions  int
 	Delivered int
 	Degraded  int
+	// Skipped counts sessions not re-sent on a Resume run because the
+	// server had already committed them.
+	Skipped int
 	// ChunksSent and Retries count wire activity; BusMS the simulated
 	// bus time consumed across all vehicles.
 	ChunksSent int
@@ -90,6 +98,7 @@ func (r *PopulationResult) add(o PopulationResult) {
 	r.Sessions += o.Sessions
 	r.Delivered += o.Delivered
 	r.Degraded += o.Degraded
+	r.Skipped += o.Skipped
 	r.ChunksSent += o.ChunksSent
 	r.Retries += o.Retries
 	r.BusMS += o.BusMS
@@ -113,6 +122,16 @@ func deriveSeed(root uint64, v, e int) uint64 {
 	return root ^ (uint64(v)+1)*0x9E3779B97F4A7C15 ^ (uint64(e)+1)*0xBF58476D1CE4E5B9
 }
 
+// sessionSeed narrows a stream seed to one session. Seeding each
+// session independently (instead of threading one rng through the
+// stream) makes a session's payload and wire behavior a pure function
+// of (root, vehicle, ecu, n) — so a crashed-and-resumed run redelivers
+// the exact bytes the uninterrupted run would have sent, no matter how
+// many earlier sessions were skipped as already committed.
+func sessionSeed(root uint64, v, e, n int) uint64 {
+	return deriveSeed(root, v, e) ^ (uint64(n)+1)*0xD6E8FEB86659FD93
+}
+
 // genFail draws one session's fail data from the stream.
 func genFail(rng *can.ErrorStream, cfg PopulationConfig) stumps.FailData {
 	fd := stumps.FailData{Windows: cfg.Windows}
@@ -132,24 +151,34 @@ func genFail(rng *can.ErrorStream, cfg PopulationConfig) stumps.FailData {
 }
 
 // runVehicle streams one vehicle's sessions into the server. Each
-// (vehicle, ECU) stream keeps one FaultyChannel across its sessions so
-// the TEC error-confinement state carries over, exactly like a real
-// controller.
+// session gets its own seeded rng and FaultyChannel, so every
+// session's payload and wire fault pattern is independently
+// reproducible — the property crash-recovery redelivery rests on. (A
+// real controller would carry TEC state across sessions; the model
+// resets it per session, trading that nuance for exact replayability.)
 func runVehicle(ctx context.Context, srv *Server, cfg PopulationConfig, v int) (PopulationResult, error) {
 	var res PopulationResult
 	vehicle := fmt.Sprintf("veh%05d", v)
 	for e, ecu := range cfg.ECUs {
-		seed := deriveSeed(cfg.Seed, v, e)
-		rng := can.NewErrorStream(seed)
-		ch := gateway.NewFaultyChannel(cfg.Bus,
-			can.ErrorModel{BitErrorRate: cfg.ErrorRate, Seed: seed ^ 0x94D049BB133111EB},
-			serverSink{srv: srv, vehicle: vehicle, ecu: ecu})
-		var sid uint32
+		sink := serverSink{srv: srv, vehicle: vehicle, ecu: ecu}
+		var committed uint32
+		if cfg.Resume {
+			committed = srv.LastCommitted(vehicle, ecu)
+		}
 		for n := 0; n < cfg.SessionsPerECU; n++ {
 			if err := ctx.Err(); err != nil {
 				return res, err
 			}
-			sid++
+			sid := uint32(n) + 1
+			if sid <= committed {
+				res.Skipped++
+				continue
+			}
+			seed := sessionSeed(cfg.Seed, v, e, n)
+			rng := can.NewErrorStream(seed)
+			ch := gateway.NewFaultyChannel(cfg.Bus,
+				can.ErrorModel{BitErrorRate: cfg.ErrorRate, Seed: seed ^ 0x94D049BB133111EB},
+				sink)
 			sess, err := gateway.NewSession(ecu, sid, genFail(rng, cfg), cfg.Session)
 			if err != nil {
 				return res, err

@@ -64,4 +64,16 @@ func RegisterMetrics(reg *obs.Registry, s *Server) {
 		func() float64 { return float64(s.Stats().OpenSessions) })
 	reg.GaugeFunc("fleet_records_stored", "records resident in the bounded shard rings",
 		func() float64 { return float64(s.Stats().RecordsStored) })
+	reg.GaugeFunc("fleet_storage_degraded", "1 when the durable store is degraded read-only, else 0",
+		func() float64 {
+			if s.StorageDegraded() {
+				return 1
+			}
+			return 0
+		})
+	reg.CounterFunc("fleet_storage_rejects_total", "ingest calls refused because storage was degraded",
+		func() float64 { return float64(s.StorageRejects()) })
+	if s.store != nil {
+		s.store.RegisterMetrics(reg)
+	}
 }

@@ -322,6 +322,15 @@ func (s *Session) SessionID() uint32 { return s.sid }
 // Done reports whether every chunk has been acknowledged.
 func (s *Session) Done() bool { return int(s.next) == len(s.chunks) }
 
+// Rewind resets the resume position to the first chunk. A Session
+// normally resumes a degraded Run from the first undelivered chunk —
+// correct while the receiver keeps its partial reassembly. After a
+// receiver restart that state is gone (a recovering server only keeps
+// durably committed sessions), so the sender must redeliver from the
+// top: Rewind, then Run again. The chunks are immutable, so the retry
+// is byte-identical to the first attempt.
+func (s *Session) Rewind() { s.next = 0 }
+
 // degraded reports whether the channel state demands the local-storage
 // fallback.
 func degraded(ch Channel) bool {

@@ -308,3 +308,41 @@ func TestImportTypedErrors(t *testing.T) {
 		t.Fatalf("garbage-appended record: got %v, want ErrTrailingGarbage", err)
 	}
 }
+
+// TestSessionRewindAfterReceiverRestart models the crash-recovery
+// redelivery path: the receiver dies mid-session (its partial
+// assembler is lost), so the sender rewinds and redelivers the whole
+// session to a fresh assembler — byte-identical to the first attempt.
+func TestSessionRewindAfterReceiverRestart(t *testing.T) {
+	fd := sampleFail(8)
+	sess, err := NewSession("ecu04", 3, fd, SessionConfig{ChunkBytes: 16, MaxRetries: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	asm := mustAssembler(t, 3, sess.NumChunks())
+	first := &busOffChannel{inner: NewFaultyChannel(sessionBus, can.ErrorModel{}, asm), after: 2}
+	if res := sess.Run(first); res.Delivered || res.ResumeSeq != 2 {
+		t.Fatalf("setup: %+v", res)
+	}
+
+	// Receiver restarts: partial reassembly is gone. Without Rewind the
+	// session would resume at chunk 2 and the fresh assembler would
+	// reject the gap forever.
+	sess.Rewind()
+	fresh := mustAssembler(t, 3, sess.NumChunks())
+	res := sess.Run(NewFaultyChannel(sessionBus, can.ErrorModel{}, fresh))
+	if !res.Delivered {
+		t.Fatalf("redelivery failed: %+v", res)
+	}
+	if res.ChunksSent != int(sess.NumChunks()) {
+		t.Fatalf("redelivery sent %d chunks, want all %d", res.ChunksSent, sess.NumChunks())
+	}
+	blob, err := fresh.Bytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := Unmarshal(blob)
+	if err != nil || !reflect.DeepEqual(rec.Fail, fd) {
+		t.Fatalf("redelivered record differs: %v", err)
+	}
+}

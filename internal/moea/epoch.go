@@ -102,10 +102,10 @@ func ReadIslandShardFile(path string) (*IslandShard, error) {
 	}
 	sh := &IslandShard{}
 	if err := json.Unmarshal(data, sh); err != nil {
-		return nil, fmt.Errorf("moea: island shard %s: %w", path, err)
+		return nil, fmt.Errorf("moea: island shard %s: %w: %v", path, ErrCheckpointCorrupt, err)
 	}
 	if err := sh.check(); err != nil {
-		return nil, fmt.Errorf("moea: island shard %s: %w", path, err)
+		return nil, fmt.Errorf("moea: island shard %s: %w: %v", path, ErrCheckpointCorrupt, err)
 	}
 	return sh, nil
 }

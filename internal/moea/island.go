@@ -3,6 +3,7 @@ package moea
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"sort"
@@ -10,6 +11,13 @@ import (
 
 	"repro/internal/obs"
 )
+
+// ErrCheckpointCorrupt marks a checkpoint or shard file that exists
+// but cannot be trusted — unparseable JSON, wrong format or version,
+// or internally inconsistent state. Callers distinguish it (errors.Is)
+// from a merely missing file: missing means start fresh, corrupt means
+// stop and name the file rather than silently discarding progress.
+var ErrCheckpointCorrupt = errors.New("checkpoint corrupt")
 
 // Island checkpoint file format identifiers. The file embeds one
 // standard Checkpoint (the PR 3 single-run format) per island, so every
@@ -126,13 +134,13 @@ func ReadIslandCheckpointFile(path string) (*IslandCheckpoint, error) {
 	}
 	cp := &IslandCheckpoint{}
 	if err := json.Unmarshal(data, cp); err != nil {
-		return nil, fmt.Errorf("moea: island checkpoint %s: %w", path, err)
+		return nil, fmt.Errorf("moea: island checkpoint %s: %w: %v", path, ErrCheckpointCorrupt, err)
 	}
 	if cp.Format != IslandCheckpointFormat {
-		return nil, fmt.Errorf("moea: island checkpoint %s: not an island checkpoint file (format %q)", path, cp.Format)
+		return nil, fmt.Errorf("moea: island checkpoint %s: %w: not an island checkpoint file (format %q)", path, ErrCheckpointCorrupt, cp.Format)
 	}
 	if cp.Version != IslandCheckpointVersion {
-		return nil, fmt.Errorf("moea: island checkpoint %s: unsupported version %d (want %d)", path, cp.Version, IslandCheckpointVersion)
+		return nil, fmt.Errorf("moea: island checkpoint %s: %w: unsupported version %d (want %d)", path, ErrCheckpointCorrupt, cp.Version, IslandCheckpointVersion)
 	}
 	return cp, nil
 }

@@ -409,3 +409,32 @@ func TestPublishExpvarSwapsTarget(t *testing.T) {
 	PublishExpvar("obs_test_swap", func() any { return 1 })
 	PublishExpvar("obs_test_swap", func() any { return 2 }) // must not panic
 }
+
+// TestRecorderWriteFailure: a dying trace file must surface as a
+// terminal Close error carrying the dropped-line count, never as a
+// silently truncated stream.
+func TestRecorderWriteFailure(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	reg := NewRegistry()
+	tr := NewTracer(reg, TracerConfig{Record: true})
+	rec, err := NewRecorder(path, tr, reg, 5*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec.f.Close() // the disk dies under the recorder
+	tr.Mark(StageBackpressure)
+	time.Sleep(20 * time.Millisecond) // first flush fails, sets the terminal error
+	tr.Mark(StageBackpressure)
+	time.Sleep(20 * time.Millisecond) // later lines are counted as dropped
+
+	err = rec.Close()
+	if err == nil {
+		t.Fatal("Close returned nil after write failures")
+	}
+	if rec.DroppedWrites() == 0 {
+		t.Fatal("no dropped writes counted")
+	}
+	if !strings.Contains(err.Error(), "dropped") {
+		t.Fatalf("terminal error does not carry the dropped count: %v", err)
+	}
+}

@@ -3,6 +3,7 @@ package obs
 import (
 	"bufio"
 	"encoding/json"
+	"fmt"
 	"os"
 	"sync"
 	"time"
@@ -44,10 +45,11 @@ type Recorder struct {
 	f  *os.File
 	bw *bufio.Writer
 
-	mu          sync.Mutex
-	scratch     []Event
-	err         error
-	lastDropped uint64
+	mu            sync.Mutex
+	scratch       []Event
+	err           error
+	droppedWrites uint64
+	lastDropped   uint64
 
 	stop chan struct{}
 	done chan struct{}
@@ -91,17 +93,17 @@ func (r *Recorder) loop() {
 	for {
 		select {
 		case <-tick.C:
-			r.flush(false)
+			r.flush()
 		case <-r.stop:
-			r.flush(true)
+			r.flush()
 			return
 		}
 	}
 }
 
-// flush drains the tracer rings and, when final or on the snapshot
-// cadence, appends a metrics line.
-func (r *Recorder) flush(final bool) {
+// flush drains the tracer rings, appends a metrics line, and spills
+// the buffer to disk.
+func (r *Recorder) flush() {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.scratch = r.t.Drain(r.scratch[:0])
@@ -132,26 +134,46 @@ func (r *Recorder) flush(final bool) {
 			Metrics: r.reg.Snapshot(),
 		})
 	}
-	if final {
-		if err := r.bw.Flush(); err != nil && r.err == nil {
-			r.err = err
-		}
-	}
-}
-
-// writeLine is called with r.mu held (or before the loop starts).
-func (r *Recorder) writeLine(l TraceLine) {
-	b, err := json.Marshal(l)
-	if err == nil {
-		_, err = r.bw.Write(append(b, '\n'))
-	}
-	if err != nil && r.err == nil {
+	// Flush every cycle, not just the final one: a sick disk surfaces
+	// as an error within one interval instead of whenever the 64 KiB
+	// buffer happens to spill.
+	if err := r.bw.Flush(); err != nil && r.err == nil {
 		r.err = err
 	}
 }
 
+// writeLine is called with r.mu held (or before the loop starts). Once
+// the stream has failed, further lines are counted as dropped instead
+// of written — the trace file ends at the first error rather than
+// continuing with holes.
+func (r *Recorder) writeLine(l TraceLine) {
+	if r.err != nil {
+		r.droppedWrites++
+		return
+	}
+	b, err := json.Marshal(l)
+	if err == nil {
+		_, err = r.bw.Write(append(b, '\n'))
+	}
+	if err != nil {
+		r.err = err
+		r.droppedWrites++
+	}
+}
+
+// DroppedWrites returns the trace lines lost to write failures.
+func (r *Recorder) DroppedWrites() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.droppedWrites
+}
+
 // Close stops the flush loop, performs a final drain, and closes the
-// file, returning the first error seen anywhere in the stream.
+// file. The returned error is terminal: the first failure seen
+// anywhere in the stream, annotated with how many trace lines it cost.
 func (r *Recorder) Close() error {
 	if r == nil {
 		return nil
@@ -160,9 +182,13 @@ func (r *Recorder) Close() error {
 	<-r.done
 	r.mu.Lock()
 	err := r.err
+	dropped := r.droppedWrites
 	r.mu.Unlock()
 	if cerr := r.f.Close(); err == nil {
 		err = cerr
+	}
+	if err != nil && dropped > 0 {
+		return fmt.Errorf("%w (%d trace lines dropped)", err, dropped)
 	}
 	return err
 }

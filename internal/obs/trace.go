@@ -26,12 +26,18 @@ const (
 	StageBackpressure    // mark: chunk rejected by a capacity limit
 	StageDegraded        // mark: session fell back to degraded local storage
 
+	// Durable storage path.
+	StageWALAppend // one WAL append through its (group-committed) fsync
+	StageSnapshot  // one atomic state snapshot written and installed
+	StageRecover   // startup recovery: snapshot load + WAL tail replay
+
 	numStages
 )
 
 var stageNames = [numStages]string{
 	"decode", "objective", "generation", "migration", "shard_spawn", "shard_merge",
 	"chunk_accept", "session_assembly", "gateway_session", "backpressure", "degraded",
+	"wal_append", "snapshot", "recover",
 }
 
 func (s Stage) String() string {

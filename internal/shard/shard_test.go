@@ -315,3 +315,75 @@ func TestBootstrapWorkDir(t *testing.T) {
 		t.Fatalf("cleanup left the temp workdir: %v", err)
 	}
 }
+
+// TestCorruptWorkerOutput: a worker that reports success but leaves a
+// torn or garbage shard file must fail the epoch with the typed
+// corruption error naming the file — never a JSON panic, never a
+// silent restart from scratch.
+func TestCorruptWorkerOutput(t *testing.T) {
+	p := zdt1{n: 10}
+	opt := moea.Options{PopSize: 8, Generations: 8, Seed: 1}
+	iopt := moea.IslandOptions{Islands: 2, MigrateEvery: 4, Migrants: 1}
+
+	for _, tc := range []struct {
+		name string
+		data []byte
+	}{
+		{"garbage", []byte("\x00\xff not json at all")},
+		{"truncated", []byte(`{"format":"eedse-dse-island-shard","vers`)},
+		{"empty", nil},
+		{"wrong type", []byte(`{"format":"something-else","version":1}`)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := campaignConfig(t, p, opt, iopt, 2)
+			inner := cfg.Spawn
+			var corrupted string
+			cfg.Spawn = func(ctx context.Context, w WorkerSpec) error {
+				if w.Shard == 1 {
+					corrupted = w.OutPath
+					return os.WriteFile(w.OutPath, tc.data, 0o644)
+				}
+				return inner(ctx, w)
+			}
+			cur, done, err := Run(context.Background(), cfg)
+			if err == nil || done || cur != nil {
+				t.Fatalf("corrupt shard accepted: cur=%v done=%v err=%v", cur, done, err)
+			}
+			if !errors.Is(err, moea.ErrCheckpointCorrupt) {
+				t.Fatalf("not typed as checkpoint corruption: %v", err)
+			}
+			if !strings.Contains(err.Error(), corrupted) {
+				t.Fatalf("error does not name the corrupt file %q: %v", corrupted, err)
+			}
+		})
+	}
+}
+
+// TestCorruptResumeCheckpoint: the campaign-level resume file gets the
+// same treatment — corrupt is a typed, file-naming error distinct from
+// missing (which the readers surface as fs.ErrNotExist, the signal to
+// start fresh).
+func TestCorruptResumeCheckpoint(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "campaign.json")
+	if _, err := moea.ReadIslandCheckpointFile(path); err == nil || errors.Is(err, moea.ErrCheckpointCorrupt) {
+		t.Fatalf("missing file must not read as corrupt: %v", err)
+	}
+	for _, data := range [][]byte{
+		[]byte("{"),
+		[]byte("\x7f\x45\x4c\x46"),
+		{},
+		[]byte(`{"format":"eedse-dse-checkpoint","version":1}`), // single-run format, not island
+		[]byte(`{"format":"eedse-dse-island-checkpoint","version":99}`),
+	} {
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		_, err := moea.ReadIslandCheckpointFile(path)
+		if !errors.Is(err, moea.ErrCheckpointCorrupt) {
+			t.Fatalf("%q: not typed as corruption: %v", data, err)
+		}
+		if !strings.Contains(err.Error(), path) {
+			t.Fatalf("error does not name the file: %v", err)
+		}
+	}
+}
